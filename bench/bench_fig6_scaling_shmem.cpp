@@ -1,0 +1,78 @@
+// Reproduces paper Figure 6: speedup and absolute performance on shared
+// memory (SGI Altix 3700).
+//
+// Paper findings: both the shared-memory and distributed-memory UPC
+// algorithms achieve near-linear speedup to at least 64 processors ("results
+// are close for both UPC implementations"); the MPI implementation lags
+// slightly behind on this platform.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "pgas/sim_engine.hpp"
+#include "stats/chart.hpp"
+#include "stats/table.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+using namespace upcws;
+using benchutil::Mode;
+
+int main(int argc, char** argv) {
+  const Mode mode = benchutil::mode_from_args(argc, argv);
+
+  const uts::Params tree = mode == Mode::kQuick ? uts::scaled_bench(5)
+                           : mode == Mode::kFull ? uts::scaled_large(1)
+                                                 : uts::scaled_bench(0);
+  std::vector<int> ranks{1, 2, 4, 8, 16, 32, 64};
+  if (mode == Mode::kQuick) ranks = {1, 4, 16};
+  const int chunk = 10;
+
+  benchutil::print_banner(
+      "bench_fig6_scaling_shmem -- Figure 6: scaling on shared memory",
+      "SGI Altix 3700: near-linear speedup to 64 procs for BOTH UPC "
+      "algorithms; MPI slightly behind (cache behavior + MPI overheads)",
+      std::string("mode=") + benchutil::mode_name(mode) +
+          " tree=" + tree.describe() + " chunk=" + std::to_string(chunk) +
+          " net=shared-memory (Altix proxy)");
+
+  const ws::UtsProblem prob(tree);
+  pgas::SimEngine eng;
+
+  const std::vector<ws::Algo> algos{ws::Algo::kUpcSharedMem,
+                                    ws::Algo::kUpcDistMem, ws::Algo::kMpiWs};
+
+  stats::Table t(
+      {"procs", "label", "speedup", "efficiency", "Mnodes/s", "steals"});
+  std::vector<stats::Series> curves;
+  for (ws::Algo a : algos) curves.push_back({ws::algo_label(a), {}});
+  for (int n : ranks) {
+    std::size_t ai = 0;
+    for (ws::Algo a : algos) {
+      pgas::RunConfig rcfg;
+      rcfg.nranks = n;
+      rcfg.net = pgas::NetModel::shared_memory();
+      rcfg.seed = 7;
+      const auto r = ws::run_algo(eng, rcfg, a, prob, chunk);
+      t.add_row({stats::Table::fmt(n), ws::algo_label(a),
+                 stats::Table::fmt(r.agg.speedup, 2),
+                 stats::Table::fmt(r.agg.efficiency, 2),
+                 stats::Table::fmt(benchutil::mnps(r), 2),
+                 stats::Table::fmt(r.agg.total_steals)});
+      curves[ai++].second.push_back(r.agg.speedup);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nScaling on the shared-memory model (Figure 6):\n");
+  t.print(std::cout);
+  std::vector<double> xs(ranks.begin(), ranks.end());
+  std::printf("\n%s",
+              stats::ascii_chart(xs, curves, 68, 16, /*log_x=*/true,
+                                 "processors", "speedup")
+                  .c_str());
+  std::printf(
+      "\nExpected shape: upc-sharedmem and upc-distmem close together and "
+      "near-linear while work suffices; mpi-ws slightly behind.\n");
+  return 0;
+}

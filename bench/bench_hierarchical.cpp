@@ -1,0 +1,85 @@
+// Paper §6.2 future work, implemented: "One way we may decrease the latency
+// of probing for work and stealing in large clusters of shared memory
+// multiprocessor nodes is to first try to steal work within a cluster node
+// before probing off-node" (the bupc_thread_distance() idea).
+//
+// Runs upc-distmem on a hierarchical topology (threads-per-node > 1, cheap
+// on-node refs) with and without locality-first victim ordering, plus a
+// poll-interval sensitivity sweep for mpi-ws (the paper notes its polling
+// interval was tuned).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "pgas/sim_engine.hpp"
+#include "stats/table.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+using namespace upcws;
+using benchutil::Mode;
+
+int main(int argc, char** argv) {
+  const Mode mode = benchutil::mode_from_args(argc, argv);
+
+  const int nranks = mode == Mode::kQuick ? 16 : 64;
+  const int tpn = 8;  // ranks per SMP node
+  const uts::Params tree = mode == Mode::kQuick ? uts::scaled_bench(5)
+                           : mode == Mode::kFull ? uts::scaled_large(1)
+                                                 : uts::scaled_bench(0);
+
+  benchutil::print_banner(
+      "bench_hierarchical -- Sect. 6.2 extension: on-node-first stealing",
+      "proposed (not built) in the paper as future work via "
+      "bupc_thread_distance()",
+      std::string("mode=") + benchutil::mode_name(mode) +
+          " nranks=" + std::to_string(nranks) + " threads/node=" +
+          std::to_string(tpn) + " tree=" + tree.describe());
+
+  const ws::UtsProblem prob(tree);
+  pgas::SimEngine eng;
+
+  stats::Table t({"victim order", "chunk", "Mnodes/s", "speedup", "probes",
+                  "steals"});
+  for (bool local_first : {false, true}) {
+    for (int chunk : {5, 10, 20}) {
+      pgas::RunConfig rcfg;
+      rcfg.nranks = nranks;
+      rcfg.net = pgas::NetModel::hierarchical(tpn);
+      rcfg.seed = 13;
+      ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kUpcDistMem, chunk);
+      cfg.locality_first = local_first;
+      const auto r = ws::run_search(eng, rcfg, prob, cfg);
+      t.add_row({local_first ? "on-node first" : "uniform random",
+                 stats::Table::fmt(chunk),
+                 stats::Table::fmt(benchutil::mnps(r), 2),
+                 stats::Table::fmt(r.agg.speedup, 2),
+                 stats::Table::fmt(r.agg.total_probes),
+                 stats::Table::fmt(r.agg.total_steals)});
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nHierarchical stealing (upc-distmem, cluster-of-SMPs):\n");
+  t.print(std::cout);
+
+  // mpi-ws polling-interval sensitivity (paper: "optimal parameters for
+  // communication tuning (e.g. polling intervals) were used").
+  stats::Table t2({"poll interval (nodes)", "Mnodes/s", "speedup"});
+  for (int poll : {1, 4, 16, 64, 256}) {
+    pgas::RunConfig rcfg;
+    rcfg.nranks = nranks;
+    rcfg.net = pgas::NetModel::distributed();
+    rcfg.seed = 13;
+    ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kMpiWs, 10);
+    cfg.poll_interval = poll;
+    const auto r = ws::run_search(eng, rcfg, prob, cfg);
+    t2.add_row({stats::Table::fmt(poll),
+                stats::Table::fmt(benchutil::mnps(r), 2),
+                stats::Table::fmt(r.agg.speedup, 2)});
+    std::fflush(stdout);
+  }
+  std::printf("\nmpi-ws polling-interval sensitivity:\n");
+  t2.print(std::cout);
+  return 0;
+}

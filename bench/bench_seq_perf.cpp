@@ -1,0 +1,90 @@
+// Reproduces paper §4.1 "Sequential Performance".
+//
+// The paper reports 2.10 M nodes/s on Topsail (Xeon E5345) and 2.39 M
+// nodes/s on Kitty Hawk (Xeon E5150), noting the rate "primarily reflects
+// the speed at which the processor can calculate SHA-1 hash evaluations".
+// This bench measures (a) raw SHA-1 throughput, (b) the real sequential UTS
+// rate on this machine, and (c) the virtual-time rate the simulator's cost
+// model is calibrated to.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "sha1/sha1.hpp"
+#include "stats/table.hpp"
+#include "uts/sequential.hpp"
+#include "uts/tree.hpp"
+
+using namespace upcws;
+using benchutil::Mode;
+
+namespace {
+
+double sha1_mbps(std::size_t block, double seconds_budget) {
+  std::vector<std::uint8_t> buf(block, 0xAB);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t bytes = 0;
+  sha1::Digest d{};
+  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+             .count() < seconds_budget) {
+    for (int i = 0; i < 64; ++i) {
+      d = sha1::hash(buf.data(), buf.size());
+      buf[0] = d[0];  // defeat dead-code elimination
+      bytes += buf.size();
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return static_cast<double>(bytes) / secs / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Mode mode = benchutil::mode_from_args(argc, argv);
+  const uts::Params tree = mode == Mode::kQuick ? uts::scaled_bench(5)
+                           : mode == Mode::kFull ? uts::scaled_large(1)
+                                                 : uts::scaled_bench(0);
+
+  benchutil::print_banner(
+      "bench_seq_perf -- sequential UTS rate (paper Sect. 4.1)",
+      "Topsail E5345: 2.10 M nodes/s; Kitty Hawk E5150: 2.39 M nodes/s; "
+      "SGI Altix Itanium2: 1.12 M nodes/s",
+      std::string("mode=") + benchutil::mode_name(mode) +
+          " tree=" + tree.describe());
+
+  stats::Table sha({"SHA-1 block bytes", "MB/s", "hashes/s"});
+  for (std::size_t block : {24u, 64u, 256u, 4096u}) {
+    const double mbps = sha1_mbps(block, 0.2);
+    sha.add_row({stats::Table::fmt(static_cast<std::uint64_t>(block)),
+                 stats::Table::fmt(mbps, 1),
+                 stats::Table::fmt(mbps * 1e6 / block, 0)});
+  }
+  std::printf("\nSHA-1 throughput (this machine):\n");
+  sha.print(std::cout);
+
+  const auto r = uts::search_sequential(tree);
+  if (!r) {
+    std::printf("sequential search exceeded budget -- tree too large\n");
+    return 1;
+  }
+
+  stats::Table t({"metric", "value"});
+  t.add_row({"tree nodes", stats::Table::fmt(r->nodes)});
+  t.add_row({"tree leaves", stats::Table::fmt(r->leaves)});
+  t.add_row({"max depth", stats::Table::fmt(r->max_depth)});
+  t.add_row({"max DFS stack", stats::Table::fmt(
+                                  static_cast<std::uint64_t>(r->max_stack))});
+  t.add_row({"elapsed s", stats::Table::fmt(r->seconds, 3)});
+  t.add_row({"measured M nodes/s (real)",
+             stats::Table::fmt(r->nodes_per_sec() / 1e6, 2)});
+  t.add_row({"simulator-calibrated M nodes/s (450 ns/node)",
+             stats::Table::fmt(1e3 / 450.0, 2)});
+  t.add_row({"paper Topsail M nodes/s", "2.10"});
+  t.add_row({"paper Kitty Hawk M nodes/s", "2.39"});
+  std::printf("\nSequential UTS traversal:\n");
+  t.print(std::cout);
+  return 0;
+}

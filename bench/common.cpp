@@ -1,0 +1,50 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace upcws::benchutil {
+
+Mode mode_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return Mode::kQuick;
+    if (std::strcmp(argv[i], "--full") == 0) return Mode::kFull;
+  }
+  if (const char* env = std::getenv("UPCWS_BENCH_MODE")) {
+    if (std::strcmp(env, "quick") == 0) return Mode::kQuick;
+    if (std::strcmp(env, "full") == 0) return Mode::kFull;
+  }
+  return Mode::kDefault;
+}
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kQuick: return "quick";
+    case Mode::kDefault: return "default";
+    case Mode::kFull: return "full";
+  }
+  return "?";
+}
+
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const std::string& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_ref.c_str());
+  std::printf("run:   %s\n", config.c_str());
+  std::printf("==============================================================\n");
+}
+
+double mnps(const ws::SearchResult& r) { return r.agg.nodes_per_sec / 1e6; }
+
+std::string fmt(double v, int prec) {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace upcws::benchutil

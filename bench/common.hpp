@@ -1,0 +1,33 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary runs standalone with defaults sized for a single-core
+// machine (whole suite in minutes). `--quick` shrinks workloads further;
+// `--full` runs paper-shaped configurations (bigger trees, more ranks).
+// The mode can also be set with UPCWS_BENCH_MODE=quick|default|full.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pgas/engine.hpp"
+#include "ws/driver.hpp"
+
+namespace upcws::benchutil {
+
+enum class Mode { kQuick, kDefault, kFull };
+
+Mode mode_from_args(int argc, char** argv);
+const char* mode_name(Mode m);
+
+/// Print the standard bench banner: what paper artifact this regenerates,
+/// what the paper reported, and the local run configuration.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const std::string& config);
+
+/// Mega-nodes per second of simulated search rate.
+double mnps(const ws::SearchResult& r);
+
+/// Format helpers.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace upcws::benchutil

@@ -1,0 +1,69 @@
+// Quickstart: count an Unbalanced Tree Search tree in parallel with the
+// paper's best algorithm (upc-distmem) and print the paper's metrics.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// Shows the two execution engines:
+//   * SimEngine    — simulates N UPC threads (virtual time) on one core,
+//                    the mode used for the paper's scaling figures;
+//   * ThreadEngine — real std::threads, the mode you'd use for actual work
+//                    on a multi-core machine.
+#include <cstdio>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+using namespace upcws;
+
+int main() {
+  // 1. Pick a tree. scaled_bench(5) is a ~519k-node instance of the paper's
+  //    binomial family (root fan-out 2000, extreme subtree imbalance).
+  const uts::Params tree = uts::scaled_bench(5);
+  std::printf("tree: %s (expected ~%.0f nodes)\n", tree.describe().c_str(),
+              tree.expected_size());
+
+  // 2. Sequential baseline (also the correctness reference).
+  const auto seq = uts::search_sequential(tree);
+  std::printf("sequential: %llu nodes in %.2fs (%.2f M nodes/s)\n\n",
+              static_cast<unsigned long long>(seq->nodes), seq->seconds,
+              seq->nodes_per_sec() / 1e6);
+
+  // 3. Parallel search on 16 simulated UPC threads over a distributed-
+  //    memory interconnect model.
+  const ws::UtsProblem prob(tree);
+  pgas::SimEngine sim;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 16;
+  rcfg.net = pgas::NetModel::distributed();
+  const auto res =
+      ws::run_algo(sim, rcfg, ws::Algo::kUpcDistMem, prob, /*chunk=*/10);
+
+  std::printf("upc-distmem on %d simulated threads:\n  %s\n", rcfg.nranks,
+              res.agg.summary().c_str());
+  std::printf("  per-state time: working %.1f%%  searching %.1f%%  "
+              "stealing %.1f%%  termination %.1f%%\n\n",
+              100 * res.agg.state_frac[0], 100 * res.agg.state_frac[1],
+              100 * res.agg.state_frac[2], 100 * res.agg.state_frac[3]);
+
+  // 4. The same algorithm, identical sources, on real threads.
+  pgas::ThreadEngine thr;
+  pgas::RunConfig tcfg;
+  tcfg.nranks = 4;
+  tcfg.net = pgas::NetModel::free();  // no modeled delays: just go fast
+  const auto tres =
+      ws::run_algo(thr, tcfg, ws::Algo::kUpcDistMem, prob, /*chunk=*/10,
+                   /*seq_nodes_per_sec=*/seq->nodes_per_sec());
+  std::printf("same algorithm on %d real threads:\n  %s\n", tcfg.nranks,
+              tres.agg.summary().c_str());
+
+  // 5. The acceptance criterion: every traversal counts the same tree.
+  const bool ok =
+      res.total_nodes() == seq->nodes && tres.total_nodes() == seq->nodes;
+  std::printf("\ncounts match sequential: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,236 @@
+// uts_cli: a command-line UTS runner in the spirit of the original
+// benchmark's driver — pick a tree, an algorithm, an engine, and a network
+// model from the command line; get the paper's metrics back.
+//
+// Examples:
+//   ./uts_cli                                   # defaults
+//   ./uts_cli -t 1 -b 2000 -q 0.4995 -r 5 -n 32 -c 10 -A upc-distmem
+//   ./uts_cli -A mpi-ws --net shmem -n 8 -v
+//   ./uts_cli -e threads -n 4 --net free
+//
+// Flags:
+//   -t 0|1        tree type: 0 geometric, 1 binomial (default 1)
+//   -b B          root branching factor b0 (default 2000)
+//   -q Q          binomial non-leaf probability (default 0.4995)
+//   -m M          binomial non-leaf child count (default 2)
+//   -g G          geometric depth horizon gen_mx (default 8)
+//   -r R          root seed (default 5)
+//   -A LABEL      upc-sharedmem|upc-term|upc-term-rapdif|upc-distmem|mpi-ws
+//   -n N          ranks / simulated UPC threads (default 16)
+//   -c K          chunk size (default 10)
+//   -i I          poll interval in nodes (default 1)
+//   -e ENGINE     sim|threads (default sim)
+//   --net NET     dist|shmem|hier:<tpn>|free (default dist)
+//   -S SEED       run seed for probe order (default 1)
+//   -v            per-rank statistics table
+//   --trace FILE  write a Chrome/Perfetto trace of the run to FILE
+//                 (open at https://ui.perfetto.dev)
+//   --trace-csv FILE  write the raw event trace as CSV
+//   --csv         emit one machine-readable CSV result line (plus a header)
+//                 instead of the human-readable summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include <fstream>
+#include <memory>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "stats/table.hpp"
+#include "trace/trace.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+using namespace upcws;
+
+namespace {
+
+[[noreturn]] void usage(const char* msg) {
+  std::fprintf(stderr, "uts_cli: %s (see header comment for flags)\n", msg);
+  std::exit(2);
+}
+
+ws::Algo parse_algo(const std::string& s) {
+  for (ws::Algo a : ws::kAllAlgos)
+    if (s == ws::algo_label(a)) return a;
+  usage("unknown algorithm label");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uts::Params tree;
+  tree.type = uts::TreeType::kBinomial;
+  tree.b0 = 2000;
+  tree.q = 0.4995;
+  tree.m = 2;
+  tree.gen_mx = 8;
+  tree.root_seed = 5;
+
+  ws::Algo algo = ws::Algo::kUpcDistMem;
+  int nranks = 16;
+  int chunk = 10;
+  int poll = 1;
+  bool verbose = false;
+  bool csv = false;
+  std::string engine_name = "sim";
+  std::string net_name = "dist";
+  std::string trace_json, trace_csv;
+  std::uint64_t run_seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(("missing value for " + a).c_str());
+      return argv[++i];
+    };
+    if (a == "-t")
+      tree.type = std::atoi(next()) == 0 ? uts::TreeType::kGeometric
+                                         : uts::TreeType::kBinomial;
+    else if (a == "-b")
+      tree.b0 = std::atof(next());
+    else if (a == "-q")
+      tree.q = std::atof(next());
+    else if (a == "-m")
+      tree.m = std::atoi(next());
+    else if (a == "-g")
+      tree.gen_mx = std::atoi(next());
+    else if (a == "-r")
+      tree.root_seed = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (a == "-A")
+      algo = parse_algo(next());
+    else if (a == "-n")
+      nranks = std::atoi(next());
+    else if (a == "-c")
+      chunk = std::atoi(next());
+    else if (a == "-i")
+      poll = std::atoi(next());
+    else if (a == "-e")
+      engine_name = next();
+    else if (a == "--net")
+      net_name = next();
+    else if (a == "-S")
+      run_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "-v")
+      verbose = true;
+    else if (a == "--trace")
+      trace_json = next();
+    else if (a == "--trace-csv")
+      trace_csv = next();
+    else if (a == "--csv")
+      csv = true;
+    else
+      usage(("unknown flag " + a).c_str());
+  }
+
+  pgas::RunConfig rcfg;
+  rcfg.nranks = nranks;
+  rcfg.seed = run_seed;
+  if (net_name == "dist")
+    rcfg.net = pgas::NetModel::distributed();
+  else if (net_name == "shmem")
+    rcfg.net = pgas::NetModel::shared_memory();
+  else if (net_name == "free")
+    rcfg.net = pgas::NetModel::free();
+  else if (net_name.rfind("hier:", 0) == 0)
+    rcfg.net = pgas::NetModel::hierarchical(std::atoi(net_name.c_str() + 5));
+  else
+    usage("unknown --net");
+
+  const ws::UtsProblem prob(tree);
+  ws::WsConfig cfg = ws::WsConfig::for_algo(algo, chunk);
+  cfg.poll_interval = poll;
+  std::unique_ptr<trace::Trace> tr;
+  if (!trace_json.empty() || !trace_csv.empty()) {
+    tr = std::make_unique<trace::Trace>(nranks);
+    cfg.trace = tr.get();
+  }
+
+  if (!csv)
+    std::printf("uts_cli: %s  algo=%s ranks=%d chunk=%d engine=%s net=%s\n",
+                tree.describe().c_str(), ws::algo_label(algo), nranks, chunk,
+                engine_name.c_str(), net_name.c_str());
+
+  ws::SearchResult res;
+  if (engine_name == "sim") {
+    pgas::SimEngine eng;
+    res = ws::run_search(eng, rcfg, prob, cfg);
+  } else if (engine_name == "threads") {
+    pgas::ThreadEngine eng;
+    res = ws::run_search(eng, rcfg, prob, cfg);
+  } else {
+    usage("unknown -e engine");
+  }
+
+  if (tr) {
+    if (!trace_json.empty()) {
+      std::ofstream f(trace_json);
+      tr->write_chrome_json(f);
+      std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
+                  tr->total_events(), trace_json.c_str());
+    }
+    if (!trace_csv.empty()) {
+      std::ofstream f(trace_csv);
+      tr->write_csv(f);
+      std::printf("wrote event CSV to %s\n", trace_csv.c_str());
+    }
+  }
+  if (csv) {
+    std::printf(
+        "algo,ranks,chunk,net,tree,nodes,elapsed_s,mnodes_per_s,speedup,"
+        "efficiency,steals,steals_per_s,working_frac\n");
+    std::printf("%s,%d,%d,%s,\"%s\",%llu,%.9f,%.4f,%.4f,%.4f,%llu,%.1f,%.4f\n",
+                ws::algo_label(algo), nranks, chunk, net_name.c_str(),
+                tree.describe().c_str(),
+                static_cast<unsigned long long>(res.agg.total_nodes),
+                res.agg.elapsed_s, res.agg.nodes_per_sec / 1e6,
+                res.agg.speedup, res.agg.efficiency,
+                static_cast<unsigned long long>(res.agg.total_steals),
+                res.agg.steals_per_sec, res.agg.working_frac);
+  } else {
+    std::printf("result: %s\n", res.agg.summary().c_str());
+    std::printf("states: working %.1f%% searching %.1f%% stealing %.1f%% "
+                "termination %.1f%%\n",
+                100 * res.agg.state_frac[0], 100 * res.agg.state_frac[1],
+                100 * res.agg.state_frac[2], 100 * res.agg.state_frac[3]);
+  }
+
+  // Verify against sequential (skip for paper-scale trees).
+  const double expect = tree.expected_size();
+  if (expect < 5e7) {
+    const auto seq = uts::search_sequential(tree, 200'000'000);
+    if (seq && seq->nodes != res.total_nodes()) {
+      std::printf("MISMATCH: parallel %llu != sequential %llu\n",
+                  static_cast<unsigned long long>(res.total_nodes()),
+                  static_cast<unsigned long long>(seq->nodes));
+      return 1;
+    }
+    if (seq && !csv)
+      std::printf("verified against sequential traversal: OK\n");
+  }
+
+  if (verbose) {
+    stats::Table t({"rank", "nodes", "releases", "steals", "probes",
+                    "failed", "peak stack", "working%"});
+    for (int r = 0; r < nranks; ++r) {
+      const auto& s = res.per_thread[r];
+      const double tot = static_cast<double>(s.timer.total_ns());
+      t.add_row({stats::Table::fmt(r), stats::Table::fmt(s.c.nodes),
+                 stats::Table::fmt(s.c.releases), stats::Table::fmt(s.c.steals),
+                 stats::Table::fmt(s.c.probes),
+                 stats::Table::fmt(s.c.failed_steals),
+                 stats::Table::fmt(s.c.max_stack),
+                 stats::Table::fmt(
+                     tot > 0 ? 100.0 * s.timer.ns_in(stats::State::kWorking) /
+                                   tot
+                             : 0.0,
+                     1)});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

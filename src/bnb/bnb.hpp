@@ -1,0 +1,103 @@
+// Parallel branch-and-bound on the work-stealing engine.
+//
+// The paper argues (§3, §6.1) that the UPC shared-memory abstraction makes
+// the load balancer easy to extend to "more complex state evaluation
+// functions and more sophisticated strategies such as branch-and-bound".
+// This module is that extension, built as a library:
+//
+//   * BnbProblem — a user-defined maximization problem over trivially
+//     copyable subproblem descriptors, with an optimistic bound();
+//   * Incumbent — the shared best-known objective, improved with a lock-free
+//     CAS loop (a UPC shared variable in spirit);
+//   * solve() — runs the pruned enumeration under any of the library's
+//     load-balancing algorithms and returns the proven optimum.
+//
+// Pruning makes the explored-node count schedule-dependent (a better
+// incumbent found earlier prunes more), but the returned optimum is exact
+// regardless of schedule — which the tests verify against reference
+// solvers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+
+#include "pgas/engine.hpp"
+#include "ws/config.hpp"
+#include "ws/driver.hpp"
+#include "ws/problem.hpp"
+
+namespace upcws::bnb {
+
+/// A maximization problem. Subproblem descriptors are raw fixed-size
+/// blobs, exactly like search nodes in ws::Problem.
+class BnbProblem {
+ public:
+  virtual ~BnbProblem() = default;
+
+  /// Size of one subproblem descriptor.
+  virtual std::size_t node_bytes() const = 0;
+
+  /// Write the root subproblem (whole search space) into `out`.
+  virtual void root(std::byte* out) const = 0;
+
+  /// Objective value if `node` is a complete solution, nullopt otherwise.
+  virtual std::optional<std::int64_t> solution_value(
+      const std::byte* node) const = 0;
+
+  /// Optimistic (admissible) upper bound on any completion of `node`.
+  /// Subtrees with bound <= incumbent are pruned.
+  virtual std::int64_t bound(const std::byte* node) const = 0;
+
+  /// Emit the children of `node` (subproblem split). Only called for
+  /// incomplete nodes that survived pruning.
+  virtual void branch(const std::byte* node, ws::NodeSink& sink) const = 0;
+
+  /// Optional depth for statistics.
+  virtual int depth(const std::byte* node) const {
+    (void)node;
+    return 0;
+  }
+};
+
+/// Shared best-known objective value (maximization). Lives in the global
+/// address space; improved from any rank.
+class Incumbent {
+ public:
+  explicit Incumbent(std::int64_t initial) : best_(initial) {}
+
+  std::int64_t load() const { return best_.load(std::memory_order_acquire); }
+
+  /// Monotone improvement; returns true if `v` became the new best.
+  bool improve(std::int64_t v) {
+    std::int64_t cur = best_.load(std::memory_order_relaxed);
+    while (v > cur) {
+      if (best_.compare_exchange_weak(cur, v, std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<std::int64_t> best_;
+};
+
+struct BnbResult {
+  std::int64_t optimum = 0;
+  ws::SearchResult search;  ///< load-balancing metrics of the enumeration
+};
+
+/// Run the branch-and-bound enumeration of `prob` on `engine` under the
+/// given load-balancing configuration. `initial_bound` seeds the incumbent
+/// (e.g. a greedy solution); use INT64_MIN-ish for none.
+BnbResult solve(pgas::Engine& engine, const pgas::RunConfig& rcfg,
+                const BnbProblem& prob, const ws::WsConfig& cfg,
+                std::int64_t initial_bound = 0);
+
+/// Exact sequential reference (same pruning, one thread, no engine) —
+/// used by tests and for baselines.
+std::int64_t solve_sequential(const BnbProblem& prob,
+                              std::int64_t initial_bound = 0,
+                              std::uint64_t node_budget = UINT64_MAX);
+
+}  // namespace upcws::bnb

@@ -1,0 +1,109 @@
+#include "bnb/knapsack.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace upcws::bnb {
+
+std::vector<KnapsackItem> make_knapsack_instance(int n, std::uint64_t seed) {
+  std::vector<KnapsackItem> items(static_cast<std::size_t>(n));
+  std::uint64_t x = seed * 6364136223846793005ull + 1442695040888963407ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (auto& it : items) {
+    it.weight = 1 + static_cast<std::int64_t>(next() % 1000);
+    it.profit = it.weight + static_cast<std::int64_t>(next() % 200);
+  }
+  std::sort(items.begin(), items.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              return a.profit * b.weight > b.profit * a.weight;
+            });
+  return items;
+}
+
+std::vector<KnapsackItem> make_knapsack_instance_strong(int n,
+                                                        std::uint64_t seed) {
+  std::vector<KnapsackItem> items(static_cast<std::size_t>(n));
+  std::uint64_t x = seed * 6364136223846793005ull + 99991ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (auto& it : items) {
+    it.weight = 1 + static_cast<std::int64_t>(next() % 1000);
+    it.profit = it.weight + 100;  // strongly correlated
+  }
+  std::sort(items.begin(), items.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              return a.profit * b.weight > b.profit * a.weight;
+            });
+  return items;
+}
+
+Knapsack::Knapsack(std::vector<KnapsackItem> items, double capacity_frac)
+    : items_(std::move(items)) {
+  std::int64_t total = 0;
+  for (const auto& it : items_) total += it.weight;
+  capacity_ = static_cast<std::int64_t>(static_cast<double>(total) *
+                                        capacity_frac);
+}
+
+std::size_t Knapsack::node_bytes() const { return sizeof(Node); }
+
+void Knapsack::root(std::byte* out) const {
+  const Node n{0, 0, 0};
+  std::memcpy(out, &n, sizeof n);
+}
+
+std::optional<std::int64_t> Knapsack::solution_value(
+    const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  if (static_cast<std::size_t>(n.idx) == items_.size()) return n.profit;
+  return std::nullopt;
+}
+
+std::int64_t Knapsack::bound(const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  std::int64_t b = n.profit;
+  std::int64_t room = capacity_ - n.weight;
+  for (std::size_t i = static_cast<std::size_t>(n.idx);
+       i < items_.size() && room > 0; ++i) {
+    if (items_[i].weight <= room) {
+      room -= items_[i].weight;
+      b += items_[i].profit;
+    } else {
+      b += items_[i].profit * room / items_[i].weight;  // fractional fill
+      room = 0;
+    }
+  }
+  return b;
+}
+
+void Knapsack::branch(const std::byte* node, ws::NodeSink& sink) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  const KnapsackItem& it = items_[static_cast<std::size_t>(n.idx)];
+  // "Skip" child first so "take" (usually more promising) pops first.
+  const Node skip{n.idx + 1, n.profit, n.weight};
+  sink.push(reinterpret_cast<const std::byte*>(&skip));
+  if (n.weight + it.weight <= capacity_) {
+    const Node take{n.idx + 1, n.profit + it.profit, n.weight + it.weight};
+    sink.push(reinterpret_cast<const std::byte*>(&take));
+  }
+}
+
+int Knapsack::depth(const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  return n.idx;
+}
+
+}  // namespace upcws::bnb

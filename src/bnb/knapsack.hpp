@@ -1,0 +1,55 @@
+// 0/1 knapsack as a BnbProblem, with a deterministic instance generator
+// and the classic greedy fractional (Dantzig) upper bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnb/bnb.hpp"
+
+namespace upcws::bnb {
+
+struct KnapsackItem {
+  std::int64_t weight;
+  std::int64_t profit;
+};
+
+/// Deterministic weakly-correlated instance (profit ≈ weight + noise),
+/// sorted by profit density so the fractional bound is tight.
+std::vector<KnapsackItem> make_knapsack_instance(int n, std::uint64_t seed);
+
+/// Strongly correlated instance (profit = weight + constant): the classic
+/// hard family for fractional-bound B&B — all densities are nearly equal,
+/// so the bound discriminates poorly and the enumeration tree is large.
+std::vector<KnapsackItem> make_knapsack_instance_strong(int n,
+                                                        std::uint64_t seed);
+
+class Knapsack final : public BnbProblem {
+ public:
+  /// `capacity_frac` of the total weight becomes the capacity.
+  Knapsack(std::vector<KnapsackItem> items, double capacity_frac = 0.5);
+
+  std::int64_t capacity() const { return capacity_; }
+  const std::vector<KnapsackItem>& items() const { return items_; }
+
+  std::size_t node_bytes() const override;
+  void root(std::byte* out) const override;
+  std::optional<std::int64_t> solution_value(
+      const std::byte* node) const override;
+  std::int64_t bound(const std::byte* node) const override;
+  void branch(const std::byte* node, ws::NodeSink& sink) const override;
+  int depth(const std::byte* node) const override;
+
+  /// Subproblem descriptor: decisions made for items [0, idx).
+  struct Node {
+    std::int32_t idx;
+    std::int64_t profit;
+    std::int64_t weight;
+  };
+
+ private:
+  std::vector<KnapsackItem> items_;
+  std::int64_t capacity_;
+};
+
+}  // namespace upcws::bnb

@@ -1,0 +1,97 @@
+#include "bnb/maxclique.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace upcws::bnb {
+
+BitGraph make_random_graph(int n, double p, std::uint64_t seed) {
+  if (n < 1 || n > 62) throw std::invalid_argument("graph size must be 1..62");
+  BitGraph g;
+  g.n = n;
+  g.adj.assign(static_cast<std::size_t>(n), 0);
+  std::uint64_t x = seed * 2862933555777941757ull + 3037000493ull;
+  auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double r =
+          static_cast<double>(next() >> 11) / 9007199254740992.0;  // [0,1)
+      if (r < p) {
+        g.adj[static_cast<std::size_t>(u)] |= std::uint64_t{1} << v;
+        g.adj[static_cast<std::size_t>(v)] |= std::uint64_t{1} << u;
+      }
+    }
+  }
+  return g;
+}
+
+MaxClique::MaxClique(BitGraph g) : g_(std::move(g)) {}
+
+std::size_t MaxClique::node_bytes() const { return sizeof(Node); }
+
+void MaxClique::root(std::byte* out) const {
+  Node n{0, 0, 0};
+  n.cand = g_.n >= 62 ? ~std::uint64_t{0} >> 2
+                      : (std::uint64_t{1} << g_.n) - 1;
+  std::memcpy(out, &n, sizeof n);
+}
+
+std::optional<std::int64_t> MaxClique::solution_value(
+    const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  if (n.cand == 0) return n.size;
+  return std::nullopt;
+}
+
+std::int64_t MaxClique::bound(const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  return n.size + std::popcount(n.cand);
+}
+
+void MaxClique::branch(const std::byte* node, ws::NodeSink& sink) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  const int v = std::countr_zero(n.cand);
+  const std::uint64_t vbit = std::uint64_t{1} << v;
+  // Exclude v.
+  Node ex{n.size, n.depth + 1, n.cand & ~vbit};
+  sink.push(reinterpret_cast<const std::byte*>(&ex));
+  // Include v: candidates shrink to v's neighbours.
+  Node in{n.size + 1, n.depth + 1,
+          (n.cand & ~vbit) & g_.adj[static_cast<std::size_t>(v)]};
+  sink.push(reinterpret_cast<const std::byte*>(&in));
+}
+
+int MaxClique::depth(const std::byte* node) const {
+  Node n;
+  std::memcpy(&n, node, sizeof n);
+  return n.depth;
+}
+
+int MaxClique::brute_force(const BitGraph& g) {
+  if (g.n > 24) throw std::invalid_argument("brute_force: graph too large");
+  int best = 0;
+  const std::uint64_t lim = std::uint64_t{1} << g.n;
+  for (std::uint64_t s = 0; s < lim; ++s) {
+    bool clique = true;
+    for (int u = 0; u < g.n && clique; ++u) {
+      if (!((s >> u) & 1)) continue;
+      // All other members must be u's neighbours.
+      if ((s & ~(std::uint64_t{1} << u) & ~g.adj[static_cast<std::size_t>(u)]) !=
+          0)
+        clique = false;
+    }
+    if (clique) best = std::max(best, std::popcount(s));
+  }
+  return best;
+}
+
+}  // namespace upcws::bnb

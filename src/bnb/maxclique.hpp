@@ -1,0 +1,56 @@
+// Maximum clique as a BnbProblem (classic candidate-set branch and bound),
+// over deterministic G(n, p) random graphs with up to 62 vertices
+// (adjacency kept as 64-bit masks so subproblem descriptors stay tiny PODs
+// that travel well through one-sided steals).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnb/bnb.hpp"
+
+namespace upcws::bnb {
+
+/// Undirected graph on up to 62 vertices as adjacency bitmasks.
+struct BitGraph {
+  int n = 0;
+  std::vector<std::uint64_t> adj;  // adj[v] = neighbor mask (no self-loop)
+
+  bool has_edge(int u, int v) const {
+    return (adj[static_cast<std::size_t>(u)] >> v) & 1u;
+  }
+};
+
+/// Deterministic Erdős–Rényi G(n, p); p in [0,1].
+BitGraph make_random_graph(int n, double p, std::uint64_t seed);
+
+class MaxClique final : public BnbProblem {
+ public:
+  explicit MaxClique(BitGraph g);
+
+  const BitGraph& graph() const { return g_; }
+
+  std::size_t node_bytes() const override;
+  void root(std::byte* out) const override;
+  std::optional<std::int64_t> solution_value(
+      const std::byte* node) const override;
+  std::int64_t bound(const std::byte* node) const override;
+  void branch(const std::byte* node, ws::NodeSink& sink) const override;
+  int depth(const std::byte* node) const override;
+
+  /// Subproblem: a partial clique of `size` vertices plus the candidate
+  /// set still compatible with all of them.
+  struct Node {
+    std::int32_t size;
+    std::int32_t depth;
+    std::uint64_t cand;
+  };
+
+  /// Exhaustive reference for small graphs (n <= ~24): checks all subsets.
+  static int brute_force(const BitGraph& g);
+
+ private:
+  BitGraph g_;
+};
+
+}  // namespace upcws::bnb

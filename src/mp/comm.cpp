@@ -1,0 +1,68 @@
+#include "mp/comm.hpp"
+
+#include <cstring>
+
+namespace upcws::mp {
+
+Comm::Comm(int nranks) {
+  boxes_.reserve(nranks);
+  for (int i = 0; i < nranks; ++i) boxes_.push_back(std::make_unique<Box>());
+}
+
+void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
+                std::size_t bytes) {
+  const auto& net = c.net();
+  // Sender-side CPU cost (message injection).
+  c.charge(net.mp_send_overhead_ns);
+  Message m;
+  m.src = c.rank();
+  m.tag = tag;
+  if (bytes > 0) {
+    m.payload.resize(bytes);
+    std::memcpy(m.payload.data(), data, bytes);
+  }
+  // Wire time: latency plus payload serialization (with modeled jitter).
+  m.arrival_ns = c.now_ns() + c.jittered(net.bulk_ns(c.rank(), dst, bytes));
+  sends_.fetch_add(1, std::memory_order_relaxed);
+  Box& box = *boxes_[dst];
+  std::lock_guard<std::mutex> g(box.mu);
+  box.q.push_back(std::move(m));
+}
+
+bool Comm::iprobe(pgas::Ctx& c, int src, int tag, int* src_out, int* tag_out) {
+  c.charge_poll();
+  const std::uint64_t now = c.now_ns();
+  Box& box = *boxes_[c.rank()];
+  std::lock_guard<std::mutex> g(box.mu);
+  for (const Message& m : box.q) {
+    if (m.arrival_ns <= now && matches(m, src, tag)) {
+      if (src_out != nullptr) *src_out = m.src;
+      if (tag_out != nullptr) *tag_out = m.tag;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Comm::try_recv(pgas::Ctx& c, int src, int tag, Message& out) {
+  c.charge_poll();
+  const std::uint64_t now = c.now_ns();
+  Box& box = *boxes_[c.rank()];
+  std::lock_guard<std::mutex> g(box.mu);
+  for (auto it = box.q.begin(); it != box.q.end(); ++it) {
+    if (it->arrival_ns <= now && matches(*it, src, tag)) {
+      out = std::move(*it);
+      box.q.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Message Comm::recv(pgas::Ctx& c, int src, int tag) {
+  Message m;
+  while (!try_recv(c, src, tag, m)) c.yield();
+  return m;
+}
+
+}  // namespace upcws::mp

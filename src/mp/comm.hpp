@@ -1,0 +1,84 @@
+// Two-sided message passing on top of the PGAS engines.
+//
+// The paper's baseline (§3.2, Dinan et al. [2]) is an MPI work-stealing
+// implementation: thieves send steal *requests*, victims poll for requests
+// and send work (or a rejection) back, and global quiescence is detected
+// with Dijkstra's token algorithm. This module supplies the substrate that
+// algorithm needs: per-rank mailboxes with tagged, nonblocking, eagerly
+// buffered messages whose delivery time respects the NetModel (a message
+// becomes visible to the receiver one network latency after it was sent).
+//
+// The same Comm object works under both engines because delivery gating is
+// expressed in Ctx::now_ns() time (virtual in sim, wall in threads).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pgas/engine.hpp"
+
+namespace upcws::mp {
+
+/// Wildcard for probe/recv matching.
+inline constexpr int kAny = -1;
+
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+  /// Ctx-time at which the message is visible to the receiver.
+  std::uint64_t arrival_ns = 0;
+};
+
+/// A communicator over a fixed set of ranks. Construct once per run, outside
+/// the SPMD body; every rank then calls the member functions with its Ctx.
+class Comm {
+ public:
+  explicit Comm(int nranks);
+
+  int nranks() const { return static_cast<int>(boxes_.size()); }
+
+  /// Nonblocking eager send. Charges the sender its injection overhead; the
+  /// message is delivered (visible to probe/recv at `dst`) one modeled
+  /// latency + bandwidth delay later.
+  void send(pgas::Ctx& c, int dst, int tag, const void* data,
+            std::size_t bytes);
+
+  /// Zero-payload convenience.
+  void send(pgas::Ctx& c, int dst, int tag) { send(c, dst, tag, nullptr, 0); }
+
+  /// Nonblocking probe: does a delivered message matching (src, tag) exist?
+  /// Charges one poll. On match fills *src_out / *tag_out when non-null.
+  bool iprobe(pgas::Ctx& c, int src, int tag, int* src_out = nullptr,
+              int* tag_out = nullptr);
+
+  /// Nonblocking receive of the oldest delivered message matching
+  /// (src, tag). Returns false if none is available.
+  bool try_recv(pgas::Ctx& c, int src, int tag, Message& out);
+
+  /// Blocking receive: polls (with yield) until a match arrives.
+  Message recv(pgas::Ctx& c, int src, int tag);
+
+  /// Total messages ever sent through this communicator (diagnostic).
+  std::uint64_t total_sends() const {
+    return sends_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Box {
+    std::mutex mu;
+    std::deque<Message> q;
+  };
+
+  static bool matches(const Message& m, int src, int tag) {
+    return (src == kAny || m.src == src) && (tag == kAny || m.tag == tag);
+  }
+
+  std::vector<std::unique_ptr<Box>> boxes_;
+  std::atomic<std::uint64_t> sends_{0};
+};
+
+}  // namespace upcws::mp

@@ -1,0 +1,21 @@
+#include "pgas/engine.hpp"
+
+#include <cstring>
+
+namespace upcws::pgas {
+
+void Ctx::bulk_get(void* dst, const void* src, std::size_t bytes, int owner) {
+  charge(jittered(net().bulk_ns(rank(), owner, bytes)));
+  // Synchronize-with the release of whatever handshake published `src`.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  std::memcpy(dst, src, bytes);
+}
+
+void Ctx::bulk_put(void* dst, const void* src, std::size_t bytes, int owner) {
+  charge(jittered(net().bulk_ns(rank(), owner, bytes)));
+  std::memcpy(dst, src, bytes);
+  // Publish before any subsequent release-store handshake.
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+}  // namespace upcws::pgas

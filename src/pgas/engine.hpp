@@ -1,0 +1,181 @@
+// Execution-engine abstraction: the UPC-thread programming surface.
+//
+// Every load-balancing algorithm in src/ws is written once against Ctx and
+// runs unchanged on two engines:
+//
+//   * SimEngine    — cooperative fibers with a virtual clock (src/sim).
+//                    Remote references, locks, and polling advance virtual
+//                    time per the NetModel; the run's "elapsed time" is the
+//                    simulated makespan. This is how the paper's scaling
+//                    studies are reproduced on one physical core.
+//   * ThreadEngine — real std::thread execution with real synchronization.
+//                    Used by tests to validate the protocols under genuine
+//                    preemption and memory-ordering pressure.
+//
+// Ctx mirrors the UPC features the paper leans on:
+//   shared-variable references with affinity-dependent cost   -> charge_ref
+//   one-sided bulk memput/memget                              -> bulk_get/put
+//   upc_lock_t with affinity                                  -> Lock + lock()
+//   spinning on shared state (barriers, flags)                -> poll loops
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <random>
+
+#include "pgas/netmodel.hpp"
+
+namespace upcws::pgas {
+
+/// A UPC-style lock with affinity. The lock word is always manipulated via
+/// Ctx so both engines and the cost model see every operation.
+struct Lock {
+  /// Rank currently holding the lock, or kFree.
+  std::atomic<int> holder{kFree};
+  /// Affinity: the rank where this lock "lives" (remote acquisition of a
+  /// lock owned elsewhere pays network round trips).
+  int owner = 0;
+
+  static constexpr int kFree = -1;
+};
+
+/// Per-rank execution context handed to the algorithm body.
+class Ctx {
+ public:
+  virtual ~Ctx() = default;
+
+  virtual int rank() const = 0;
+  virtual int nranks() const = 0;
+  virtual const NetModel& net() const = 0;
+
+  /// Elapsed time for this rank: virtual ns (sim) or wall ns (threads).
+  virtual std::uint64_t now_ns() = 0;
+
+  /// Account `ns` of local computation/communication time.
+  /// Sim: advances the virtual clock. Threads: no-op (real time passes by
+  /// itself) unless delay injection is enabled.
+  virtual void charge(std::uint64_t ns) = 0;
+
+  /// Interaction point: let other ranks run. Poll loops must call this.
+  virtual void yield() = 0;
+
+  /// Acquire `l`, blocking. Charges affinity-dependent round-trip costs and
+  /// spins (with yield) while contended.
+  virtual void lock(Lock& l) = 0;
+
+  /// Single acquisition attempt; charges one reference cost.
+  virtual bool try_lock(Lock& l) = 0;
+
+  /// Release `l`; must hold it. Charges one reference cost.
+  virtual void unlock(Lock& l) = 0;
+
+  /// Deterministic per-rank random stream (probe order etc.); seeded from
+  /// (RunConfig::seed, rank) so simulation runs are exactly reproducible.
+  virtual std::mt19937_64& rng() = 0;
+
+  // ------- convenience cost helpers (shared-memory abstraction à la UPC) --
+
+  /// Apply the cost model's timing jitter to a base remote-op cost.
+  /// Deterministic per (seed, rank, call sequence).
+  std::uint64_t jittered(std::uint64_t base) {
+    const double f = net().jitter_frac;
+    if (f <= 0.0 || base == 0) return base;
+    std::uniform_real_distribution<double> u(0.0, 1.0);
+    return base + static_cast<std::uint64_t>(static_cast<double>(base) * f *
+                                             u(rng()));
+  }
+
+  /// Charge one small shared-variable reference to data owned by `owner`.
+  void charge_ref(int owner) {
+    charge(jittered(net().ref_ns(rank(), owner)));
+  }
+
+  /// Charge one local poll-loop iteration.
+  void charge_poll() { charge(net().poll_ns); }
+
+  /// Charge one tree-node visit (SHA-1 + stack work); honours straggler
+  /// slowdown for this rank.
+  void charge_node_work() { charge(net().work_ns(rank())); }
+
+  /// One-sided bulk get: copy `bytes` from memory with affinity `owner`
+  /// into local memory, charging latency + bandwidth. The caller's protocol
+  /// must guarantee the source region is quiescent (that is exactly what
+  /// the paper's chunk-reservation / request-response protocols establish).
+  void bulk_get(void* dst, const void* src, std::size_t bytes, int owner);
+
+  /// One-sided bulk put: mirror image of bulk_get.
+  void bulk_put(void* dst, const void* src, std::size_t bytes, int owner);
+
+  /// Atomic load/store of a shared word with cost accounting.
+  template <typename T>
+  T get(const std::atomic<T>& v, int owner) {
+    charge_ref(owner);
+    return v.load(std::memory_order_acquire);
+  }
+  template <typename T>
+  void put(std::atomic<T>& v, int owner, T x) {
+    charge_ref(owner);
+    v.store(x, std::memory_order_release);
+  }
+  /// Atomic fetch-add on a shared word (one network round trip when
+  /// remote). Returns the previous value.
+  template <typename T>
+  T add(std::atomic<T>& v, int owner, T delta) {
+    charge_ref(owner);
+    return v.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  /// Atomic compare-exchange of a shared word (one network round trip when
+  /// remote). Returns true on success; `expected` updated as usual.
+  template <typename T>
+  bool cas(std::atomic<T>& v, int owner, T& expected, T desired) {
+    charge_ref(owner);
+    return v.compare_exchange_strong(expected, desired,
+                                     std::memory_order_acq_rel);
+  }
+};
+
+/// RAII guard for Lock acquisition through a Ctx (never plain
+/// lock()/unlock() in algorithm code — Core Guidelines CP.20). Use
+/// std::optional<LockGuard>::emplace for conditionally locked sections.
+class LockGuard {
+ public:
+  LockGuard(Ctx& c, Lock& l) : c_(c), l_(l) { c_.lock(l_); }
+  ~LockGuard() { c_.unlock(l_); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Ctx& c_;
+  Lock& l_;
+};
+
+/// Per-run configuration shared by both engines.
+struct RunConfig {
+  int nranks = 4;
+  NetModel net{};
+  /// Seed for per-rank algorithm RNGs (probe order).
+  std::uint64_t seed = 1;
+  /// Sim only: abort if any virtual clock exceeds this; 0 = 10^13 ns guard.
+  std::uint64_t vt_limit_ns = 0;
+  /// Sim only: fiber stack size.
+  std::size_t fiber_stack_bytes = 256 * 1024;
+};
+
+struct RunResult {
+  /// Simulated makespan (sim) or wall time (threads), seconds.
+  double elapsed_s = 0.0;
+  /// Scheduler context switches (sim; 0 for threads).
+  std::uint64_t switches = 0;
+};
+
+/// An engine executes one SPMD body on nranks ranks.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+  virtual RunResult run(const RunConfig& cfg,
+                        const std::function<void(Ctx&)>& body) = 0;
+  virtual const char* name() const = 0;
+};
+
+}  // namespace upcws::pgas

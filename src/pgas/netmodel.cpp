@@ -1,0 +1,47 @@
+#include "pgas/netmodel.hpp"
+
+#include <limits>
+
+namespace upcws::pgas {
+
+NetModel NetModel::shared_memory() {
+  NetModel m;
+  m.local_ref_ns = 3;
+  m.on_node_ref_ns = 220;  // Altix NUMA reference
+  m.remote_ref_ns = 220;   // no off-node tier on a single shared machine
+  m.bytes_per_ns = 3.2;    // NUMAlink-class bandwidth
+  m.poll_ns = 20;
+  m.threads_per_node = std::numeric_limits<int>::max();
+  return m;
+}
+
+NetModel NetModel::distributed() {
+  NetModel m;
+  m.local_ref_ns = 3;
+  m.on_node_ref_ns = 180;
+  m.remote_ref_ns = 3000;  // one-sided small put/get over Infiniband-era HCA
+  m.bytes_per_ns = 0.8;
+  m.poll_ns = 30;
+  m.threads_per_node = 1;
+  return m;
+}
+
+NetModel NetModel::hierarchical(int tpn) {
+  NetModel m = distributed();
+  m.threads_per_node = tpn > 0 ? tpn : 1;
+  return m;
+}
+
+NetModel NetModel::free() {
+  NetModel m;
+  m.local_ref_ns = 0;
+  m.on_node_ref_ns = 0;
+  m.remote_ref_ns = 0;
+  m.bytes_per_ns = 1e18;
+  m.poll_ns = 1;  // nonzero so sim poll loops always advance virtual time
+  m.work_ns_per_node = 1;
+  m.threads_per_node = 1;
+  return m;
+}
+
+}  // namespace upcws::pgas

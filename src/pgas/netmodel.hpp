@@ -1,0 +1,111 @@
+// Interconnect cost model for the PGAS runtime.
+//
+// The paper's whole argument is about the *cost structure* of UPC operations
+// on different machines: local shared references are cheap, remote one-sided
+// references cost a network latency, remote locks cost round trips ("the
+// cost of the interfering remote locking operations is typically an order of
+// magnitude greater than the cost of a shared variable reference", §3.3.3),
+// and bulk transfers add a bandwidth term. NetModel captures those knobs and
+// a simple node topology (threads-per-node, with cheaper on-node refs) so a
+// single algorithm implementation can be evaluated under shared-memory
+// (SGI Altix-like), distributed-memory (Infiniband-cluster-like), and
+// hierarchical (cluster-of-SMPs) profiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace upcws::pgas {
+
+struct NetModel {
+  /// Cost of a shared-variable reference with affinity to the issuing
+  /// thread (UPC local pointer-to-shared access).
+  std::uint64_t local_ref_ns = 3;
+
+  /// Cost of a small one-sided reference to a thread on the same SMP node.
+  std::uint64_t on_node_ref_ns = 180;
+
+  /// Cost of a small one-sided reference across the network (put/get
+  /// latency; Infiniband-era UPC runtimes measured a few microseconds).
+  std::uint64_t remote_ref_ns = 3000;
+
+  /// Payload bandwidth for bulk one-sided transfers, bytes per nanosecond
+  /// (1.0 == 1 GB/s).
+  double bytes_per_ns = 0.8;
+
+  /// Cost of one iteration of a local poll loop (checking a local shared
+  /// variable, e.g. the lock-less algorithm's steal-request word).
+  std::uint64_t poll_ns = 30;
+
+  /// Virtual cost of visiting one UTS tree node (one SHA-1 evaluation plus
+  /// stack work). Default 450 ns ~= 2.2 M nodes/s, the paper's sequential
+  /// rate on the Xeon E5345/E5150 (§4.1).
+  std::uint64_t work_ns_per_node = 450;
+
+  /// Multiplicative timing jitter on remote operations: each remote
+  /// reference / transfer / message costs base * (1 + jitter_frac * u) with
+  /// u ~ U[0,1) drawn from the rank's deterministic stream. 0 disables.
+  /// Used to perturb schedules and widen protocol race windows without
+  /// losing reproducibility.
+  double jitter_frac = 0.0;
+
+  /// CPU overhead of injecting one two-sided (MPI-style) message — the
+  /// sender-side cost of the mpi-ws baseline's sends. The wire latency of
+  /// the message itself is ref_ns/bulk_ns as for one-sided ops.
+  std::uint64_t mp_send_overhead_ns = 400;
+
+  /// Threads per SMP node. 1 models a pure distributed-memory view;
+  /// nranks-or-more models a pure shared-memory machine.
+  int threads_per_node = 1;
+
+  /// Straggler injection: rank `straggler_rank` (if >= 0) pays
+  /// `straggler_work_factor` times the per-node work cost — a slow or
+  /// oversubscribed processor. Dynamic load balancing should route work
+  /// around it; static partitioning cannot.
+  int straggler_rank = -1;
+  double straggler_work_factor = 1.0;
+
+  /// Per-node work cost for `rank`, including straggler slowdown.
+  std::uint64_t work_ns(int rank) const {
+    if (rank == straggler_rank && straggler_work_factor > 0)
+      return static_cast<std::uint64_t>(
+          static_cast<double>(work_ns_per_node) * straggler_work_factor);
+    return work_ns_per_node;
+  }
+
+  bool same_node(int a, int b) const {
+    return a / threads_per_node == b / threads_per_node;
+  }
+
+  /// Small-op latency from `from` to a datum with affinity `to`.
+  std::uint64_t ref_ns(int from, int to) const {
+    if (from == to) return local_ref_ns;
+    return same_node(from, to) ? on_node_ref_ns : remote_ref_ns;
+  }
+
+  /// Bulk transfer: latency plus bandwidth term.
+  std::uint64_t bulk_ns(int from, int to, std::size_t bytes) const {
+    return ref_ns(from, to) +
+           static_cast<std::uint64_t>(static_cast<double>(bytes) / bytes_per_ns);
+  }
+
+  // --- profiles used throughout tests and benches ---
+
+  /// SGI Altix 3700 proxy: low-latency NUMA interconnect, every rank on one
+  /// logical "node" (so all non-local refs use on_node_ref_ns).
+  static NetModel shared_memory();
+
+  /// Infiniband cluster proxy: one rank per node, microsecond-scale
+  /// one-sided latency.
+  static NetModel distributed();
+
+  /// Cluster of SMP nodes with `tpn` ranks per node (paper §6.2's future
+  /// work: steal on-node before going off-node).
+  static NetModel hierarchical(int tpn);
+
+  /// Zero-cost model (all ops free): used by unit tests that check protocol
+  /// logic rather than timing.
+  static NetModel free();
+};
+
+}  // namespace upcws::pgas

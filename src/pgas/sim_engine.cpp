@@ -1,0 +1,113 @@
+#include "pgas/sim_engine.hpp"
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace upcws::pgas {
+namespace {
+
+class SimCtx final : public Ctx {
+ public:
+  SimCtx(sim::Scheduler& sched, int rank, int nranks, const NetModel& net,
+         std::uint64_t seed)
+      : sched_(sched),
+        rank_(rank),
+        nranks_(nranks),
+        net_(net),
+        rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)) {}
+
+  int rank() const override { return rank_; }
+  int nranks() const override { return nranks_; }
+  const NetModel& net() const override { return net_; }
+  std::uint64_t now_ns() override { return sched_.now(rank_); }
+
+  void charge(std::uint64_t ns) override {
+    sched_.advance(ns);
+    // Causality bound: a fiber that charges a lot of virtual time without
+    // reaching an explicit interaction point must not keep executing (its
+    // stores would become visible to fibers far behind it in virtual
+    // time). Once a quantum of charge accumulates, hand control back so the
+    // scheduler can let the laggards catch up first.
+    acc_ += ns;
+    if (acc_ >= kChargeQuantumNs) {
+      acc_ = 0;
+      sched_.yield();
+    }
+  }
+
+  void yield() override {
+    // Guarantee progress in virtual time on every interaction so that spin
+    // loops cannot livelock the scheduler at a frozen clock.
+    sched_.advance(net_.poll_ns > 0 ? net_.poll_ns : 1);
+    acc_ = 0;
+    sched_.yield();
+  }
+
+  void lock(Lock& l) override {
+    // One reference to reach the lock word; further spins each pay a
+    // reference too (remote spinning is exactly what makes contended remote
+    // locks so costly in UPC, paper §3.1/§3.3.3).
+    charge_ref(l.owner);
+    int expect = Lock::kFree;
+    // Cooperative fibers: no preemption between the check and the store, so
+    // compare_exchange never spuriously races here — the spin models time,
+    // not memory contention.
+    while (!l.holder.compare_exchange_strong(expect, rank_,
+                                             std::memory_order_acq_rel)) {
+      expect = Lock::kFree;
+      sched_.yield();
+      charge_ref(l.owner);
+    }
+  }
+
+  bool try_lock(Lock& l) override {
+    charge_ref(l.owner);
+    int expect = Lock::kFree;
+    return l.holder.compare_exchange_strong(expect, rank_,
+                                            std::memory_order_acq_rel);
+  }
+
+  void unlock(Lock& l) override {
+    charge_ref(l.owner);
+    l.holder.store(Lock::kFree, std::memory_order_release);
+  }
+
+  std::mt19937_64& rng() override { return rng_; }
+
+ private:
+  static constexpr std::uint64_t kChargeQuantumNs = 1000;
+
+  sim::Scheduler& sched_;
+  int rank_;
+  int nranks_;
+  const NetModel& net_;
+  std::mt19937_64 rng_;
+  std::uint64_t acc_ = 0;
+};
+
+}  // namespace
+
+RunResult SimEngine::run(const RunConfig& cfg,
+                         const std::function<void(Ctx&)>& body) {
+  sim::Scheduler::Config scfg;
+  scfg.vt_limit_ns =
+      cfg.vt_limit_ns != 0 ? cfg.vt_limit_ns : 10'000'000'000'000ull;
+  scfg.stack_bytes = cfg.fiber_stack_bytes;
+  sim::Scheduler sched(scfg);
+
+  for (int r = 0; r < cfg.nranks; ++r) {
+    sched.spawn([&, r] {
+      SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed);
+      body(ctx);
+    });
+  }
+  sched.run();
+
+  RunResult res;
+  res.elapsed_s = static_cast<double>(sched.makespan_ns()) * 1e-9;
+  res.switches = sched.switches();
+  return res;
+}
+
+}  // namespace upcws::pgas

@@ -1,0 +1,21 @@
+// SimEngine: runs the SPMD body on cooperative fibers with virtual time.
+//
+// Each rank is one fiber in a sim::Scheduler. charge() advances the rank's
+// virtual clock; yield() returns to the scheduler, which always resumes the
+// rank with the smallest clock, approximating true parallel interleaving.
+// The run's elapsed time is the simulated makespan — this is how speedup at
+// 2..512 "processors" is measured on a single physical core (DESIGN.md §1).
+#pragma once
+
+#include "pgas/engine.hpp"
+
+namespace upcws::pgas {
+
+class SimEngine final : public Engine {
+ public:
+  RunResult run(const RunConfig& cfg,
+                const std::function<void(Ctx&)>& body) override;
+  const char* name() const override { return "sim"; }
+};
+
+}  // namespace upcws::pgas

@@ -1,0 +1,105 @@
+#include "pgas/thread_engine.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace upcws::pgas {
+namespace {
+
+class ThreadCtx final : public Ctx {
+ public:
+  ThreadCtx(int rank, int nranks, const NetModel& net, std::uint64_t seed,
+            double inject_scale, std::chrono::steady_clock::time_point epoch)
+      : rank_(rank),
+        nranks_(nranks),
+        net_(net),
+        inject_scale_(inject_scale),
+        rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)),
+        start_(epoch) {}
+
+  int rank() const override { return rank_; }
+  int nranks() const override { return nranks_; }
+  const NetModel& net() const override { return net_; }
+
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  void charge(std::uint64_t ns) override {
+    if (inject_scale_ <= 0.0) return;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(static_cast<std::uint64_t>(
+            static_cast<double>(ns) * inject_scale_));
+    while (std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+  }
+
+  void yield() override { std::this_thread::yield(); }
+
+  void lock(Lock& l) override {
+    charge_ref(l.owner);
+    int expect = Lock::kFree;
+    while (!l.holder.compare_exchange_weak(expect, rank_,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+      expect = Lock::kFree;
+      std::this_thread::yield();
+    }
+  }
+
+  bool try_lock(Lock& l) override {
+    charge_ref(l.owner);
+    int expect = Lock::kFree;
+    return l.holder.compare_exchange_strong(expect, rank_,
+                                            std::memory_order_acq_rel);
+  }
+
+  void unlock(Lock& l) override {
+    charge_ref(l.owner);
+    l.holder.store(Lock::kFree, std::memory_order_release);
+  }
+
+  std::mt19937_64& rng() override { return rng_; }
+
+ private:
+  int rank_;
+  int nranks_;
+  const NetModel& net_;
+  double inject_scale_;
+  std::mt19937_64 rng_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+RunResult ThreadEngine::run(const RunConfig& cfg,
+                            const std::function<void(Ctx&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.nranks);
+  std::atomic<int> ready{0};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < cfg.nranks; ++r) {
+    threads.emplace_back([&, r] {
+      ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0);
+      // Crude start-line barrier so ranks begin together.
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < cfg.nranks)
+        std::this_thread::yield();
+      body(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult res;
+  res.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  return res;
+}
+
+}  // namespace upcws::pgas

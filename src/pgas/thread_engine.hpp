@@ -1,0 +1,31 @@
+// ThreadEngine: runs the SPMD body on real std::threads.
+//
+// Timing-model calls (charge) are no-ops by default — real time passes on
+// its own — but optional delay injection scales modeled remote costs into
+// real busy-wait delays, which widens protocol race windows; tests use it to
+// shake out handshake bugs that cooperative scheduling cannot expose.
+#pragma once
+
+#include "pgas/engine.hpp"
+
+namespace upcws::pgas {
+
+class ThreadEngine final : public Engine {
+ public:
+  struct Options {
+    /// If > 0, charge(ns) busy-waits for ns * inject_scale real nanoseconds.
+    double inject_scale = 0.0;
+  };
+
+  ThreadEngine() = default;
+  explicit ThreadEngine(Options opt) : opt_(opt) {}
+
+  RunResult run(const RunConfig& cfg,
+                const std::function<void(Ctx&)>& body) override;
+  const char* name() const override { return "threads"; }
+
+ private:
+  Options opt_;
+};
+
+}  // namespace upcws::pgas

@@ -1,0 +1,133 @@
+#include "sha1/sha1.hpp"
+
+#include <cstring>
+
+namespace upcws::sha1 {
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, unsigned n) {
+  return (x << n) | (x >> (32u - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+}  // namespace
+
+void Hasher::reset() {
+  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Hasher::process_block(const std::uint8_t* block) {
+  // Message schedule. RFC 3174 method 1, with the usual rolling expansion.
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  auto round = [&](std::uint32_t f, std::uint32_t k, std::uint32_t wt) {
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + wt;
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  };
+
+  for (int t = 0; t < 20; ++t) round((b & c) | (~b & d), 0x5A827999u, w[t]);
+  for (int t = 20; t < 40; ++t) round(b ^ c ^ d, 0x6ED9EBA1u, w[t]);
+  for (int t = 40; t < 60; ++t)
+    round((b & c) | (b & d) | (c & d), 0x8F1BBCDCu, w[t]);
+  for (int t = 60; t < 80; ++t) round(b ^ c ^ d, 0xCA62C1D6u, w[t]);
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Hasher::update(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  total_bytes_ += len;
+
+  if (buffered_ > 0) {
+    std::size_t take = std::min(len, buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    len -= take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (len >= 64) {
+    process_block(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    buffered_ = len;
+  }
+}
+
+Digest Hasher::finish() {
+  // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad80 = 0x80;
+  update(&pad80, 1);
+  static constexpr std::uint8_t kZeros[64] = {};
+  // After the 0x80 byte, pad with zeros until 8 bytes remain in the block.
+  std::size_t rem = buffered_;
+  std::size_t pad = (rem <= 56) ? (56 - rem) : (64 + 56 - rem);
+  // update() would keep counting these toward total_bytes_, but bit_len was
+  // latched above, so the count no longer matters.
+  update(kZeros, pad);
+  std::uint8_t len_be[8];
+  store_be64(len_be, bit_len);
+  update(len_be, 8);
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.data() + 4 * i, state_[i]);
+  return out;
+}
+
+Digest hash(const void* data, std::size_t len) {
+  Hasher h;
+  h.update(data, len);
+  return h.finish();
+}
+
+std::string to_hex(const Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s;
+  s.reserve(2 * kDigestBytes);
+  for (std::uint8_t b : d) {
+    s.push_back(kHex[b >> 4]);
+    s.push_back(kHex[b & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace upcws::sha1

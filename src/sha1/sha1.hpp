@@ -1,0 +1,71 @@
+// SHA-1 message digest (RFC 3174), implemented from scratch.
+//
+// UTS (Olivier et al., LCPC 2006) derives every tree node's description from
+// the SHA-1 digest of its parent's description concatenated with the child
+// index, so the hash function is the foundational substrate of the whole
+// benchmark: the sequential search rate "primarily reflects the speed at
+// which the processor can calculate SHA-1 hash evaluations" (paper §4.1).
+//
+// The implementation is self-contained (no OpenSSL), supports incremental
+// hashing, and is verified against the RFC 3174 / FIPS 180-1 test vectors in
+// tests/test_sha1.cpp.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace upcws::sha1 {
+
+/// Size of a SHA-1 digest in bytes.
+inline constexpr std::size_t kDigestBytes = 20;
+
+/// A raw 160-bit SHA-1 digest.
+using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+/// Incremental SHA-1 hasher.
+///
+/// Usage:
+///   Hasher h;
+///   h.update(buf, len);
+///   Digest d = h.finish();
+///
+/// After finish() the hasher must be reset() before reuse.
+class Hasher {
+ public:
+  Hasher() { reset(); }
+
+  /// Re-initialize to the SHA-1 IV; discards any buffered input.
+  void reset();
+
+  /// Absorb `len` bytes of message data.
+  void update(const void* data, std::size_t len);
+
+  /// Convenience overload for string-like input.
+  void update(std::string_view sv) { update(sv.data(), sv.size()); }
+
+  /// Apply padding and return the digest. The hasher is left in a finished
+  /// state; call reset() before hashing another message.
+  Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::uint64_t total_bytes_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_;
+};
+
+/// One-shot convenience: digest of a single contiguous buffer.
+Digest hash(const void* data, std::size_t len);
+
+/// One-shot convenience for string-like input.
+inline Digest hash(std::string_view sv) { return hash(sv.data(), sv.size()); }
+
+/// Lowercase hex rendering of a digest (40 characters).
+std::string to_hex(const Digest& d);
+
+}  // namespace upcws::sha1

@@ -1,0 +1,74 @@
+#include "sim/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace upcws::sim {
+
+namespace {
+// The fiber currently executing on this OS thread (nullptr in scheduler
+// context). thread_local so independent schedulers may run on different
+// OS threads concurrently.
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+struct Fiber::Impl {
+  ucontext_t self{};     // context of the fiber
+  ucontext_t resumer{};  // context to return to on yield/finish
+  std::vector<std::uint8_t> stack;
+};
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                     static_cast<std::uintptr_t>(lo));
+  f->fn_();
+  f->finished_ = true;
+  // Return to the resumer. Do NOT fall off the end of the trampoline: the
+  // linked uc_link is unset, so returning would terminate the process.
+  g_current_fiber = nullptr;
+  swapcontext(&f->impl_->self, &f->impl_->resumer);
+}
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
+  impl_->stack.resize(stack_bytes);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (started, unfinished) fiber leaks whatever is on
+  // its stack; the scheduler only destroys fibers after completion, except
+  // when tearing down after a simulation-time-limit error.
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  if (!started_) {
+    started_ = true;
+    getcontext(&impl_->self);
+    impl_->self.uc_stack.ss_sp = impl_->stack.data();
+    impl_->self.uc_stack.ss_size = impl_->stack.size();
+    impl_->self.uc_link = nullptr;
+    const auto p = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&impl_->self, reinterpret_cast<void (*)()>(&Fiber::trampoline),
+                2, static_cast<unsigned>(p >> 32),
+                static_cast<unsigned>(p & 0xFFFFFFFFu));
+  }
+  swapcontext(&impl_->resumer, &impl_->self);
+  g_current_fiber = prev;
+}
+
+void Fiber::yield_current() {
+  Fiber* f = g_current_fiber;
+  if (f == nullptr)
+    throw std::logic_error("Fiber::yield_current outside fiber context");
+  g_current_fiber = nullptr;
+  swapcontext(&f->impl_->self, &f->impl_->resumer);
+  g_current_fiber = f;
+}
+
+}  // namespace upcws::sim

@@ -1,0 +1,57 @@
+// Cooperative fibers over POSIX ucontext.
+//
+// The discrete-event engine (src/sim/scheduler.hpp) runs every simulated UPC
+// thread as a fiber on one OS thread. Fibers make the simulator able to run
+// ordinary imperative algorithm code (the same sources the real-thread
+// engine runs) instead of hand-written state machines: a fiber simply calls
+// yield() at interaction points and the scheduler decides, by virtual time,
+// who runs next.
+//
+// Because all fibers share one OS thread, their interleaving is cooperative
+// and deterministic — no data races, fully reproducible runs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace upcws::sim {
+
+/// A single cooperative fiber. Not thread-safe: a Fiber and its owning
+/// scheduler must live on one OS thread.
+class Fiber {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Create a fiber that will run `fn` when first resumed.
+  /// `stack_bytes` is the fiber's private call stack; the work-stealing
+  /// algorithms use explicit DFS stacks so the default is ample.
+  explicit Fiber(Fn fn, std::size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switch from the caller (scheduler) into the fiber. Returns when the
+  /// fiber yields or its function returns. Must not be called on a finished
+  /// fiber, or from inside any fiber.
+  void resume();
+
+  /// Switch from inside the currently running fiber back to its resumer.
+  /// Must be called from fiber context.
+  static void yield_current();
+
+  /// True once the fiber's function has returned.
+  bool finished() const { return finished_; }
+
+ private:
+  struct Impl;
+  static void trampoline(unsigned hi, unsigned lo);
+
+  std::unique_ptr<Impl> impl_;
+  Fn fn_;
+  bool finished_ = false;
+  bool started_ = false;
+};
+
+}  // namespace upcws::sim

@@ -1,0 +1,64 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace upcws::sim {
+
+namespace {
+thread_local Scheduler* g_current_scheduler = nullptr;
+}  // namespace
+
+Scheduler::Scheduler(Config cfg) : cfg_(cfg) {}
+
+Scheduler::~Scheduler() = default;
+
+int Scheduler::spawn(std::function<void()> body) {
+  if (running_) throw std::logic_error("spawn() during run()");
+  const int id = static_cast<int>(fibers_.size());
+  fibers_.push_back(std::make_unique<Fiber>(std::move(body), cfg_.stack_bytes));
+  clocks_.push_back(0);
+  rq_.push({0, id});
+  return id;
+}
+
+Scheduler& Scheduler::current() {
+  if (g_current_scheduler == nullptr)
+    throw std::logic_error("Scheduler::current() outside run()");
+  return *g_current_scheduler;
+}
+
+void Scheduler::yield() { Fiber::yield_current(); }
+
+void Scheduler::run() {
+  running_ = true;
+  Scheduler* prev = g_current_scheduler;
+  g_current_scheduler = this;
+  try {
+    while (!rq_.empty()) {
+      const QEntry e = rq_.top();
+      rq_.pop();
+      current_ = e.task;
+      ++switches_;
+      fibers_[e.task]->resume();
+      if (clocks_[e.task] > cfg_.vt_limit_ns)
+        throw TimeLimitExceeded(cfg_.vt_limit_ns);
+      if (!fibers_[e.task]->finished()) rq_.push({clocks_[e.task], e.task});
+    }
+  } catch (...) {
+    g_current_scheduler = prev;
+    current_ = -1;
+    running_ = false;
+    throw;
+  }
+  g_current_scheduler = prev;
+  current_ = -1;
+  running_ = false;
+}
+
+std::uint64_t Scheduler::makespan_ns() const {
+  std::uint64_t m = 0;
+  for (std::uint64_t c : clocks_) m = std::max(m, c);
+  return m;
+}
+
+}  // namespace upcws::sim

@@ -1,0 +1,109 @@
+// Deterministic discrete-event scheduler with a per-task virtual clock.
+//
+// Each task (one simulated UPC thread) is a fiber with its own virtual time.
+// The scheduler always resumes the runnable task with the smallest virtual
+// time (ties broken by task id), so the simulated interleaving approximates
+// a real parallel execution: a task that performs a long remote operation
+// falls behind in virtual time and the others overtake it.
+//
+// Tasks interact with the clock through:
+//   advance(ns)  — charge local time (no context switch; cheap)
+//   yield()      — interaction point: switch back so earlier tasks can run
+//
+// Algorithms model blocking as poll loops (advance + yield until a shared
+// flag changes) — which is exactly how the paper's UPC threads block, by
+// spinning on shared variables.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fiber.hpp"
+
+namespace upcws::sim {
+
+/// Thrown by run() when any task's virtual clock exceeds the configured
+/// limit — the simulator's deadlock/livelock guard (e.g. a termination
+/// protocol that never terminates).
+class TimeLimitExceeded : public std::runtime_error {
+ public:
+  explicit TimeLimitExceeded(std::uint64_t limit_ns)
+      : std::runtime_error("simulated virtual time limit exceeded"),
+        limit_ns(limit_ns) {}
+  std::uint64_t limit_ns;
+};
+
+class Scheduler {
+ public:
+  struct Config {
+    /// Abort the simulation if any virtual clock passes this (ns).
+    std::uint64_t vt_limit_ns = UINT64_MAX;
+    /// Fiber call-stack size.
+    std::size_t stack_bytes = 256 * 1024;
+  };
+
+  Scheduler() : Scheduler(Config{}) {}
+  explicit Scheduler(Config cfg);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Register a task; all tasks start at virtual time 0. Must be called
+  /// before run(). Returns the task id (0-based, dense).
+  int spawn(std::function<void()> body);
+
+  /// Run all tasks to completion. Throws TimeLimitExceeded on livelock.
+  void run();
+
+  // --- callable from inside tasks ---
+
+  /// The scheduler driving the currently running fiber on this OS thread.
+  static Scheduler& current();
+
+  /// Id of the task currently executing (valid inside run()).
+  int current_task() const { return current_; }
+
+  /// Virtual time of the current task (ns).
+  std::uint64_t now() const { return clocks_[current_]; }
+
+  /// Virtual time of an arbitrary task.
+  std::uint64_t now(int task) const { return clocks_[task]; }
+
+  /// Charge `ns` of virtual time to the current task without yielding.
+  void advance(std::uint64_t ns) { clocks_[current_] += ns; }
+
+  /// Interaction point: return control to the scheduler. The task resumes
+  /// when it once again holds the minimum virtual time.
+  void yield();
+
+  /// Largest virtual clock over all tasks after run() — the simulated
+  /// makespan of the parallel execution.
+  std::uint64_t makespan_ns() const;
+
+  /// Number of scheduler context switches performed (diagnostic).
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  struct QEntry {
+    std::uint64_t vt;
+    int task;
+    bool operator>(const QEntry& o) const {
+      return vt != o.vt ? vt > o.vt : task > o.task;
+    }
+  };
+
+  Config cfg_;
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+  std::vector<std::uint64_t> clocks_;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> rq_;
+  int current_ = -1;
+  bool running_ = false;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace upcws::sim

@@ -1,0 +1,48 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace upcws::stats {
+
+std::uint64_t LogHistogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      p * static_cast<double>(count_) + 0.5);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cum += buckets_[b];
+    if (cum >= target) {
+      // Upper bound of bucket b, clamped into the observed range.
+      const std::uint64_t hi =
+          b >= 63 ? max_ : ((std::uint64_t{1} << (b + 1)) - 1);
+      return std::min(hi, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::render(int width) const {
+  std::ostringstream os;
+  if (count_ == 0) {
+    os << "(empty histogram)\n";
+    return os.str();
+  }
+  std::uint64_t peak = 0;
+  for (auto c : buckets_) peak = std::max(peak, c);
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t lo = b == 0 ? 0 : (std::uint64_t{1} << b);
+    const std::uint64_t hi = (std::uint64_t{1} << (b + 1)) - 1;
+    const int bar = static_cast<int>(buckets_[b] * static_cast<std::uint64_t>(
+                                                       width) /
+                                     peak);
+    os << '[' << lo << ".." << hi << "] "
+       << std::string(static_cast<std::size_t>(bar), '#') << ' '
+       << buckets_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace upcws::stats

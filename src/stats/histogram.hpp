@@ -1,0 +1,65 @@
+// Power-of-two log histogram for latency/size distributions (steal sizes,
+// service gaps, stack depths). Constant-time insertion, approximate
+// percentiles, compact ASCII rendering.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace upcws::stats {
+
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Record one sample (bucket = floor(log2(v)) with v=0 in bucket 0).
+  void add(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1 || v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const LogHistogram& o) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_ > 0) {
+      if (count_ == o.count_ || o.min_ < min_) min_ = o.min_;
+      if (o.max_ > max_) max_ = o.max_;
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Approximate p-quantile (0 < p <= 1): upper bound of the bucket where
+  /// the cumulative count crosses p.
+  std::uint64_t percentile(double p) const;
+
+  /// Multi-line ASCII rendering of the non-empty buckets.
+  std::string render(int width = 40) const;
+
+ private:
+  static int bucket_of(std::uint64_t v) {
+    if (v == 0) return 0;
+    int b = 0;
+    while (v >>= 1) ++b;
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace upcws::stats

@@ -1,0 +1,92 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace upcws::trace {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kState: return "state";
+    case Kind::kStealOk: return "steal_ok";
+    case Kind::kStealFail: return "steal_fail";
+    case Kind::kRelease: return "release";
+    case Kind::kServiceGrant: return "service_grant";
+    case Kind::kServiceDeny: return "service_deny";
+  }
+  return "?";
+}
+
+Trace::Trace(int nranks) : bufs_(nranks), ends_(nranks, 0) {}
+
+std::size_t Trace::total_events() const {
+  std::size_t n = 0;
+  for (const Buf& b : bufs_) n += b.v.size();
+  return n;
+}
+
+std::vector<Event> Trace::merged() const {
+  std::vector<Event> all;
+  all.reserve(total_events());
+  for (const Buf& b : bufs_) all.insert(all.end(), b.v.begin(), b.v.end());
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.t_ns != b.t_ns ? a.t_ns < b.t_ns : a.rank < b.rank;
+  });
+  return all;
+}
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "t_ns,rank,kind,arg0,arg1\n";
+  for (const Event& e : merged())
+    os << e.t_ns << ',' << e.rank << ',' << kind_name(e.kind) << ',' << e.arg0
+       << ',' << e.arg1 << '\n';
+}
+
+void Trace::write_chrome_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+  auto us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+
+  for (int r = 0; r < nranks(); ++r) {
+    const auto& v = bufs_[r].v;
+    // State intervals.
+    const Event* prev = nullptr;
+    for (const Event& e : v) {
+      if (e.kind != Kind::kState) continue;
+      if (prev != nullptr && e.t_ns > prev->t_ns) {
+        emit("{\"name\":\"" +
+             std::string(stats::state_name(
+                 static_cast<stats::State>(prev->arg0))) +
+             "\",\"ph\":\"X\",\"ts\":" + std::to_string(us(prev->t_ns)) +
+             ",\"dur\":" + std::to_string(us(e.t_ns - prev->t_ns)) +
+             ",\"pid\":0,\"tid\":" + std::to_string(r) + "}");
+      }
+      prev = &e;
+    }
+    if (prev != nullptr && ends_[r] > prev->t_ns) {
+      emit("{\"name\":\"" +
+           std::string(
+               stats::state_name(static_cast<stats::State>(prev->arg0))) +
+           "\",\"ph\":\"X\",\"ts\":" + std::to_string(us(prev->t_ns)) +
+           ",\"dur\":" + std::to_string(us(ends_[r] - prev->t_ns)) +
+           ",\"pid\":0,\"tid\":" + std::to_string(r) + "}");
+    }
+    // Instant events for the load-balancing operations.
+    for (const Event& e : v) {
+      if (e.kind == Kind::kState) continue;
+      emit("{\"name\":\"" + std::string(kind_name(e.kind)) +
+           "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":" + std::to_string(us(e.t_ns)) +
+           ",\"pid\":0,\"tid\":" + std::to_string(r) +
+           ",\"args\":{\"peer\":" + std::to_string(e.arg0) +
+           ",\"nodes\":" + std::to_string(e.arg1) + "}}");
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace upcws::trace

@@ -1,0 +1,89 @@
+// Structured execution traces: what every rank did, when.
+//
+// When a Trace is attached to a run (WsConfig::trace), the algorithms
+// record state changes and load-balancing events with Ctx timestamps
+// (virtual ns under the simulator — so a trace of a 256-rank simulated run
+// is a faithful picture of the modeled parallel execution). Traces export
+// to CSV and to the Chrome/Perfetto trace-event JSON format
+// (chrome://tracing, https://ui.perfetto.dev) where the Figure-1 state
+// machine of every rank renders as a timeline.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "stats/stats.hpp"
+
+namespace upcws::trace {
+
+enum class Kind : std::uint8_t {
+  kState,         ///< arg0 = new stats::State
+  kStealOk,       ///< arg0 = victim rank, arg1 = nodes transferred
+  kStealFail,     ///< arg0 = victim rank
+  kRelease,       ///< arg1 = nodes released to the shared region
+  kServiceGrant,  ///< arg0 = thief rank, arg1 = nodes granted
+  kServiceDeny,   ///< arg0 = thief rank
+};
+
+const char* kind_name(Kind k);
+
+struct Event {
+  std::uint64_t t_ns = 0;
+  std::int32_t rank = 0;
+  Kind kind = Kind::kState;
+  std::int32_t arg0 = 0;
+  std::int64_t arg1 = 0;
+};
+
+/// Per-rank event buffers; each rank appends only to its own buffer, so no
+/// synchronization is needed under either engine.
+class Trace {
+ public:
+  explicit Trace(int nranks);
+
+  int nranks() const { return static_cast<int>(bufs_.size()); }
+
+  void record(int rank, Event e) { bufs_[rank].v.push_back(e); }
+
+  void state(int rank, std::uint64_t t, stats::State s) {
+    record(rank, {t, rank, Kind::kState, static_cast<std::int32_t>(s), 0});
+  }
+  void steal(int rank, std::uint64_t t, int victim, std::int64_t nodes,
+             bool ok) {
+    record(rank, {t, rank, ok ? Kind::kStealOk : Kind::kStealFail, victim,
+                  nodes});
+  }
+  void release(int rank, std::uint64_t t, std::int64_t nodes) {
+    record(rank, {t, rank, Kind::kRelease, 0, nodes});
+  }
+  void service(int rank, std::uint64_t t, int thief, std::int64_t nodes,
+               bool granted) {
+    record(rank, {t, rank, granted ? Kind::kServiceGrant : Kind::kServiceDeny,
+                  thief, nodes});
+  }
+
+  /// Mark the end of a rank's timeline (closes its last state interval).
+  void finish(int rank, std::uint64_t t) { ends_[rank] = t; }
+
+  std::size_t total_events() const;
+
+  /// All events of all ranks, sorted by (time, rank).
+  std::vector<Event> merged() const;
+
+  /// CSV: t_ns,rank,kind,arg0,arg1
+  void write_csv(std::ostream& os) const;
+
+  /// Chrome trace-event JSON: one "thread" per rank; Figure-1 states as
+  /// duration events, steals/services as instant events.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  struct Buf {
+    alignas(64) std::vector<Event> v;
+  };
+  std::vector<Buf> bufs_;
+  std::vector<std::uint64_t> ends_;
+};
+
+}  // namespace upcws::trace

@@ -1,0 +1,81 @@
+#include "uts/analysis.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "uts/tree.hpp"
+
+namespace upcws::uts {
+
+double SubtreeSample::mean() const {
+  if (sizes.empty()) return 0.0;
+  const auto total =
+      std::accumulate(sizes.begin(), sizes.end(), std::uint64_t{0});
+  return static_cast<double>(total) / static_cast<double>(sizes.size());
+}
+
+double SubtreeSample::median() const {
+  if (sizes.empty()) return 0.0;
+  std::vector<std::uint64_t> s = sizes;
+  std::nth_element(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(s.size() / 2),
+                   s.end());
+  return static_cast<double>(s[s.size() / 2]);
+}
+
+std::uint64_t SubtreeSample::max() const {
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+double SubtreeSample::top_share(std::size_t k) const {
+  if (sizes.empty()) return 0.0;
+  std::vector<std::uint64_t> s = sizes;
+  std::sort(s.begin(), s.end(), std::greater<>());
+  const auto total = std::accumulate(s.begin(), s.end(), std::uint64_t{0});
+  if (total == 0) return 0.0;
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < std::min(k, s.size()); ++i) top += s[i];
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+double SubtreeSample::leaf_fraction() const {
+  if (sizes.empty()) return 0.0;
+  const auto leaves = static_cast<double>(
+      std::count(sizes.begin(), sizes.end(), std::uint64_t{1}));
+  return leaves / static_cast<double>(sizes.size());
+}
+
+SubtreeSample sample_subtrees(const Params& p, std::size_t count,
+                              std::uint64_t budget, std::uint32_t seed0) {
+  SubtreeSample out;
+  out.sizes.reserve(count);
+  std::uint32_t seed = seed0;
+  int child_idx = 0;
+  Params q = p;
+  q.root_seed = seed;
+  Node root = make_root(q);
+  int b0 = num_children(root, q);
+
+  std::vector<Node> stack;
+  while (out.sizes.size() < count) {
+    if (child_idx >= b0) {
+      q.root_seed = ++seed;
+      root = make_root(q);
+      b0 = num_children(root, q);
+      child_idx = 0;
+      continue;
+    }
+    stack.clear();
+    stack.push_back(make_child(root, child_idx++));
+    std::uint64_t n = 0;
+    while (!stack.empty() && n < budget) {
+      const Node node = stack.back();
+      stack.pop_back();
+      ++n;
+      expand(node, q, stack);
+    }
+    out.sizes.push_back(n);  // == budget when abandoned (tail draw)
+  }
+  return out;
+}
+
+}  // namespace upcws::uts

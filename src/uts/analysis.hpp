@@ -1,0 +1,42 @@
+// Statistical analysis of UTS trees — reproduces the paper's §2
+// characterization of the workload:
+//
+//   "the distribution of subtree sizes is the same for all nodes in the
+//    search space but exhibits extreme variation ... frequent small
+//    subtrees and occasionally enormous subtrees. The expected size of the
+//    search starting from any node is the same, so there is no advantage to
+//    be gained by stealing one node over another."
+//
+// sample_subtrees() measures that distribution empirically (sizes of many
+// independent subtrees drawn from the same process), and the helpers
+// summarize its heavy tail.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "uts/params.hpp"
+
+namespace upcws::uts {
+
+struct SubtreeSample {
+  std::vector<std::uint64_t> sizes;  ///< one entry per sampled subtree
+
+  double mean() const;
+  double median() const;
+  std::uint64_t max() const;
+  /// Fraction of total sampled work contained in the largest `k` subtrees.
+  double top_share(std::size_t k) const;
+  /// Fraction of subtrees that are a single node (immediate leaves).
+  double leaf_fraction() const;
+};
+
+/// Measure the sizes of `count` independent subtrees rooted at the children
+/// of fresh root nodes drawn with seeds seed0, seed0+1, ... Each subtree is
+/// fully traversed, abandoning (and recording `budget`) if it exceeds
+/// `budget` nodes — the heavy tail makes an occasional enormous draw likely.
+SubtreeSample sample_subtrees(const Params& p, std::size_t count,
+                              std::uint64_t budget = 5'000'000,
+                              std::uint32_t seed0 = 0);
+
+}  // namespace upcws::uts

@@ -1,0 +1,36 @@
+// UTS tree node descriptor.
+//
+// A UTS tree is defined *implicitly*: a node is fully described by a 20-byte
+// SHA-1 state plus its depth, and each child's description is derived from
+// the parent's by hashing (parent state || child index). Nodes therefore
+// never need to be stored beyond the DFS stacks, and any node can be shipped
+// between threads as a small fixed-size POD — which is exactly what makes
+// UTS a pure test of dynamic load balancing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "sha1/sha1.hpp"
+
+namespace upcws::uts {
+
+/// Implicit tree node: 20-byte splittable RNG state + depth.
+/// Trivially copyable by design: work stealing moves these with memcpy-like
+/// one-sided transfers.
+struct Node {
+  std::array<std::uint8_t, sha1::kDigestBytes> state;
+  std::int32_t height = 0;
+
+  friend bool operator==(const Node& a, const Node& b) {
+    return a.height == b.height && a.state == b.state;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<Node>,
+              "UTS nodes must be memcpy-safe for one-sided transfers");
+static_assert(sizeof(Node) == 24, "UTS node layout should be 24 bytes");
+
+}  // namespace upcws::uts

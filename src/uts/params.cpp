@@ -1,0 +1,146 @@
+#include "uts/params.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace upcws::uts {
+
+double Params::expected_size() const {
+  switch (type) {
+    case TreeType::kBinomial: {
+      // Each root child starts an independent Galton-Watson process with
+      // offspring mean mu = m*q. Expected progeny per root child is
+      // 1/(1-mu) when subcritical.
+      const double mu = static_cast<double>(m) * q;
+      if (mu >= 1.0) return std::numeric_limits<double>::infinity();
+      return 1.0 + b0 / (1.0 - mu);
+    }
+    case TreeType::kGeometric:
+    case TreeType::kHybrid: {
+      // Coarse estimate: product of expected branching factors by level for
+      // the linear shape; other shapes reuse the same bound. For hybrid
+      // trees this under-counts the binomial fringe.
+      double total = 1.0, level = 1.0;
+      for (int d = 0; d < gen_mx; ++d) {
+        double bi = (d == 0) ? b0 : b0 * (1.0 - static_cast<double>(d) / gen_mx);
+        if (bi <= 0) break;
+        level *= bi;
+        total += level;
+      }
+      return total;
+    }
+  }
+  return 0.0;
+}
+
+std::string Params::describe() const {
+  std::ostringstream os;
+  switch (type) {
+    case TreeType::kBinomial:
+      os << "binomial r=" << root_seed << " b0=" << b0 << " m=" << m
+         << " q=" << q;
+      break;
+    case TreeType::kGeometric: {
+      const char* s = "linear";
+      switch (shape) {
+        case GeomShape::kLinear: s = "linear"; break;
+        case GeomShape::kExpDec: s = "expdec"; break;
+        case GeomShape::kCyclic: s = "cyclic"; break;
+        case GeomShape::kFixed: s = "fixed"; break;
+      }
+      os << "geometric(" << s << ") r=" << root_seed << " b0=" << b0
+         << " gen_mx=" << gen_mx;
+      break;
+    }
+    case TreeType::kHybrid:
+      os << "hybrid r=" << root_seed << " b0=" << b0 << " gen_mx=" << gen_mx
+         << " shift=" << shift_depth << " m=" << m << " q=" << q;
+      break;
+  }
+  return os.str();
+}
+
+Params paper_t1() {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.root_seed = 0;
+  p.b0 = 2000;
+  p.m = 2;
+  p.q = 0.5 * (1.0 - 1e-8);
+  return p;
+}
+
+Params paper_t1xxl() {
+  Params p = paper_t1();
+  p.root_seed = 559;
+  p.q = 0.5 * (1.0 - 1e-6);
+  return p;
+}
+
+Params scaled_large(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.root_seed = seed;
+  p.b0 = 2000;
+  p.m = 2;
+  p.q = 0.5 * (1.0 - 2e-4);  // expected ~5000 nodes per root child
+  return p;
+}
+
+Params scaled_bench(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.root_seed = seed;
+  p.b0 = 2000;
+  p.m = 2;
+  p.q = 0.5 * (1.0 - 1e-3);  // expected ~1000 nodes per root child
+  return p;
+}
+
+Params scaled_medium(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.root_seed = seed;
+  p.b0 = 500;
+  p.m = 2;
+  p.q = 0.5 * (1.0 - 4e-3);  // expected ~500 nodes per root child
+  return p;
+}
+
+Params test_small(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.root_seed = seed;
+  p.b0 = 64;
+  p.m = 2;
+  p.q = 0.45;  // expected 10 nodes per root child
+  return p;
+}
+
+Params hybrid_test(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kHybrid;
+  p.root_seed = seed + 1;  // as with geo_test: avoid trivial root draws
+  p.b0 = 4;
+  p.gen_mx = 8;
+  p.shift_depth = 0.5;
+  p.m = 2;
+  p.q = 0.45;
+  p.shape = GeomShape::kLinear;
+  return p;
+}
+
+Params geo_test(std::uint32_t seed) {
+  Params p;
+  p.type = TreeType::kGeometric;
+  // Seed offset picks instances whose root draw is non-trivial (the
+  // geometric root, unlike the binomial one, has no guaranteed fan-out).
+  p.root_seed = seed + 1;
+  p.b0 = 4;
+  p.gen_mx = 8;
+  p.shape = GeomShape::kLinear;
+  return p;
+}
+
+}  // namespace upcws::uts

@@ -1,0 +1,88 @@
+// UTS tree shape parameters and named presets.
+//
+// The paper's evaluation trees are binomial: the root has b0 = 2000
+// children; every other node has m = 2 children with probability q (just
+// under 1/2) and none otherwise. Expected subtree size below each root child
+// is 1/(1 - m*q), with extreme (power-law-tailed) variation — the property
+// that defeats static partitioning and work splitting.
+//
+// The geometric family from the original UTS benchmark is also implemented
+// (depth-dependent expected branching factor with several shape functions)
+// so the load balancer can be exercised on qualitatively different shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace upcws::uts {
+
+enum class TreeType {
+  kBinomial,   ///< paper's family: root b0 children; others m w.p. q else 0
+  kGeometric,  ///< branching factor geometric with depth-dependent mean
+  kHybrid,     ///< geometric above shift_depth*gen_mx, binomial below (UTS T2)
+};
+
+/// Shape of the expected branching factor b_i(d) for geometric trees.
+enum class GeomShape {
+  kLinear,  ///< b_i(d) = b0 * (1 - d / gen_mx)
+  kExpDec,  ///< b_i(d) = b0 * d^(-ln b0 / ln gen_mx)
+  kCyclic,  ///< b0^sin(2 pi d / gen_mx)-flavoured periodic bursts
+  kFixed,   ///< b_i(d) = b0 for d < gen_mx, else 0
+};
+
+struct Params {
+  TreeType type = TreeType::kBinomial;
+  std::uint32_t root_seed = 0;  ///< r: RNG seed for the root state
+  double b0 = 2000.0;           ///< root branching factor
+  // --- binomial-only ---
+  int m = 2;        ///< non-root child count when non-leaf
+  double q = 0.20;  ///< probability a non-root node is a non-leaf
+  // --- geometric-only ---
+  int gen_mx = 6;                         ///< depth horizon
+  GeomShape shape = GeomShape::kLinear;   ///< b_i(d) shape function
+  // --- hybrid-only ---
+  double shift_depth = 0.5;  ///< fraction of gen_mx where hybrid switches
+
+  /// Expected tree size (exact for binomial via branching-process algebra;
+  /// coarse for geometric). Useful for picking benchmark budgets.
+  double expected_size() const;
+
+  /// Human-readable one-line description, e.g.
+  /// "binomial r=0 b0=2000 m=2 q=0.4995".
+  std::string describe() const;
+};
+
+/// Named preset trees. The paper's 10.6 B-node ("sample") and 157 B-node
+/// trees are kept with exact paper parameters for reference; *scaled*
+/// variants with the same structure but tractable sizes are what tests and
+/// benches run (see DESIGN.md §1 on scaling substitutions).
+
+/// Paper §4.1 sample problem (≈10.6 B nodes). Exact parameters; do not run
+/// to completion on one core.
+Params paper_t1();
+
+/// Paper §4.2.2 large problem (≈157 B nodes, r=559). Reference only.
+Params paper_t1xxl();
+
+/// Scaled analogue of the paper tree: b0=2000, m=2, q=(1-2e-4)/2.
+/// Expected ≈ 10M nodes; actual instances are heavy-tailed draws
+/// (seed 0 → 4,271,913 nodes; seed 1 → 2,247,811 nodes).
+Params scaled_large(std::uint32_t seed = 0);
+
+/// Benchmark-sweep tree: b0=2000, m=2, q=(1-1e-3)/2. Expected ≈ 2M nodes
+/// (seed 0 → 1,893,387; seed 4 → 837,827; seed 5 → 518,689 nodes).
+Params scaled_bench(std::uint32_t seed = 0);
+
+/// Medium tree for quick benches: b0=500, q=(1-4e-3)/2, expected ≈ 250k.
+Params scaled_medium(std::uint32_t seed = 0);
+
+/// Small tree for tests: b0=64, q=0.45, expected ≈ 704 nodes.
+Params test_small(std::uint32_t seed = 0);
+
+/// Geometric test tree (linear shape), a few thousand nodes.
+Params geo_test(std::uint32_t seed = 0);
+
+/// Hybrid test tree (geometric top, binomial fringe), a few thousand nodes.
+Params hybrid_test(std::uint32_t seed = 0);
+
+}  // namespace upcws::uts

@@ -1,0 +1,34 @@
+#include "uts/sequential.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "uts/tree.hpp"
+
+namespace upcws::uts {
+
+std::optional<SeqResult> search_sequential(const Params& p,
+                                           std::uint64_t node_budget) {
+  SeqResult r;
+  std::vector<Node> stack;
+  stack.reserve(4096);
+  stack.push_back(make_root(p));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!stack.empty()) {
+    r.max_stack = std::max(r.max_stack, stack.size());
+    Node n = stack.back();
+    stack.pop_back();
+    ++r.nodes;
+    if (r.nodes > node_budget) return std::nullopt;
+    r.max_depth = std::max(r.max_depth, static_cast<int>(n.height));
+    const int nc = expand(n, p, stack);
+    if (nc == 0) ++r.leaves;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace upcws::uts

@@ -1,0 +1,28 @@
+// Sequential depth-first UTS traversal — the single-thread baseline of
+// paper §4.1 and the golden reference every parallel run must match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "uts/params.hpp"
+
+namespace upcws::uts {
+
+struct SeqResult {
+  std::uint64_t nodes = 0;       ///< total tree nodes visited (incl. root)
+  std::uint64_t leaves = 0;      ///< nodes with zero children
+  int max_depth = 0;             ///< deepest node height observed
+  std::size_t max_stack = 0;     ///< peak DFS stack occupancy
+  double seconds = 0.0;          ///< wall time of the traversal
+  double nodes_per_sec() const { return seconds > 0 ? nodes / seconds : 0; }
+};
+
+/// Exhaustive sequential DFS with an explicit stack.
+/// If `node_budget` is set, the traversal aborts (returns nullopt) once more
+/// than that many nodes have been visited — a guard for accidentally running
+/// the paper-scale (10^10-node) parameter sets.
+std::optional<SeqResult> search_sequential(
+    const Params& p, std::uint64_t node_budget = UINT64_MAX);
+
+}  // namespace upcws::uts

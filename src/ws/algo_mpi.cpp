@@ -1,0 +1,248 @@
+#include "ws/algo_mpi.hpp"
+
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace upcws::ws {
+namespace {
+
+using stats::State;
+
+enum Tag : int {
+  kTagRequest = 1,  ///< thief -> victim: give me work
+  kTagWork = 2,     ///< victim -> thief: payload of chunk nodes
+  kTagNone = 3,     ///< victim -> thief: request denied
+  kTagToken = 4,    ///< termination token (1-byte color payload)
+  kTagTerm = 5,     ///< rank 0 -> all: terminate
+  kTagAck = 6,      ///< thief -> victim: work payload received
+};
+
+enum Color : std::uint8_t { kWhite = 0, kBlack = 1 };
+
+class MpiWorker final : public NodeSink {
+ public:
+  MpiWorker(pgas::Ctx& ctx, mp::Comm& comm, StealStack& stack,
+            const Problem& prob, const WsConfig& cfg)
+      : ctx_(ctx),
+        comm_(comm),
+        prob_(prob),
+        cfg_(cfg),
+        me_(ctx.rank()),
+        n_(ctx.nranks()),
+        k_(static_cast<std::size_t>(cfg.chunk_size)),
+        nb_(prob.node_bytes()),
+        my_(stack) {
+    nodebuf_.resize(nb_);
+    // Rank 0 starts holding a token so it can initiate the first probe
+    // round once it goes idle.
+    if (me_ == 0) {
+      has_token_ = true;
+      token_color_ = kWhite;
+    }
+  }
+
+  stats::ThreadStats run() {
+    st_.timer.start(State::kWorking, ctx_.now_ns());
+    if (cfg_.trace != nullptr)
+      cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (me_ == 0) {
+      prob_.root(nodebuf_.data());
+      my_.push(nodebuf_.data());
+    }
+    for (;;) {
+      do_work();
+      if (!find_work()) break;
+    }
+    st_.timer.stop(ctx_.now_ns());
+    if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    return st_;
+  }
+
+  void push(const std::byte* node) override { my_.push(node); }
+
+ private:
+  void set_state(State s) {
+    const std::uint64_t t = ctx_.now_ns();
+    st_.timer.transition(s, t);
+    if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+  }
+
+  void do_work() {
+    int since_poll = 0;
+    while (my_.pop(nodebuf_.data())) {
+      visit();
+      if (++since_poll >= cfg_.poll_interval) {
+        since_poll = 0;
+        poll_while_working();
+      }
+    }
+  }
+
+  void visit() {
+    ctx_.charge_node_work();
+    ++st_.c.nodes;
+    st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
+    const int nc = prob_.expand(nodebuf_.data(), *this);
+    if (nc == 0) ++st_.c.leaves;
+    st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
+    ctx_.yield();
+  }
+
+  /// Working-state servicing: answer steal requests from the bottom of the
+  /// stack, collect acks, and buffer the token (active ranks hold it).
+  void poll_while_working() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
+      if (my_.local_size() >= 2 * k_) {
+        // Carve the oldest k local nodes and ship them.
+        my_.release(k_);
+        const std::size_t begin = my_.reserve(k_);
+        comm_.send(ctx_, m.src, kTagWork, my_.slot(begin), k_ * nb_);
+        my_.maybe_compact();
+        color_ = kBlack;  // we re-activated someone: current round invalid
+        ++outstanding_acks_;
+        ++st_.c.requests_serviced;
+        ++st_.c.releases;
+        if (cfg_.trace != nullptr)
+          cfg_.trace->service(me_, ctx_.now_ns(), m.src,
+                              static_cast<std::int64_t>(k_), true);
+      } else {
+        comm_.send(ctx_, m.src, kTagNone);
+        ++st_.c.requests_denied;
+        if (cfg_.trace != nullptr)
+          cfg_.trace->service(me_, ctx_.now_ns(), m.src, 0, false);
+      }
+    }
+    drain_acks_and_token();
+  }
+
+  void drain_acks_and_token() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagAck, m)) --outstanding_acks_;
+    if (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+      has_token_ = true;
+      token_color_ = static_cast<Color>(m.payload.at(0));
+    }
+  }
+
+  /// Idle-state message handling: deny requests, process acks, and run the
+  /// token-ring termination rules. Returns true when TERMINATE arrives (or
+  /// rank 0 decides termination).
+  bool idle_comm() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
+      comm_.send(ctx_, m.src, kTagNone);
+      ++st_.c.requests_denied;
+    }
+    drain_acks_and_token();
+    if (comm_.try_recv(ctx_, mp::kAny, kTagTerm, m)) return true;
+
+    // Token rules (EWD840 with the ack hardening): only a passive rank with
+    // no unacknowledged transfers may handle the token.
+    if (has_token_ && outstanding_acks_ == 0) {
+      if (me_ == 0) {
+        if (round_started_ && token_color_ == kWhite && color_ == kWhite) {
+          for (int r = 1; r < n_; ++r) comm_.send(ctx_, r, kTagTerm);
+          return true;
+        }
+        round_started_ = true;
+        color_ = kWhite;
+        has_token_ = false;
+        const std::uint8_t c = kWhite;
+        comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+      } else {
+        const std::uint8_t c = (color_ == kBlack) ? kBlack : token_color_;
+        color_ = kWhite;
+        has_token_ = false;
+        comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+      }
+    }
+    return false;
+  }
+
+  /// Token travels "down": 0 -> n-1 -> n-2 -> ... -> 1 -> 0.
+  int ring_next() const { return me_ == 0 ? n_ - 1 : me_ - 1; }
+
+  bool find_work() {
+    if (n_ == 1) {
+      // Sole rank: run the token protocol to completion for uniformity.
+      set_state(State::kTermination);
+      while (!idle_comm()) ctx_.yield();
+      return false;
+    }
+    set_state(State::kSearching);
+    std::uniform_int_distribution<int> pick(0, n_ - 2);
+    for (;;) {
+      if (idle_comm()) return false;
+      // Choose a random victim (skip self).
+      int v = pick(ctx_.rng());
+      if (v >= me_) ++v;
+      ++st_.c.probes;
+      ++st_.c.steal_attempts;
+      comm_.send(ctx_, v, kTagRequest);
+      set_state(State::kStealing);
+      // Await that victim's answer, staying responsive meanwhile.
+      for (;;) {
+        mp::Message m;
+        if (comm_.try_recv(ctx_, v, kTagWork, m)) {
+          absorb(m);
+          set_state(State::kWorking);
+          return true;
+        }
+        if (comm_.try_recv(ctx_, v, kTagNone, m)) {
+          ++st_.c.failed_steals;
+          break;
+        }
+        if (idle_comm()) return false;
+        ctx_.yield();
+      }
+      set_state(State::kSearching);
+      ctx_.yield();
+    }
+  }
+
+  void absorb(const mp::Message& m) {
+    const std::size_t take = m.payload.size() / nb_;
+    for (std::size_t i = 0; i < take; ++i)
+      my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) + i * nb_);
+    comm_.send(ctx_, m.src, kTagAck);
+    ++st_.c.steals;
+    st_.steal_sizes.add(take);
+    if (cfg_.trace != nullptr)
+      cfg_.trace->steal(me_, ctx_.now_ns(), m.src,
+                        static_cast<std::int64_t>(take), true);
+    st_.c.chunks_stolen += take / k_;
+    st_.c.nodes_stolen += take;
+  }
+
+  pgas::Ctx& ctx_;
+  mp::Comm& comm_;
+  const Problem& prob_;
+  const WsConfig& cfg_;
+  const int me_;
+  const int n_;
+  const std::size_t k_;
+  const std::size_t nb_;
+  StealStack& my_;
+  stats::ThreadStats st_;
+  std::vector<std::byte> nodebuf_;
+
+  Color color_ = kWhite;
+  Color token_color_ = kWhite;
+  bool has_token_ = false;
+  bool round_started_ = false;
+  int outstanding_acks_ = 0;
+};
+
+}  // namespace
+
+stats::ThreadStats run_mpi_rank(pgas::Ctx& ctx, mp::Comm& comm,
+                                StealStack& stack, const Problem& prob,
+                                const WsConfig& cfg) {
+  MpiWorker w(ctx, comm, stack, prob, cfg);
+  return w.run();
+}
+
+}  // namespace upcws::ws

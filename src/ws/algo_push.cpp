@@ -1,0 +1,203 @@
+#include "ws/algo_push.hpp"
+
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace upcws::ws {
+namespace {
+
+using stats::State;
+
+enum Tag : int {
+  kTagWork = 2,   ///< pusher -> target: payload of chunk nodes
+  kTagToken = 4,  ///< termination token (1-byte color payload)
+  kTagTerm = 5,   ///< rank 0 -> all: terminate
+  kTagAck = 6,    ///< target -> pusher: work payload received
+};
+
+enum Color : std::uint8_t { kWhite = 0, kBlack = 1 };
+
+class PushWorker final : public NodeSink {
+ public:
+  PushWorker(pgas::Ctx& ctx, mp::Comm& comm, StealStack& stack,
+             const Problem& prob, const WsConfig& cfg)
+      : ctx_(ctx),
+        comm_(comm),
+        prob_(prob),
+        cfg_(cfg),
+        me_(ctx.rank()),
+        n_(ctx.nranks()),
+        k_(static_cast<std::size_t>(cfg.chunk_size)),
+        nb_(prob.node_bytes()),
+        my_(stack) {
+    nodebuf_.resize(nb_);
+    if (me_ == 0) {
+      has_token_ = true;
+      token_color_ = kWhite;
+    }
+  }
+
+  stats::ThreadStats run() {
+    st_.timer.start(State::kWorking, ctx_.now_ns());
+    if (cfg_.trace != nullptr)
+      cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (me_ == 0) {
+      prob_.root(nodebuf_.data());
+      my_.push(nodebuf_.data());
+    }
+    for (;;) {
+      do_work();
+      if (!wait_for_work()) break;
+    }
+    st_.timer.stop(ctx_.now_ns());
+    if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    return st_;
+  }
+
+  void push(const std::byte* node) override { my_.push(node); }
+
+ private:
+  void set_state(State s) {
+    const std::uint64_t t = ctx_.now_ns();
+    st_.timer.transition(s, t);
+    if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+  }
+
+  void do_work() {
+    int since_poll = 0;
+    int since_push = 0;
+    while (my_.pop(nodebuf_.data())) {
+      visit();
+      ++since_push;
+      if (++since_poll >= cfg_.poll_interval) {
+        since_poll = 0;
+        drain_inbox();
+      }
+      if (since_push >= cfg_.push_interval &&
+          my_.local_size() >= 2 * k_ + 1 && n_ > 1) {
+        since_push = 0;
+        push_chunk();
+      }
+    }
+  }
+
+  void visit() {
+    ctx_.charge_node_work();
+    ++st_.c.nodes;
+    st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
+    const int nc = prob_.expand(nodebuf_.data(), *this);
+    if (nc == 0) ++st_.c.leaves;
+    st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
+    ctx_.yield();
+  }
+
+  /// Ship the oldest local chunk to a uniformly random other rank,
+  /// solicited by nobody — the defining move of the pushing policy.
+  void push_chunk() {
+    std::uniform_int_distribution<int> pick(0, n_ - 2);
+    int target = pick(ctx_.rng());
+    if (target >= me_) ++target;
+    my_.release(k_);
+    const std::size_t begin = my_.reserve(k_);
+    comm_.send(ctx_, target, kTagWork, my_.slot(begin), k_ * nb_);
+    my_.maybe_compact();
+    color_ = kBlack;
+    ++outstanding_acks_;
+    ++st_.c.releases;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->release(me_, ctx_.now_ns(), static_cast<std::int64_t>(k_));
+  }
+
+  /// Absorb any pushed work that has arrived; ack it. Also buffers the
+  /// token and counts acks.
+  void drain_inbox() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagWork, m)) {
+      const std::size_t take = m.payload.size() / nb_;
+      for (std::size_t i = 0; i < take; ++i)
+        my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) +
+                 i * nb_);
+      comm_.send(ctx_, m.src, kTagAck);
+      ++st_.c.steals;
+    st_.steal_sizes.add(take);  // counted as received transfers
+      st_.c.nodes_stolen += take;
+      st_.c.chunks_stolen += take / k_;
+    }
+    while (comm_.try_recv(ctx_, mp::kAny, kTagAck, m)) --outstanding_acks_;
+    if (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+      has_token_ = true;
+      token_color_ = static_cast<Color>(m.payload.at(0));
+    }
+  }
+
+  int ring_next() const { return me_ == 0 ? n_ - 1 : me_ - 1; }
+
+  /// Idle loop: poll for pushed work; run the token protocol meanwhile.
+  /// Returns true when work arrived, false on termination.
+  bool wait_for_work() {
+    set_state(State::kSearching);
+    for (;;) {
+      drain_inbox();
+      if (my_.local_size() > 0) {
+        set_state(State::kWorking);
+        return true;
+      }
+      mp::Message m;
+      if (comm_.try_recv(ctx_, mp::kAny, kTagTerm, m)) {
+        set_state(State::kTermination);
+        return false;
+      }
+      if (has_token_ && outstanding_acks_ == 0) {
+        if (me_ == 0) {
+          if (round_started_ && token_color_ == kWhite && color_ == kWhite) {
+            for (int r = 1; r < n_; ++r) comm_.send(ctx_, r, kTagTerm);
+            set_state(State::kTermination);
+            return false;
+          }
+          round_started_ = true;
+          color_ = kWhite;
+          has_token_ = false;
+          const std::uint8_t c = kWhite;
+          comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+        } else {
+          const std::uint8_t c = (color_ == kBlack) ? kBlack : token_color_;
+          color_ = kWhite;
+          has_token_ = false;
+          comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+        }
+      }
+      ctx_.yield();
+    }
+  }
+
+  pgas::Ctx& ctx_;
+  mp::Comm& comm_;
+  const Problem& prob_;
+  const WsConfig& cfg_;
+  const int me_;
+  const int n_;
+  const std::size_t k_;
+  const std::size_t nb_;
+  StealStack& my_;
+  stats::ThreadStats st_;
+  std::vector<std::byte> nodebuf_;
+
+  Color color_ = kWhite;
+  Color token_color_ = kWhite;
+  bool has_token_ = false;
+  bool round_started_ = false;
+  int outstanding_acks_ = 0;
+};
+
+}  // namespace
+
+stats::ThreadStats run_push_rank(pgas::Ctx& ctx, mp::Comm& comm,
+                                 StealStack& stack, const Problem& prob,
+                                 const WsConfig& cfg) {
+  PushWorker w(ctx, comm, stack, prob, cfg);
+  return w.run();
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,522 @@
+#include "ws/algo_upc.hpp"
+
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+namespace upcws::ws {
+namespace {
+
+using stats::State;
+
+class UpcWorker final : public NodeSink {
+ public:
+  UpcWorker(pgas::Ctx& ctx, SharedState& g, const Problem& prob,
+            const WsConfig& cfg)
+      : ctx_(ctx),
+        g_(g),
+        prob_(prob),
+        cfg_(cfg),
+        me_(ctx.rank()),
+        n_(ctx.nranks()),
+        k_(static_cast<std::size_t>(cfg.chunk_size)),
+        nb_(prob.node_bytes()),
+        my_(g.stacks[me_]) {
+    nodebuf_.resize(nb_);
+    perm_.resize(n_ > 1 ? n_ - 1 : 0);
+    int v = 0;
+    for (int i = 0; i < n_; ++i)
+      if (i != me_) perm_[v++] = i;
+  }
+
+  stats::ThreadStats run() {
+    st_.timer.start(State::kWorking, ctx_.now_ns());
+    if (cfg_.trace != nullptr)
+      cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (me_ == 0) {
+      prob_.root(nodebuf_.data());
+      my_.push(nodebuf_.data());
+    }
+    for (;;) {
+      do_work();
+      publish_idle();
+      if (!find_work()) break;
+    }
+    st_.timer.stop(ctx_.now_ns());
+    if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    return st_;
+  }
+
+  // NodeSink: children of the node being visited land on the local region.
+  void push(const std::byte* node) override { my_.push(node); }
+
+ private:
+  void set_state(State s) {
+    const std::uint64_t t = ctx_.now_ns();
+    st_.timer.transition(s, t);
+    if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+  }
+
+  bool lockless() const {
+    return cfg_.protocol == StackProtocol::kRequestResponse;
+  }
+  bool steal_half() const { return cfg_.steal_amount == StealAmount::kHalf; }
+  bool probe_term() const {
+    return cfg_.termination == Termination::kProbeBarrier;
+  }
+
+  // ---- work_avail publication (owner-local stores) ----
+
+  /// Record a work-source status flip of `stk` (paper §3.3.2 analysis).
+  void note_avail(StealStack& stk, std::int64_t avail) {
+    const bool src = avail >= static_cast<std::int64_t>(k_);
+    if (stk.set_source_flag(src))
+      st_.source_events.push_back({ctx_.now_ns(), src ? +1 : -1});
+  }
+
+  void publish_avail() {
+    ctx_.charge(ctx_.net().local_ref_ns);
+    const auto v = static_cast<std::int64_t>(my_.shared_size());
+    my_.work_avail().store(v, std::memory_order_release);
+    note_avail(my_, v);
+  }
+
+  void publish_idle() {
+    // In the locked family a thief may concurrently write our work_avail
+    // (it updates the count under our stack lock when it reserves a chunk).
+    // The idle marker must serialize through the same lock, or a stale "0"
+    // from a thief could overwrite our "-1" and convince every searcher
+    // that someone is still working — a termination livelock.
+    std::optional<pgas::LockGuard> guard;
+    if (!lockless()) guard.emplace(ctx_, my_.lock());
+    ctx_.charge(ctx_.net().local_ref_ns);
+    my_.work_avail().store(probe_term() ? kNoWorkAtAll : 0,
+                           std::memory_order_release);
+    note_avail(my_, 0);
+  }
+
+  // ---- working state ----
+
+  void do_work() {
+    int since_poll = 0;
+    for (;;) {
+      if (!my_.pop(nodebuf_.data())) {
+        if (!reacquire_chunk()) break;  // stack completely empty
+        continue;
+      }
+      visit();
+      if (lockless() && ++since_poll >= cfg_.poll_interval) {
+        since_poll = 0;
+        service_requests();
+      }
+    }
+  }
+
+  void visit() {
+    ctx_.charge_node_work();
+    ++st_.c.nodes;
+    st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
+    const int nc = prob_.expand(nodebuf_.data(), *this);
+    if (nc == 0) ++st_.c.leaves;
+    st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
+    while (my_.local_size() >=
+           static_cast<std::size_t>(cfg_.release_threshold) * k_)
+      do_release();
+    ctx_.yield();
+  }
+
+  void do_release() {
+    {
+      // In the lock-less protocol the owner exclusively manages its stack;
+      // otherwise the boundary move must exclude concurrent thieves.
+      std::optional<pgas::LockGuard> guard;
+      if (!lockless()) guard.emplace(ctx_, my_.lock());
+      my_.release(k_);
+      publish_avail();
+      my_.maybe_compact();
+    }
+    ++st_.c.releases;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->release(me_, ctx_.now_ns(),
+                          static_cast<std::int64_t>(k_));
+    if (cfg_.termination == Termination::kCancelableBarrier)
+      cancel_barrier_reset();
+  }
+
+  bool reacquire_chunk() {
+    if (my_.shared_size() < k_) return false;
+    {
+      std::optional<pgas::LockGuard> guard;
+      if (!lockless()) guard.emplace(ctx_, my_.lock());
+      // Re-check under the lock: a thief may have taken the chunk between
+      // the unlocked pre-check and the acquisition.
+      if (my_.shared_size() >= k_) {
+        my_.reacquire(k_);
+        publish_avail();
+      }
+    }
+    ++st_.c.reacquires;
+    return my_.local_size() > 0;
+  }
+
+  /// §3.1: "After each release() operation, the cancelable barrier is reset
+  /// by the thread releasing work. This is a remote operation, and it delays
+  /// a thread that might otherwise be doing useful work. Furthermore,
+  /// barrier operations are performed under lock" — the very overhead
+  /// §3.3.1 eliminates. Faithfully unconditional: every release pays the
+  /// remote lock cycle on rank 0's barrier lock.
+  void cancel_barrier_reset() {
+    pgas::LockGuard guard(ctx_, g_.cb_lock);
+    if (ctx_.get(g_.cb_count, 0) > 0) ctx_.put(g_.cb_cancel, 0, 1);
+  }
+
+  // ---- lock-less request servicing (victim side, §3.3.3) ----
+
+  void service_requests() {
+    ctx_.charge_poll();
+    const int req = g_.slots[me_].steal_request.load(std::memory_order_acquire);
+    if (req == kNoRequest) return;
+    const std::int64_t chunks =
+        static_cast<std::int64_t>(my_.shared_size() / k_);
+    if (chunks < 1) {
+      ++st_.c.requests_denied;
+      if (cfg_.trace != nullptr)
+        cfg_.trace->service(me_, ctx_.now_ns(), req, 0, false);
+      // One remote write tells the thief it was denied.
+      ctx_.put(g_.slots[req].resp_amount, req, std::int64_t{0});
+    } else {
+      const std::int64_t take_chunks =
+          steal_half() ? std::max<std::int64_t>(1, chunks / 2) : 1;
+      const std::size_t take = static_cast<std::size_t>(take_chunks) * k_;
+      const std::size_t begin = my_.reserve(take);
+      publish_avail();
+      auto& box = g_.slots[me_].outbox[req];
+      box.resize(take * nb_);
+      std::memcpy(box.data(), my_.slot(begin), take * nb_);
+      ctx_.charge(ctx_.net().local_ref_ns);  // local staging copy
+      my_.maybe_compact();
+      ++st_.c.requests_serviced;
+      if (cfg_.trace != nullptr)
+        cfg_.trace->service(me_, ctx_.now_ns(), req,
+                            static_cast<std::int64_t>(take), true);
+      // Two remote writes: the amount granted and the work's location.
+      ctx_.put(g_.slots[req].resp_amount, req,
+               static_cast<std::int64_t>(take));
+      ctx_.charge_ref(req);
+    }
+    ctx_.charge(ctx_.net().local_ref_ns);
+    g_.slots[me_].steal_request.store(kNoRequest, std::memory_order_release);
+  }
+
+  // ---- searching / stealing ----
+
+  std::int64_t probe(int v) {
+    ++st_.c.probes;
+    return ctx_.get(g_.stacks[v].work_avail(), v);
+  }
+
+  bool attempt_steal(int v) {
+    ++st_.c.steal_attempts;
+    const bool ok = lockless() ? steal_reqresp(v) : steal_locked(v);
+    if (!ok) ++st_.c.failed_steals;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->steal(me_, ctx_.now_ns(), v,
+                        ok ? static_cast<std::int64_t>(last_take_) : 0, ok);
+    return ok;
+  }
+
+  /// §3.1 steal: lock the victim's stack, reserve a chunk run, unlock, then
+  /// transfer outside the critical section with a one-sided get.
+  bool steal_locked(int v) {
+    StealStack& vs = g_.stacks[v];
+    std::size_t take = 0, begin = 0;
+    {
+      pgas::LockGuard guard(ctx_, vs.lock());
+      ctx_.charge_ref(v);  // read the victim's region bookkeeping
+      const std::int64_t chunks =
+          static_cast<std::int64_t>(vs.shared_size() / k_);
+      if (chunks >= 1) {
+        const std::int64_t take_chunks =
+            steal_half() ? std::max<std::int64_t>(1, chunks / 2) : 1;
+        take = static_cast<std::size_t>(take_chunks) * k_;
+        begin = vs.reserve(take);
+        const auto left = static_cast<std::int64_t>(vs.shared_size());
+        ctx_.put(vs.work_avail(), v, left);
+        note_avail(vs, left);
+        vs.begin_transfer();
+      }
+    }
+    if (take == 0) return false;
+    xfer_.resize(take * nb_);
+    ctx_.bulk_get(xfer_.data(), vs.slot(begin), take * nb_, v);
+    vs.end_transfer();
+    ctx_.charge_ref(v);  // remote completion notice for the in-flight count
+    absorb(take);
+    return true;
+  }
+
+  /// §3.3.3 steal: CAS our id into the victim's request word, spin on our
+  /// own (local) response word, then one-sided-get the granted run.
+  bool steal_reqresp(int v) {
+    auto& mine = g_.slots[me_];
+    ctx_.charge(ctx_.net().local_ref_ns);
+    mine.resp_amount.store(kRespPending, std::memory_order_release);
+    int expect = kNoRequest;
+    if (!ctx_.cas(g_.slots[v].steal_request, v, expect, me_))
+      return false;  // another thief got there first; move on
+    for (;;) {
+      ctx_.charge_poll();
+      const std::int64_t a = mine.resp_amount.load(std::memory_order_acquire);
+      if (a == 0) return false;  // denied
+      if (a > 0) {
+        const std::size_t take = static_cast<std::size_t>(a);
+        xfer_.resize(take * nb_);
+        ctx_.bulk_get(xfer_.data(), g_.slots[v].outbox[me_].data(), take * nb_,
+                      v);
+        absorb(take);
+        return true;
+      }
+      // Pending. Keep global liveness while we wait: deny steal requests
+      // aimed at us, and abandon the wait if termination was announced
+      // (the victim may have exited without seeing our request).
+      if (lockless()) service_requests();
+      if (probe_term() &&
+          g_.slots[me_].term_flag.load(std::memory_order_acquire))
+        return false;  // caller re-checks the flag and exits
+      ctx_.yield();
+    }
+  }
+
+  void absorb(std::size_t take) {
+    last_take_ = take;
+    st_.steal_sizes.add(take);
+    for (std::size_t i = 0; i < take; ++i) my_.push(xfer_.data() + i * nb_);
+    ++st_.c.steals;
+    st_.c.chunks_stolen += take / k_;
+    st_.c.nodes_stolen += take;
+    publish_avail();  // we are working again; shared region is empty
+  }
+
+  void shuffle_perm() {
+    std::shuffle(perm_.begin(), perm_.end(), ctx_.rng());
+    if (cfg_.locality_first) {
+      // Stable partition keeps each group's random order while trying
+      // same-node victims (cheap refs) before off-node ones.
+      std::stable_partition(perm_.begin(), perm_.end(), [&](int v) {
+        return ctx_.net().same_node(me_, v);
+      });
+    }
+  }
+
+  // ---- termination policies ----
+
+  bool find_work() {
+    if (n_ == 1) {
+      // Single rank: out of work means done; still run the barrier protocol
+      // once so its counters behave uniformly.
+      return cfg_.termination == Termination::kCancelableBarrier
+                 ? !single_rank_done_cb()
+                 : !single_rank_done_probe();
+    }
+    return cfg_.termination == Termination::kCancelableBarrier
+               ? find_work_cb()
+               : find_work_probe();
+  }
+
+  bool single_rank_done_cb() {
+    set_state(State::kTermination);
+    ++st_.c.barrier_entries;
+    return cancelable_barrier();  // count hits 1 == n -> done
+  }
+
+  bool single_rank_done_probe() {
+    set_state(State::kTermination);
+    ++st_.c.barrier_entries;
+    ctx_.add(g_.bar_count, 0, 1);
+    announce_termination();
+    return true;
+  }
+
+  /// §3.1 search loop: cycle victims; if a whole cycle fails, wait in the
+  /// cancelable barrier and retry when cancelled.
+  bool find_work_cb() {
+    set_state(State::kSearching);
+    for (;;) {
+      shuffle_perm();
+      for (int v : perm_) {
+        if (probe(v) >= static_cast<std::int64_t>(k_)) {
+          set_state(State::kStealing);
+          if (attempt_steal(v)) {
+            set_state(State::kWorking);
+            return true;
+          }
+          set_state(State::kSearching);
+        }
+        if (lockless()) service_requests();
+        ctx_.yield();
+      }
+      set_state(State::kTermination);
+      ++st_.c.barrier_entries;
+      if (cancelable_barrier()) return false;
+      set_state(State::kSearching);
+    }
+  }
+
+  /// §3.1 cancelable barrier. Returns true when global termination was
+  /// detected (count reached nranks), false when cancelled by new work.
+  bool cancelable_barrier() {
+    {
+      pgas::LockGuard guard(ctx_, g_.cb_lock);
+      const int cnt = ctx_.get(g_.cb_count, 0) + 1;
+      ctx_.put(g_.cb_count, 0, cnt);
+      if (cnt == n_) ctx_.put(g_.cb_done, 0, 1);
+    }
+
+    // Remote spin on the done/cancel flags (all owned by rank 0) — the
+    // §3.1 cost center on distributed memory.
+    for (;;) {
+      if (ctx_.get(g_.cb_done, 0) != 0) break;
+      if (ctx_.get(g_.cb_cancel, 0) != 0) break;
+      if (lockless()) service_requests();
+      ctx_.yield();
+    }
+
+    bool done = false;
+    {
+      pgas::LockGuard guard(ctx_, g_.cb_lock);
+      done = ctx_.get(g_.cb_done, 0) != 0;
+      if (!done) {
+        ctx_.put(g_.cb_count, 0, ctx_.get(g_.cb_count, 0) - 1);
+        ctx_.put(g_.cb_cancel, 0, 0);
+      }
+    }
+    return done;
+  }
+
+  /// §3.3.1 search loop: a full probe cycle distinguishing "working, no
+  /// surplus" (0) from "no work at all" (-1); enter the barrier only when
+  /// every other rank reports the latter.
+  bool find_work_probe() {
+    set_state(State::kSearching);
+    for (;;) {
+      shuffle_perm();
+      bool any_working = false;
+      for (int v : perm_) {
+        if (check_term_flag()) return false;
+        const std::int64_t a = probe(v);
+        if (a >= static_cast<std::int64_t>(k_)) {
+          set_state(State::kStealing);
+          if (attempt_steal(v)) {
+            set_state(State::kWorking);
+            return true;
+          }
+          set_state(State::kSearching);
+        } else if (a != kNoWorkAtAll) {
+          any_working = true;  // working, just no surplus published yet
+        }
+        if (lockless()) service_requests();
+        ctx_.yield();
+      }
+      if (!any_working) {
+        const int r = barrier_probe();
+        if (r == 1) return false;
+        set_state(State::kWorking);
+        return true;
+      }
+    }
+  }
+
+  /// §3.3.1 barrier with in-barrier probing of a single victim.
+  /// Returns 1 on termination, 0 if work was stolen while waiting.
+  int barrier_probe() {
+    set_state(State::kTermination);
+    ++st_.c.barrier_entries;
+    int cnt = ctx_.add(g_.bar_count, 0, 1) + 1;
+    if (cnt == n_) {
+      announce_termination();
+      return 1;
+    }
+    std::uniform_int_distribution<int> pick(0, n_ - 2);
+    for (;;) {
+      if (check_term_flag()) return 1;
+      const int v = perm_[pick(ctx_.rng())];
+      const std::int64_t a = probe(v);
+      if (a >= static_cast<std::int64_t>(k_)) {
+        // Leave the barrier *before* stealing so that bar_count == nranks
+        // really implies no thread holds or is acquiring work.
+        ctx_.add(g_.bar_count, 0, -1);
+        set_state(State::kStealing);
+        if (attempt_steal(v)) return 0;
+        set_state(State::kTermination);
+        cnt = ctx_.add(g_.bar_count, 0, 1) + 1;
+        if (cnt == n_) {
+          announce_termination();
+          return 1;
+        }
+      }
+      if (lockless()) service_requests();
+      ctx_.yield();
+    }
+  }
+
+  /// Local check of our own flag; on announcement, forward down the tree.
+  bool check_term_flag() {
+    ctx_.charge_poll();
+    if (g_.slots[me_].term_flag.load(std::memory_order_acquire) == 0)
+      return false;
+    forward_announcement();
+    return true;
+  }
+
+  /// §3.3.1: the last thread into the barrier launches a tree-based
+  /// termination announcement rooted at itself.
+  void announce_termination() {
+    int expect = -1;
+    ctx_.cas(g_.term_root, 0, expect, me_);  // idempotent: first root wins
+    ctx_.charge(ctx_.net().local_ref_ns);
+    g_.slots[me_].term_flag.store(1, std::memory_order_release);
+    forward_announcement();
+  }
+
+  /// Propagate the announcement to our children in the binomial tree
+  /// rooted at term_root.
+  void forward_announcement() {
+    const int root = ctx_.get(g_.term_root, 0);
+    const int pos = (me_ - root + n_) % n_;
+    for (int c : {2 * pos + 1, 2 * pos + 2}) {
+      if (c < n_) {
+        const int dst = (root + c) % n_;
+        ctx_.put(g_.slots[dst].term_flag, dst, 1);
+      }
+    }
+  }
+
+  pgas::Ctx& ctx_;
+  SharedState& g_;
+  const Problem& prob_;
+  const WsConfig& cfg_;
+  const int me_;
+  const int n_;
+  const std::size_t k_;
+  const std::size_t nb_;
+  StealStack& my_;
+  stats::ThreadStats st_;
+  std::vector<std::byte> nodebuf_;
+  std::vector<std::byte> xfer_;
+  std::vector<int> perm_;
+  std::size_t last_take_ = 0;  // nodes moved by the most recent steal
+};
+
+}  // namespace
+
+stats::ThreadStats run_upc_rank(pgas::Ctx& ctx, SharedState& g,
+                                const Problem& prob, const WsConfig& cfg) {
+  UpcWorker w(ctx, g, prob, cfg);
+  return w.run();
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,21 @@
+// The UPC work-stealing algorithm family (paper §3.1 and §3.3).
+//
+// One implementation covers the four UPC labels of Figure 3 through the
+// orthogonal WsConfig switches (stack protocol, steal amount, termination);
+// see ws/config.hpp for the mapping.
+#pragma once
+
+#include "pgas/engine.hpp"
+#include "stats/stats.hpp"
+#include "ws/config.hpp"
+#include "ws/problem.hpp"
+#include "ws/shared_state.hpp"
+
+namespace upcws::ws {
+
+/// Run one rank of the UPC algorithm to termination. Called from the SPMD
+/// body on every rank; returns that rank's statistics.
+stats::ThreadStats run_upc_rank(pgas::Ctx& ctx, SharedState& g,
+                                const Problem& prob, const WsConfig& cfg);
+
+}  // namespace upcws::ws

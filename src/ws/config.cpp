@@ -1,0 +1,54 @@
+#include "ws/config.hpp"
+
+namespace upcws::ws {
+
+const char* algo_label(Algo a) {
+  switch (a) {
+    case Algo::kUpcSharedMem: return "upc-sharedmem";
+    case Algo::kUpcTerm: return "upc-term";
+    case Algo::kUpcTermRapdif: return "upc-term-rapdif";
+    case Algo::kUpcDistMem: return "upc-distmem";
+    case Algo::kMpiWs: return "mpi-ws";
+    case Algo::kWorkPush: return "work-push";
+  }
+  return "?";
+}
+
+WsConfig WsConfig::for_algo(Algo a, int chunk_size) {
+  WsConfig c;
+  c.chunk_size = chunk_size;
+  switch (a) {
+    case Algo::kUpcSharedMem:
+      c.protocol = StackProtocol::kLocked;
+      c.steal_amount = StealAmount::kOneChunk;
+      c.termination = Termination::kCancelableBarrier;
+      break;
+    case Algo::kUpcTerm:
+      c.protocol = StackProtocol::kLocked;
+      c.steal_amount = StealAmount::kOneChunk;
+      c.termination = Termination::kProbeBarrier;
+      break;
+    case Algo::kUpcTermRapdif:
+      c.protocol = StackProtocol::kLocked;
+      c.steal_amount = StealAmount::kHalf;
+      c.termination = Termination::kProbeBarrier;
+      break;
+    case Algo::kUpcDistMem:
+      c.protocol = StackProtocol::kRequestResponse;
+      c.steal_amount = StealAmount::kHalf;
+      c.termination = Termination::kProbeBarrier;
+      break;
+    case Algo::kMpiWs:
+      c.steal_amount = StealAmount::kOneChunk;
+      c.termination = Termination::kToken;
+      break;
+    case Algo::kWorkPush:
+      c.steal_amount = StealAmount::kOneChunk;
+      c.termination = Termination::kToken;
+      c.push_based = true;
+      break;
+  }
+  return c;
+}
+
+}  // namespace upcws::ws

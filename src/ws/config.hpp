@@ -1,0 +1,117 @@
+// Algorithm selection and tuning knobs.
+//
+// The five labels of the paper's Figure 3 map onto three orthogonal choices
+// (plus the message-passing baseline):
+//
+//   label            stack protocol     steal amount   termination
+//   --------------   ----------------   ------------   --------------------
+//   upc-sharedmem    locked             one chunk      cancelable barrier
+//   upc-term         locked             one chunk      probe-then-barrier
+//   upc-term-rapdif  locked             half chunks    probe-then-barrier
+//   upc-distmem      request/response   half chunks    probe-then-barrier
+//   mpi-ws           message passing    one chunk      Dijkstra-style token
+//
+// WsConfig exposes the choices independently so ablation benches can also
+// evaluate off-diagonal combinations.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace upcws::trace {
+class Trace;
+}
+
+namespace upcws::ws {
+
+enum class Algo {
+  kUpcSharedMem,
+  kUpcTerm,
+  kUpcTermRapdif,
+  kUpcDistMem,
+  kMpiWs,
+  /// Extension (not in the paper's Figure 3): randomized work *pushing* in
+  /// the spirit of Chakrabarti & Yelick (paper ref [16]) — workers push
+  /// surplus chunks to random targets; idle threads wait. A baseline that
+  /// shows why the paper bets on stealing for unbalanced trees.
+  kWorkPush,
+};
+
+/// Figure-3 label for an algorithm ("work-push" for the extension).
+const char* algo_label(Algo a);
+
+/// The paper's five Figure-3 algorithms, in improvements-ladder order.
+inline constexpr Algo kAllAlgos[] = {
+    Algo::kUpcSharedMem, Algo::kUpcTerm, Algo::kUpcTermRapdif,
+    Algo::kUpcDistMem, Algo::kMpiWs};
+
+/// All implemented algorithms, including extensions.
+inline constexpr Algo kAllAlgosExtended[] = {
+    Algo::kUpcSharedMem, Algo::kUpcTerm, Algo::kUpcTermRapdif,
+    Algo::kUpcDistMem, Algo::kMpiWs, Algo::kWorkPush};
+
+enum class StealAmount {
+  kOneChunk,  ///< steal exactly one chunk (§3.1)
+  kHalf,      ///< steal half the available chunks, min 1 (§3.3.2)
+};
+
+enum class StackProtocol {
+  kLocked,           ///< thieves lock the victim's shared region (§3.1)
+  kRequestResponse,  ///< lock-less: victim polls a request word (§3.3.3)
+};
+
+enum class Termination {
+  kCancelableBarrier,  ///< §3.1: barrier that releases cancel on new work
+  kProbeBarrier,       ///< §3.3.1: enter barrier only when all appear idle
+  kToken,              ///< §3.2: Dijkstra-style token ring (mpi-ws only)
+};
+
+struct WsConfig {
+  /// Chunk size k: nodes moved per release/reacquire/steal granule.
+  int chunk_size = 20;
+
+  /// Release a chunk to the shared region when the local region holds at
+  /// least `release_threshold * chunk_size` nodes (paper: 2k, "a
+  /// comfortable stack depth").
+  int release_threshold = 2;
+
+  /// Nodes visited between polls of the steal-request word (lock-less
+  /// protocol) or the message queue (mpi-ws).
+  int poll_interval = 1;
+
+  StealAmount steal_amount = StealAmount::kOneChunk;
+  StackProtocol protocol = StackProtocol::kLocked;
+  Termination termination = Termination::kCancelableBarrier;
+
+  /// §6.2 future-work extension: probe victims on the same SMP node before
+  /// probing off-node (the bupc_thread_distance() idea). Only meaningful
+  /// with a hierarchical NetModel topology.
+  bool locality_first = false;
+
+  /// Selects the work-pushing baseline instead of request/response stealing
+  /// when termination == kToken (set by for_algo(Algo::kWorkPush)).
+  bool push_based = false;
+
+  /// Work-push only: a worker pushes at most one chunk per this many nodes
+  /// visited (and only while it holds at least 2 chunks of surplus).
+  int push_interval = 32;
+
+  /// Optional execution trace sink (state changes + load-balancing events);
+  /// see trace/trace.hpp. Not owned; must outlive the run.
+  trace::Trace* trace = nullptr;
+
+  /// Derive the paper's configuration for a Figure-3 label.
+  static WsConfig for_algo(Algo a, int chunk_size = 20);
+
+  /// Throws std::invalid_argument on nonsensical settings.
+  void validate() const {
+    if (chunk_size < 1) throw std::invalid_argument("chunk_size < 1");
+    if (release_threshold < 2)
+      throw std::invalid_argument(
+          "release_threshold < 2 (release must leave >= k local nodes)");
+    if (poll_interval < 1) throw std::invalid_argument("poll_interval < 1");
+  }
+};
+
+}  // namespace upcws::ws

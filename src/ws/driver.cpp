@@ -1,0 +1,142 @@
+#include "ws/driver.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "mp/comm.hpp"
+#include "ws/algo_mpi.hpp"
+#include "ws/algo_push.hpp"
+#include "ws/algo_upc.hpp"
+#include "ws/shared_state.hpp"
+
+namespace upcws::ws {
+
+SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
+                        const Problem& prob, const WsConfig& cfg,
+                        double seq_nodes_per_sec) {
+  cfg.validate();
+  if (rcfg.nranks < 1) throw std::invalid_argument("nranks < 1");
+
+  SearchResult result;
+  result.per_thread.resize(rcfg.nranks);
+  std::vector<stats::ThreadStats>& per_thread = result.per_thread;
+
+  if (cfg.termination == Termination::kToken) {
+    mp::Comm comm(rcfg.nranks);
+    // mpi-ws keeps a purely local stack per rank.
+    std::vector<StealStack> stacks(rcfg.nranks);
+    for (int r = 0; r < rcfg.nranks; ++r)
+      stacks[r].init(prob.node_bytes(), r);
+    result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
+      per_thread[ctx.rank()] =
+          cfg.push_based
+              ? run_push_rank(ctx, comm, stacks[ctx.rank()], prob, cfg)
+              : run_mpi_rank(ctx, comm, stacks[ctx.rank()], prob, cfg);
+    });
+  } else {
+    SharedState g(rcfg.nranks, prob.node_bytes());
+    if (cfg.termination == Termination::kProbeBarrier) {
+      // Ranks without work advertise "no work at all" from the start so the
+      // streamlined termination probe sees a consistent encoding.
+      for (int r = 1; r < rcfg.nranks; ++r)
+        g.stacks[r].work_avail().store(kNoWorkAtAll,
+                                       std::memory_order_relaxed);
+    }
+    result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
+      per_thread[ctx.rank()] = run_upc_rank(ctx, g, prob, cfg);
+    });
+  }
+
+  const double seq_rate =
+      seq_nodes_per_sec > 0.0
+          ? seq_nodes_per_sec
+          : 1e9 / static_cast<double>(rcfg.net.work_ns_per_node);
+  result.agg = stats::aggregate(per_thread, result.run.elapsed_s, seq_rate);
+  return result;
+}
+
+namespace {
+
+/// Plain per-rank DFS over an explicit stack, no balancing.
+class StaticRank final : public NodeSink {
+ public:
+  StaticRank(pgas::Ctx& ctx, const Problem& prob) : ctx_(ctx), prob_(prob) {
+    stack_.init(prob.node_bytes(), ctx.rank());
+    nodebuf_.resize(prob.node_bytes());
+  }
+
+  stats::ThreadStats run() {
+    st_.timer.start(stats::State::kWorking, ctx_.now_ns());
+    // Expand the root on every rank (cheap, once), keep our share of its
+    // children. The root itself is credited to rank 0.
+    std::vector<std::byte> root(prob_.node_bytes());
+    prob_.root(root.data());
+    keep_modulo_ = true;
+    child_idx_ = 0;
+    prob_.expand(root.data(), *this);
+    keep_modulo_ = false;
+    if (ctx_.rank() == 0) {
+      ctx_.charge_node_work();
+      ++st_.c.nodes;
+    }
+    while (stack_.pop(nodebuf_.data())) {
+      ctx_.charge_node_work();
+      ++st_.c.nodes;
+      st_.c.max_depth =
+          std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
+      if (prob_.expand(nodebuf_.data(), *this) == 0) ++st_.c.leaves;
+      st_.c.max_stack =
+          std::max<std::uint64_t>(st_.c.max_stack, stack_.depth());
+      ctx_.yield();
+    }
+    st_.timer.stop(ctx_.now_ns());
+    return st_;
+  }
+
+  void push(const std::byte* node) override {
+    if (keep_modulo_ &&
+        (child_idx_++ % ctx_.nranks()) != ctx_.rank())
+      return;  // someone else's share of the root fan-out
+    stack_.push(node);
+  }
+
+ private:
+  pgas::Ctx& ctx_;
+  const Problem& prob_;
+  StealStack stack_;
+  stats::ThreadStats st_;
+  std::vector<std::byte> nodebuf_;
+  bool keep_modulo_ = false;
+  int child_idx_ = 0;
+};
+
+}  // namespace
+
+SearchResult run_static_partition(pgas::Engine& engine,
+                                  const pgas::RunConfig& rcfg,
+                                  const Problem& prob,
+                                  double seq_nodes_per_sec) {
+  if (rcfg.nranks < 1) throw std::invalid_argument("nranks < 1");
+  SearchResult result;
+  result.per_thread.resize(rcfg.nranks);
+  std::vector<stats::ThreadStats>& per_thread = result.per_thread;
+  result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
+    StaticRank r(ctx, prob);
+    per_thread[ctx.rank()] = r.run();
+  });
+  const double seq_rate =
+      seq_nodes_per_sec > 0.0
+          ? seq_nodes_per_sec
+          : 1e9 / static_cast<double>(rcfg.net.work_ns_per_node);
+  result.agg = stats::aggregate(per_thread, result.run.elapsed_s, seq_rate);
+  return result;
+}
+
+SearchResult run_algo(pgas::Engine& engine, const pgas::RunConfig& rcfg,
+                      Algo algo, const Problem& prob, int chunk_size,
+                      double seq_nodes_per_sec) {
+  return run_search(engine, rcfg, prob, WsConfig::for_algo(algo, chunk_size),
+                    seq_nodes_per_sec);
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,75 @@
+// The "global address space" of one work-stealing run: everything that is
+// shared between ranks, with an explicit affinity for cost accounting.
+//
+// Affinities follow the paper's UPC program:
+//   * each steal stack (and its lock and work_avail word) lives at its owner
+//   * the cancelable-barrier variables and the barrier counter live at rank 0
+//     (which is why spinning on them from other ranks is expensive — §3.1)
+//   * each rank's termination flag, steal-request word, and steal-response
+//     word live at that rank (so spinning on one's *own* flag is cheap —
+//     the point of §3.3.1's tree announcement and §3.3.3's local polling)
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pgas/engine.hpp"
+#include "ws/stealstack.hpp"
+
+namespace upcws::ws {
+
+/// work_avail encoding (paper §3.3.1): a rank with no work at all publishes
+/// kNoWorkAtAll; a working rank with an empty shared region publishes 0;
+/// otherwise the number of stealable nodes.
+inline constexpr std::int64_t kNoWorkAtAll = -1;
+
+/// steal_request: rank id of the requesting thief, or kNoRequest.
+inline constexpr int kNoRequest = -1;
+
+/// steal response word: kRespPending until the victim answers with the node
+/// count granted (0 = denied).
+inline constexpr std::int64_t kRespPending = -1;
+
+/// Per-rank protocol slots for the lock-less request/response steal (§3.3.3)
+/// and the tree-based termination announcement (§3.3.1).
+struct alignas(64) RankSlots {
+  /// Thieves CAS their rank here; the owner polls it locally.
+  std::atomic<int> steal_request{kNoRequest};
+
+  /// This rank's *own* pending steal response, written remotely by its
+  /// victim (amount granted); the thief spins on it locally.
+  std::atomic<std::int64_t> resp_amount{kRespPending};
+
+  /// Termination-announcement flag; each rank spins on its own.
+  std::atomic<int> term_flag{0};
+
+  /// Outboxes: outbox[thief] is filled by this rank (as victim) and then
+  /// read by `thief` with a one-sided get. A thief never issues a new
+  /// request before consuming its previous grant, so one buffer per thief
+  /// suffices.
+  std::vector<std::vector<std::byte>> outbox;
+};
+
+struct SharedState {
+  SharedState(int nranks, std::size_t node_bytes);
+
+  int nranks;
+  std::size_t node_bytes;
+
+  std::vector<StealStack> stacks;
+  std::vector<RankSlots> slots;
+
+  // --- cancelable barrier (§3.1); affinity rank 0 ---
+  pgas::Lock cb_lock;
+  std::atomic<int> cb_count{0};
+  std::atomic<int> cb_cancel{0};
+  std::atomic<int> cb_done{0};
+
+  // --- probe-then-barrier termination (§3.3.1); affinity rank 0 ---
+  std::atomic<int> bar_count{0};
+  std::atomic<int> term_root{-1};
+};
+
+}  // namespace upcws::ws

@@ -1,0 +1,73 @@
+#include "ws/stealstack.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace upcws::ws {
+
+namespace {
+/// Compact once the dead prefix exceeds this many nodes.
+constexpr std::size_t kCompactThresholdNodes = 8192;
+}  // namespace
+
+void StealStack::init(std::size_t node_bytes, int owner) {
+  node_bytes_ = node_bytes;
+  owner_ = owner;
+  lock_.owner = owner;
+  buf_.reserve(1024 * node_bytes_);
+}
+
+void StealStack::ensure_capacity(std::size_t nodes) {
+  const std::size_t need = nodes * node_bytes_;
+  if (buf_.size() < need) buf_.resize(std::max(need, buf_.size() * 2));
+}
+
+void StealStack::push(const std::byte* node) {
+  ensure_capacity(top_ + 1);
+  std::memcpy(buf_.data() + top_ * node_bytes_, node, node_bytes_);
+  ++top_;
+  peak_ = std::max<std::uint64_t>(peak_, depth());
+}
+
+bool StealStack::pop(std::byte* out) {
+  if (top_ == local_) return false;
+  --top_;
+  std::memcpy(out, buf_.data() + top_ * node_bytes_, node_bytes_);
+  return true;
+}
+
+void StealStack::release(std::size_t k) {
+  assert(local_size() >= k);
+  local_ += k;
+}
+
+void StealStack::reacquire(std::size_t k) {
+  assert(shared_size() >= k);
+  local_ -= k;
+}
+
+std::size_t StealStack::reserve(std::size_t nodes) {
+  assert(shared_size() >= nodes);
+  const std::size_t begin = shared_base_.load(std::memory_order_relaxed);
+  shared_base_.store(begin + nodes, std::memory_order_relaxed);
+  return begin;
+}
+
+void StealStack::maybe_compact() {
+  if (inflight_.load(std::memory_order_acquire) != 0) return;
+  const std::size_t base = shared_base_.load(std::memory_order_relaxed);
+  if (top_ == base) {
+    shared_base_.store(0, std::memory_order_relaxed);
+    local_ = top_ = 0;
+    return;
+  }
+  if (base < kCompactThresholdNodes) return;
+  const std::size_t live = top_ - base;
+  std::memmove(buf_.data(), buf_.data() + base * node_bytes_,
+               live * node_bytes_);
+  local_ -= base;
+  top_ -= base;
+  shared_base_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,26 @@
+#include "ws/tuner.hpp"
+
+#include <stdexcept>
+
+#include "ws/driver.hpp"
+
+namespace upcws::ws {
+
+TuneResult tune_chunk(pgas::Engine& engine, const pgas::RunConfig& rcfg,
+                      Algo algo, const Problem& prob,
+                      const std::vector<int>& candidates) {
+  if (candidates.empty())
+    throw std::invalid_argument("tune_chunk: no candidates");
+  TuneResult out;
+  for (int k : candidates) {
+    const SearchResult r = run_algo(engine, rcfg, algo, prob, k);
+    out.rates.emplace_back(k, r.agg.nodes_per_sec);
+    if (r.agg.nodes_per_sec > out.best_nodes_per_sec) {
+      out.best_nodes_per_sec = r.agg.nodes_per_sec;
+      out.best_chunk = k;
+    }
+  }
+  return out;
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,32 @@
+// Chunk-size tuning — "the performance of UTS at different choices of chunk
+// size is of primary interest to users of the benchmark" (paper §2). The
+// sweet spot depends on the interconnect (latency pushes it up) and the
+// thread count (contention narrows it), so the library ships a measured
+// tuner rather than a magic constant.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "pgas/engine.hpp"
+#include "ws/config.hpp"
+#include "ws/problem.hpp"
+
+namespace upcws::ws {
+
+struct TuneResult {
+  int best_chunk = 0;
+  double best_nodes_per_sec = 0.0;
+  /// (chunk, nodes/s) for every candidate, in candidate order.
+  std::vector<std::pair<int, double>> rates;
+};
+
+/// Run one full search per candidate chunk size and return the fastest.
+/// Deterministic for a given engine/config/problem. Note the cost: this
+/// measures real (or simulated) complete runs — tune on a representative
+/// smaller instance, then reuse the chunk size at scale.
+TuneResult tune_chunk(pgas::Engine& engine, const pgas::RunConfig& rcfg,
+                      Algo algo, const Problem& prob,
+                      const std::vector<int>& candidates);
+
+}  // namespace upcws::ws

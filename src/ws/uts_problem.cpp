@@ -1,0 +1,31 @@
+#include "ws/uts_problem.hpp"
+
+#include <cstring>
+
+#include "uts/tree.hpp"
+
+namespace upcws::ws {
+
+void UtsProblem::root(std::byte* out) const {
+  const uts::Node r = uts::make_root(params_);
+  std::memcpy(out, &r, sizeof(r));
+}
+
+int UtsProblem::expand(const std::byte* node, NodeSink& sink) const {
+  uts::Node n;
+  std::memcpy(&n, node, sizeof(n));
+  const int nc = uts::num_children(n, params_);
+  for (int i = 0; i < nc; ++i) {
+    const uts::Node c = uts::make_child(n, i);
+    sink.push(reinterpret_cast<const std::byte*>(&c));
+  }
+  return nc;
+}
+
+int UtsProblem::depth(const std::byte* node) const {
+  uts::Node n;
+  std::memcpy(&n, node, sizeof(n));
+  return n.height;
+}
+
+}  // namespace upcws::ws

@@ -1,0 +1,25 @@
+// UTS as a ws::Problem — the paper's workload.
+#pragma once
+
+#include "uts/node.hpp"
+#include "uts/params.hpp"
+#include "ws/problem.hpp"
+
+namespace upcws::ws {
+
+class UtsProblem final : public Problem {
+ public:
+  explicit UtsProblem(uts::Params params) : params_(params) {}
+
+  std::size_t node_bytes() const override { return sizeof(uts::Node); }
+  void root(std::byte* out) const override;
+  int expand(const std::byte* node, NodeSink& sink) const override;
+  int depth(const std::byte* node) const override;
+
+  const uts::Params& params() const { return params_; }
+
+ private:
+  uts::Params params_;
+};
+
+}  // namespace upcws::ws

@@ -1,0 +1,136 @@
+// GlobalArray (UPC shared array) tests: layouts, affinity, atomic updates,
+// local-access discipline, forall iteration, cost accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "pgas/global_array.hpp"
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+
+namespace {
+
+using namespace upcws::pgas;
+
+TEST(GlobalArrayTest, CyclicOwnership) {
+  GlobalArray<int> a(10, 3, Layout::kCyclic);
+  EXPECT_EQ(a.owner(0), 0);
+  EXPECT_EQ(a.owner(1), 1);
+  EXPECT_EQ(a.owner(2), 2);
+  EXPECT_EQ(a.owner(3), 0);
+  EXPECT_EQ(a.owner(9), 0);
+}
+
+TEST(GlobalArrayTest, BlockedOwnership) {
+  GlobalArray<int> a(10, 3, Layout::kBlocked);  // block = ceil(10/3) = 4
+  EXPECT_EQ(a.owner(0), 0);
+  EXPECT_EQ(a.owner(3), 0);
+  EXPECT_EQ(a.owner(4), 1);
+  EXPECT_EQ(a.owner(7), 1);
+  EXPECT_EQ(a.owner(8), 2);
+  EXPECT_EQ(a.owner(9), 2);
+}
+
+TEST(GlobalArrayTest, GetPutRoundTrip) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 4;
+  GlobalArray<std::int64_t> a(16, 4);
+  eng.run(cfg, [&](Ctx& c) {
+    // Everyone writes its rank into its own elements, reads neighbours'.
+    a.forall_local(c, [&](std::size_t i) {
+      a.put(c, i, static_cast<std::int64_t>(c.rank()));
+    });
+  });
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_EQ(a.read_raw(i), a.owner(i));
+}
+
+TEST(GlobalArrayTest, FetchAddIsAtomicUnderThreads) {
+  ThreadEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 8;
+  cfg.net = NetModel::free();
+  GlobalArray<std::int64_t> a(4, 8);
+  eng.run(cfg, [&](Ctx& c) {
+    for (int i = 0; i < 1000; ++i)
+      a.fetch_add(c, static_cast<std::size_t>(i % 4), 1);
+  });
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < 4; ++i) total += a.read_raw(i);
+  EXPECT_EQ(total, 8000);
+}
+
+TEST(GlobalArrayTest, LocalAccessRequiresAffinity) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  GlobalArray<int> a(4, 2, Layout::kCyclic);
+  int throws = 0;
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() == 0) {
+      a.local_put(c, 0, 7);  // element 0 is rank 0's
+      try {
+        a.local_put(c, 1, 9);  // element 1 is rank 1's
+      } catch (const std::logic_error&) {
+        ++throws;
+      }
+    }
+  });
+  EXPECT_EQ(throws, 1);
+  EXPECT_EQ(a.read_raw(0), 7);
+}
+
+TEST(GlobalArrayTest, ForallCoversExactlyOnce) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 5;
+  for (Layout layout : {Layout::kCyclic, Layout::kBlocked}) {
+    GlobalArray<int> a(23, 5, layout);
+    eng.run(cfg, [&](Ctx& c) {
+      a.forall_local(c, [&](std::size_t i) {
+        a.fetch_add(c, i, 1);
+        EXPECT_EQ(a.owner(i), c.rank());
+      });
+    });
+    for (std::size_t i = 0; i < 23; ++i)
+      EXPECT_EQ(a.read_raw(i), 1) << "layout miss at " << i;
+  }
+}
+
+TEST(GlobalArrayTest, RemoteCostsMoreThanLocal) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  cfg.net = NetModel::distributed();
+  GlobalArray<int> a(2, 2, Layout::kCyclic);
+  std::uint64_t local_cost = 0, remote_cost = 0;
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() != 0) return;
+    auto t0 = c.now_ns();
+    (void)a.get(c, 0);  // mine
+    local_cost = c.now_ns() - t0;
+    t0 = c.now_ns();
+    (void)a.get(c, 1);  // rank 1's
+    remote_cost = c.now_ns() - t0;
+  });
+  EXPECT_EQ(local_cost, cfg.net.local_ref_ns);
+  EXPECT_GE(remote_cost, cfg.net.remote_ref_ns);
+}
+
+TEST(GlobalArrayTest, StructElements) {
+  struct P {
+    float x, y;
+  };
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  GlobalArray<P> a(4, 2);
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() == 0) a.put(c, 2, P{1.5f, -2.5f});
+  });
+  EXPECT_EQ(a.read_raw(2).x, 1.5f);
+  EXPECT_EQ(a.read_raw(2).y, -2.5f);
+}
+
+}  // namespace

@@ -1,0 +1,36 @@
+// Golden tree sizes: the named benchmark instances are part of the
+// repository's contract (EXPERIMENTS.md quotes them); any change to the
+// SHA-1 core, the RNG derivation, or the generators must show up here.
+#include <gtest/gtest.h>
+
+#include "uts/sequential.hpp"
+
+namespace {
+
+using namespace upcws::uts;
+
+TEST(GoldenTrees, ScaledBenchSeed5) {
+  const auto r = search_sequential(scaled_bench(5));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->nodes, 518689u);
+  EXPECT_EQ(r->max_depth, 1479);
+  EXPECT_EQ(r->max_stack, 2115u);
+}
+
+TEST(GoldenTrees, ScaledBenchSeed4) {
+  const auto r = search_sequential(scaled_bench(4));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->nodes, 837827u);
+  EXPECT_EQ(r->max_depth, 1263);
+}
+
+// Larger instances, excluded from the default run (~4 s): run with
+// --gtest_also_run_disabled_tests to check the full set.
+TEST(GoldenTrees, DISABLED_LargeInstances) {
+  EXPECT_EQ(search_sequential(scaled_bench(0))->nodes, 1893387u);
+  EXPECT_EQ(search_sequential(scaled_bench(1))->nodes, 1302799u);
+  EXPECT_EQ(search_sequential(scaled_large(0))->nodes, 4271913u);
+  EXPECT_EQ(search_sequential(scaled_large(1))->nodes, 2247811u);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// End-to-end correctness: for every algorithm, engine, thread count, chunk
+// size, and tree, the parallel traversal must count exactly the nodes the
+// sequential traversal counts (the UTS acceptance criterion).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+std::uint64_t seq_count(const uts::Params& p) {
+  static std::map<std::string, std::uint64_t> cache;
+  const std::string key = p.describe();
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const auto r = uts::search_sequential(p);
+  EXPECT_TRUE(r.has_value());
+  cache[key] = r->nodes;
+  return r->nodes;
+}
+
+struct Case {
+  ws::Algo algo;
+  int nranks;
+  int chunk;
+};
+
+std::string case_name(const testing::TestParamInfo<Case>& info) {
+  std::string s = ws::algo_label(info.param.algo);
+  for (auto& ch : s)
+    if (ch == '-') ch = '_';
+  return s + "_r" + std::to_string(info.param.nranks) + "_k" +
+         std::to_string(info.param.chunk);
+}
+
+class AlgoSim : public testing::TestWithParam<Case> {};
+
+TEST_P(AlgoSim, CountsMatchSequential) {
+  const Case c = GetParam();
+  const uts::Params tree = uts::test_small(3);
+  const ws::UtsProblem prob(tree);
+
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = c.nranks;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.seed = 11;
+  const auto res = ws::run_algo(eng, rcfg, c.algo, prob, c.chunk);
+  EXPECT_EQ(res.total_nodes(), seq_count(tree))
+      << "algorithm lost or duplicated nodes";
+  EXPECT_GT(res.run.elapsed_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, AlgoSim,
+    testing::Values(
+        // every algorithm at a few rank counts and chunk sizes
+        Case{ws::Algo::kUpcSharedMem, 1, 4}, Case{ws::Algo::kUpcSharedMem, 2, 4},
+        Case{ws::Algo::kUpcSharedMem, 8, 4}, Case{ws::Algo::kUpcSharedMem, 8, 1},
+        Case{ws::Algo::kUpcSharedMem, 16, 2},
+        Case{ws::Algo::kUpcTerm, 1, 4}, Case{ws::Algo::kUpcTerm, 2, 4},
+        Case{ws::Algo::kUpcTerm, 8, 4}, Case{ws::Algo::kUpcTerm, 8, 1},
+        Case{ws::Algo::kUpcTerm, 16, 2},
+        Case{ws::Algo::kUpcTermRapdif, 1, 4}, Case{ws::Algo::kUpcTermRapdif, 2, 4},
+        Case{ws::Algo::kUpcTermRapdif, 8, 4}, Case{ws::Algo::kUpcTermRapdif, 8, 1},
+        Case{ws::Algo::kUpcTermRapdif, 16, 2},
+        Case{ws::Algo::kUpcDistMem, 1, 4}, Case{ws::Algo::kUpcDistMem, 2, 4},
+        Case{ws::Algo::kUpcDistMem, 8, 4}, Case{ws::Algo::kUpcDistMem, 8, 1},
+        Case{ws::Algo::kUpcDistMem, 16, 2},
+        Case{ws::Algo::kMpiWs, 1, 4}, Case{ws::Algo::kMpiWs, 2, 4},
+        Case{ws::Algo::kMpiWs, 8, 4}, Case{ws::Algo::kMpiWs, 8, 1},
+        Case{ws::Algo::kMpiWs, 16, 2}),
+    case_name);
+
+class AlgoThreads : public testing::TestWithParam<Case> {};
+
+TEST_P(AlgoThreads, CountsMatchSequentialUnderRealThreads) {
+  const Case c = GetParam();
+  const uts::Params tree = uts::test_small(5);
+  const ws::UtsProblem prob(tree);
+
+  pgas::ThreadEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = c.nranks;
+  rcfg.net = pgas::NetModel::free();
+  rcfg.seed = 23;
+  const auto res = ws::run_algo(eng, rcfg, c.algo, prob, c.chunk);
+  EXPECT_EQ(res.total_nodes(), seq_count(tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgos, AlgoThreads,
+    testing::Values(Case{ws::Algo::kUpcSharedMem, 4, 2},
+                    Case{ws::Algo::kUpcTerm, 4, 2},
+                    Case{ws::Algo::kUpcTermRapdif, 4, 2},
+                    Case{ws::Algo::kUpcDistMem, 4, 2},
+                    Case{ws::Algo::kMpiWs, 4, 2},
+                    Case{ws::Algo::kUpcSharedMem, 8, 1},
+                    Case{ws::Algo::kUpcDistMem, 8, 1},
+                    Case{ws::Algo::kMpiWs, 8, 1}),
+    case_name);
+
+TEST(IntegrationSeeds, EveryAlgoManySeeds) {
+  // Property sweep: multiple tree seeds, all algorithms, sim engine.
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 6;
+  rcfg.net = pgas::NetModel::distributed();
+  for (std::uint32_t seed = 0; seed < 4; ++seed) {
+    const uts::Params tree = uts::test_small(seed);
+    const ws::UtsProblem prob(tree);
+    const std::uint64_t want = seq_count(tree);
+    for (ws::Algo a : ws::kAllAlgos) {
+      rcfg.seed = seed + 100;
+      const auto res = ws::run_algo(eng, rcfg, a, prob, 3);
+      EXPECT_EQ(res.total_nodes(), want)
+          << ws::algo_label(a) << " tree seed " << seed;
+    }
+  }
+}
+
+TEST(IntegrationDeterminism, SimRunsAreExactlyReproducible) {
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.seed = 5;
+  const ws::UtsProblem prob(uts::test_small(1));
+  const auto a = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 4);
+  const auto b = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 4);
+  EXPECT_EQ(a.run.elapsed_s, b.run.elapsed_s);
+  EXPECT_EQ(a.agg.total_steals, b.agg.total_steals);
+  EXPECT_EQ(a.agg.total_probes, b.agg.total_probes);
+  for (int r = 0; r < rcfg.nranks; ++r)
+    EXPECT_EQ(a.per_thread[r].c.nodes, b.per_thread[r].c.nodes) << r;
+}
+
+TEST(IntegrationBalance, WorkActuallySpreads) {
+  // On a reasonably large tree, no rank should end up with everything: the
+  // whole point of the load balancer.
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  const uts::Params tree = uts::scaled_medium(1);
+  const ws::UtsProblem prob(tree);
+  const auto res = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 8);
+  EXPECT_EQ(res.total_nodes(), seq_count(tree));
+  const double mean =
+      static_cast<double>(res.total_nodes()) / rcfg.nranks;
+  for (int r = 0; r < rcfg.nranks; ++r) {
+    EXPECT_GT(res.per_thread[r].c.nodes, mean * 0.05)
+        << "rank " << r << " did almost no work";
+  }
+  EXPECT_GT(res.agg.total_steals, 0u);
+}
+
+}  // namespace

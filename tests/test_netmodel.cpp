@@ -1,0 +1,89 @@
+// NetModel profile and topology tests.
+#include <gtest/gtest.h>
+
+#include "pgas/netmodel.hpp"
+#include "pgas/sim_engine.hpp"
+
+namespace {
+
+using namespace upcws::pgas;
+
+TEST(NetModelProfiles, DistributedIsOneRankPerNode) {
+  const NetModel m = NetModel::distributed();
+  EXPECT_EQ(m.threads_per_node, 1);
+  EXPECT_FALSE(m.same_node(0, 1));
+  EXPECT_TRUE(m.same_node(3, 3));
+  EXPECT_GT(m.remote_ref_ns, 10 * m.on_node_ref_ns / 2);
+  EXPECT_GT(m.remote_ref_ns, 100 * m.local_ref_ns);
+}
+
+TEST(NetModelProfiles, SharedMemoryHasNoOffNodeTier) {
+  const NetModel m = NetModel::shared_memory();
+  EXPECT_EQ(m.remote_ref_ns, m.on_node_ref_ns);
+  EXPECT_TRUE(m.same_node(0, 100000));
+}
+
+TEST(NetModelProfiles, HierarchicalGroupsRanks) {
+  const NetModel m = NetModel::hierarchical(8);
+  EXPECT_TRUE(m.same_node(0, 7));
+  EXPECT_FALSE(m.same_node(7, 8));
+  EXPECT_TRUE(m.same_node(8, 15));
+  EXPECT_EQ(m.ref_ns(0, 7), m.on_node_ref_ns);
+  EXPECT_EQ(m.ref_ns(0, 8), m.remote_ref_ns);
+  // Degenerate tpn is clamped.
+  EXPECT_EQ(NetModel::hierarchical(0).threads_per_node, 1);
+}
+
+TEST(NetModelProfiles, FreeModelIsNearZeroButLive) {
+  const NetModel m = NetModel::free();
+  EXPECT_EQ(m.ref_ns(0, 5), 0u);
+  EXPECT_GE(m.poll_ns, 1u) << "poll must advance virtual time";
+  EXPECT_EQ(m.bulk_ns(0, 1, 1 << 20), 0u);
+}
+
+TEST(NetModelProfiles, PaperCostRelationHolds) {
+  // §3.3.3: "the cost of the interfering remote locking operations is
+  // typically an order of magnitude greater than the cost of a shared
+  // variable reference". A remote lock cycle is >= 3 remote refs (acquire
+  // attempt, release, plus contention), a local shared ref is local_ref_ns.
+  const NetModel m = NetModel::distributed();
+  EXPECT_GE(3 * m.remote_ref_ns, 10 * m.poll_ns);
+  EXPECT_GE(m.remote_ref_ns / m.local_ref_ns, 100u);
+}
+
+TEST(NetModelJitter, BoundsRespected) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 1;
+  cfg.net = NetModel::distributed();
+  cfg.net.jitter_frac = 0.5;
+  eng.run(cfg, [&](Ctx& c) {
+    for (int i = 0; i < 200; ++i) {
+      const auto j = c.jittered(1000);
+      EXPECT_GE(j, 1000u);
+      EXPECT_LT(j, 1500u);
+    }
+    EXPECT_EQ(c.jittered(0), 0u);
+  });
+  cfg.net.jitter_frac = 0.0;
+  eng.run(cfg, [&](Ctx& c) { EXPECT_EQ(c.jittered(1234), 1234u); });
+}
+
+TEST(NetModelStraggler, OnlyTargetRankSlowed) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 3;
+  cfg.net = NetModel::distributed();
+  cfg.net.straggler_rank = 1;
+  cfg.net.straggler_work_factor = 4.0;
+  std::vector<std::uint64_t> cost(3, 0);
+  eng.run(cfg, [&](Ctx& c) {
+    const auto t0 = c.now_ns();
+    for (int i = 0; i < 10; ++i) c.charge_node_work();
+    cost[c.rank()] = c.now_ns() - t0;
+  });
+  EXPECT_EQ(cost[0], cost[2]);
+  EXPECT_EQ(cost[1], 4 * cost[0]);
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// PGAS engine tests: cost-model arithmetic, lock semantics and cost
+// accounting under both engines, shared-word helpers, and determinism of
+// simulated runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "pgas/engine.hpp"
+#include "pgas/netmodel.hpp"
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+
+namespace {
+
+using namespace upcws::pgas;
+
+TEST(NetModel, RefCostTiers) {
+  NetModel m = NetModel::hierarchical(4);
+  m.local_ref_ns = 1;
+  m.on_node_ref_ns = 100;
+  m.remote_ref_ns = 1000;
+  EXPECT_EQ(m.ref_ns(2, 2), 1u);     // self
+  EXPECT_EQ(m.ref_ns(0, 3), 100u);   // same node (0..3)
+  EXPECT_EQ(m.ref_ns(0, 4), 1000u);  // across nodes
+}
+
+TEST(NetModel, BulkAddsBandwidthTerm) {
+  NetModel m = NetModel::distributed();
+  const auto lat_only = m.bulk_ns(0, 1, 0);
+  EXPECT_EQ(lat_only, m.remote_ref_ns);
+  const auto big = m.bulk_ns(0, 1, 8000);
+  EXPECT_EQ(big, m.remote_ref_ns +
+                     static_cast<std::uint64_t>(8000 / m.bytes_per_ns));
+}
+
+TEST(NetModel, SharedMemoryProfileHasOneTier) {
+  const NetModel m = NetModel::shared_memory();
+  EXPECT_EQ(m.ref_ns(0, 511), m.on_node_ref_ns);
+  EXPECT_TRUE(m.same_node(0, 1000));
+}
+
+TEST(SimEngineTest, RanksSeeCorrectIdentity) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 7;
+  std::vector<int> seen(7, -1);
+  eng.run(cfg, [&](Ctx& c) {
+    EXPECT_EQ(c.nranks(), 7);
+    seen[c.rank()] = c.rank();
+  });
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(SimEngineTest, ElapsedIsMakespan) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 3;
+  eng.run(cfg, [&](Ctx& c) {
+    c.charge(1000 * static_cast<std::uint64_t>(c.rank() + 1));
+  });
+  // Ranks charge 1000/2000/3000 ns; makespan 3000 ns.
+  const auto res = eng.run(cfg, [&](Ctx& c) {
+    c.charge(1000 * static_cast<std::uint64_t>(c.rank() + 1));
+  });
+  EXPECT_DOUBLE_EQ(res.elapsed_s, 3e-6);
+}
+
+TEST(SimEngineTest, RemoteRefsCostMoreThanLocal) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  cfg.net = NetModel::distributed();
+  std::atomic<std::uint64_t> t_local{0}, t_remote{0};
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() == 0) {
+      const auto a = c.now_ns();
+      c.charge_ref(0);
+      t_local = c.now_ns() - a;
+      const auto b = c.now_ns();
+      c.charge_ref(1);
+      t_remote = c.now_ns() - b;
+    }
+  });
+  EXPECT_EQ(t_local.load(), cfg.net.local_ref_ns);
+  EXPECT_EQ(t_remote.load(), cfg.net.remote_ref_ns);
+}
+
+TEST(SimEngineTest, DeterministicAcrossRuns) {
+  auto workload = [](Ctx& c) {
+    std::uniform_int_distribution<int> d(1, 100);
+    for (int i = 0; i < 50; ++i) {
+      c.charge(static_cast<std::uint64_t>(d(c.rng())));
+      c.yield();
+    }
+  };
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 9;
+  cfg.seed = 77;
+  const auto a = eng.run(cfg, workload);
+  const auto b = eng.run(cfg, workload);
+  EXPECT_EQ(a.elapsed_s, b.elapsed_s);
+  EXPECT_EQ(a.switches, b.switches);
+}
+
+TEST(SimEngineTest, SeedChangesRngStreams) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 1;
+  cfg.seed = 1;
+  std::uint64_t v1 = 0, v2 = 0, v1b = 0;
+  eng.run(cfg, [&](Ctx& c) { v1 = c.rng()(); });
+  cfg.seed = 2;
+  eng.run(cfg, [&](Ctx& c) { v2 = c.rng()(); });
+  cfg.seed = 1;
+  eng.run(cfg, [&](Ctx& c) { v1b = c.rng()(); });
+  EXPECT_NE(v1, v2);
+  EXPECT_EQ(v1, v1b);
+}
+
+TEST(SimEngineTest, LockMutualExclusionAndCost) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 4;
+  cfg.net = NetModel::distributed();
+  Lock lock;
+  lock.owner = 0;
+  int counter = 0;  // protected by `lock`
+  eng.run(cfg, [&](Ctx& c) {
+    for (int i = 0; i < 100; ++i) {
+      c.lock(lock);
+      const int v = counter;
+      c.charge(50);  // hold the lock across a simulated critical section
+      c.yield();     // other ranks may try to acquire meanwhile
+      counter = v + 1;
+      c.unlock(lock);
+      c.yield();
+    }
+  });
+  EXPECT_EQ(counter, 400);
+}
+
+TEST(SimEngineTest, TryLockFailsWhenHeld) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  Lock lock;
+  std::atomic<int> failures{0};
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() == 0) {
+      c.lock(lock);
+      c.charge(10'000);
+      c.yield();  // rank 1 runs while we hold
+      c.unlock(lock);
+    } else {
+      c.charge(100);  // let rank 0 acquire first in virtual time
+      if (!c.try_lock(lock))
+        failures.fetch_add(1);
+      else
+        c.unlock(lock);
+    }
+  });
+  EXPECT_EQ(failures.load(), 1);
+}
+
+TEST(ThreadEngineTest, RunsAllRanksConcurrently) {
+  ThreadEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 8;
+  std::atomic<int> sum{0};
+  const auto res = eng.run(cfg, [&](Ctx& c) { sum += c.rank(); });
+  EXPECT_EQ(sum.load(), 28);
+  EXPECT_GT(res.elapsed_s, 0.0);
+}
+
+TEST(ThreadEngineTest, LockMutualExclusion) {
+  ThreadEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 8;
+  Lock lock;
+  std::int64_t counter = 0;  // deliberately non-atomic: lock must protect it
+  eng.run(cfg, [&](Ctx& c) {
+    for (int i = 0; i < 2000; ++i) {
+      c.lock(lock);
+      ++counter;
+      c.unlock(lock);
+    }
+  });
+  EXPECT_EQ(counter, 16000);
+}
+
+TEST(ThreadEngineTest, SharedWordHelpers) {
+  ThreadEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 4;
+  std::atomic<std::int64_t> word{0};
+  eng.run(cfg, [&](Ctx& c) {
+    for (int i = 0; i < 1000; ++i) c.add(word, 0, std::int64_t{1});
+  });
+  EXPECT_EQ(word.load(), 4000);
+}
+
+TEST(CtxHelpers, CasSemantics) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 1;
+  eng.run(cfg, [&](Ctx& c) {
+    std::atomic<int> w{5};
+    int expect = 4;
+    EXPECT_FALSE(c.cas(w, 0, expect, 9));
+    EXPECT_EQ(expect, 5);  // updated to observed value
+    EXPECT_TRUE(c.cas(w, 0, expect, 9));
+    EXPECT_EQ(w.load(), 9);
+  });
+}
+
+TEST(CtxHelpers, BulkTransferCopiesAndCharges) {
+  SimEngine eng;
+  RunConfig cfg;
+  cfg.nranks = 2;
+  cfg.net = NetModel::distributed();
+  std::vector<std::byte> src(4096), dst(4096);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<std::byte>(i & 0xFF);
+  std::atomic<std::uint64_t> cost{0};
+  eng.run(cfg, [&](Ctx& c) {
+    if (c.rank() == 1) {
+      const auto t0 = c.now_ns();
+      c.bulk_get(dst.data(), src.data(), src.size(), 0);
+      cost = c.now_ns() - t0;
+    }
+  });
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(cost.load(), cfg.net.bulk_ns(1, 0, src.size()));
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Property sweep: the UTS acceptance invariant (parallel count ==
+// sequential count) and conservation invariants, swept over the cross
+// product of algorithm x network profile x tree seed via parameterized
+// gtest — the broad net that catches protocol regressions.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "pgas/sim_engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+enum class Net { kShared, kDist, kHier, kJittery };
+
+const char* net_name(Net n) {
+  switch (n) {
+    case Net::kShared: return "shmem";
+    case Net::kDist: return "dist";
+    case Net::kHier: return "hier";
+    case Net::kJittery: return "jitter";
+  }
+  return "?";
+}
+
+pgas::NetModel make_net(Net n) {
+  switch (n) {
+    case Net::kShared: return pgas::NetModel::shared_memory();
+    case Net::kDist: return pgas::NetModel::distributed();
+    case Net::kHier: return pgas::NetModel::hierarchical(4);
+    case Net::kJittery: {
+      auto m = pgas::NetModel::distributed();
+      m.jitter_frac = 1.5;
+      return m;
+    }
+  }
+  return {};
+}
+
+struct SweepCase {
+  ws::Algo algo;
+  Net net;
+  std::uint32_t tree_seed;
+};
+
+std::string sweep_name(const testing::TestParamInfo<SweepCase>& info) {
+  std::string s = ws::algo_label(info.param.algo);
+  for (auto& ch : s)
+    if (ch == '-') ch = '_';
+  return s + "_" + net_name(info.param.net) + "_t" +
+         std::to_string(info.param.tree_seed);
+}
+
+std::uint64_t seq_nodes(const uts::Params& p) {
+  static std::map<std::string, std::uint64_t> cache;
+  const auto key = p.describe();
+  if (auto it = cache.find(key); it != cache.end()) return it->second;
+  const auto r = uts::search_sequential(p);
+  cache[key] = r->nodes;
+  return r->nodes;
+}
+
+class Sweep : public testing::TestWithParam<SweepCase> {};
+
+TEST_P(Sweep, CountAndConservationInvariants) {
+  const SweepCase sc = GetParam();
+  const uts::Params tree = uts::test_small(sc.tree_seed);
+  const ws::UtsProblem prob(tree);
+
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 10;
+  rcfg.net = make_net(sc.net);
+  rcfg.seed = 77 + sc.tree_seed;
+
+  const auto r = ws::run_algo(eng, rcfg, sc.algo, prob, 3);
+
+  // 1. Acceptance: exact node count.
+  EXPECT_EQ(r.total_nodes(), seq_nodes(tree));
+
+  // 2. Conservation: what thieves received equals what victims recorded as
+  //    granted (lock-less protocol) and is a multiple of the chunk size.
+  std::uint64_t stolen_nodes = 0, steals = 0, attempts = 0, fails = 0;
+  for (const auto& t : r.per_thread) {
+    stolen_nodes += t.c.nodes_stolen;
+    steals += t.c.steals;
+    attempts += t.c.steal_attempts;
+    fails += t.c.failed_steals;
+  }
+  EXPECT_EQ(stolen_nodes % 3, 0u) << "transfers must be whole chunks";
+  switch (sc.algo) {
+    case ws::Algo::kMpiWs:
+      // A request in flight when TERMINATE arrives is abandoned: neither a
+      // success nor a recorded failure — at most one per rank.
+      EXPECT_GE(attempts, steals + fails);
+      EXPECT_LE(attempts - (steals + fails), 10u);
+      break;
+    case ws::Algo::kWorkPush:
+      // Transfers are unsolicited; there is no attempt counter.
+      EXPECT_EQ(attempts, 0u);
+      break;
+    default:
+      EXPECT_EQ(attempts, steals + fails);
+      break;
+  }
+
+  // 3. Every rank's state time adds up to (about) the makespan.
+  for (const auto& t : r.per_thread) {
+    const double total_s = static_cast<double>(t.timer.total_ns()) * 1e-9;
+    EXPECT_LE(total_s, r.run.elapsed_s * 1.0001);
+  }
+}
+
+std::vector<SweepCase> all_cases() {
+  std::vector<SweepCase> cases;
+  for (ws::Algo a : ws::kAllAlgosExtended)
+    for (Net n : {Net::kShared, Net::kDist, Net::kHier, Net::kJittery})
+      for (std::uint32_t t : {1u, 6u})
+        cases.push_back({a, n, t});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Sweep, testing::ValuesIn(all_cases()),
+                         sweep_name);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for the extension algorithm (work pushing) and the hybrid tree
+// family.
+#include <gtest/gtest.h>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "uts/sequential.hpp"
+#include "uts/tree.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+TEST(WorkPush, LabelAndConfig) {
+  EXPECT_STREQ(ws::algo_label(ws::Algo::kWorkPush), "work-push");
+  const ws::WsConfig c = ws::WsConfig::for_algo(ws::Algo::kWorkPush, 6);
+  EXPECT_TRUE(c.push_based);
+  EXPECT_EQ(c.termination, ws::Termination::kToken);
+  EXPECT_EQ(c.chunk_size, 6);
+}
+
+TEST(WorkPush, CountsMatchSequentialSim) {
+  for (std::uint32_t seed : {0u, 3u, 5u}) {
+    const uts::Params p = uts::test_small(seed);
+    const ws::UtsProblem prob(p);
+    const auto want = uts::search_sequential(p)->nodes;
+    pgas::SimEngine eng;
+    pgas::RunConfig rcfg;
+    rcfg.nranks = 8;
+    rcfg.net = pgas::NetModel::distributed();
+    rcfg.seed = seed + 1;
+    const auto r = ws::run_algo(eng, rcfg, ws::Algo::kWorkPush, prob, 3);
+    EXPECT_EQ(r.total_nodes(), want) << "seed " << seed;
+  }
+}
+
+TEST(WorkPush, CountsMatchSequentialThreads) {
+  const uts::Params p = uts::test_small(5);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 6;
+  rcfg.net = pgas::NetModel::free();
+  const auto r = ws::run_algo(eng, rcfg, ws::Algo::kWorkPush, prob, 2);
+  EXPECT_EQ(r.total_nodes(), want);
+}
+
+TEST(WorkPush, ActuallyPushesWork) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kWorkPush, 4);
+  cfg.push_interval = 8;
+  const auto r = ws::run_search(eng, rcfg, prob, cfg);
+  // Transfers happened and work spread beyond rank 0.
+  EXPECT_GT(r.agg.total_steals, 0u);
+  int ranks_with_work = 0;
+  for (const auto& t : r.per_thread)
+    if (t.c.nodes > 0) ++ranks_with_work;
+  EXPECT_GT(ranks_with_work, 4);
+}
+
+TEST(WorkPush, PushIntervalBoundsTransfers) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  auto run_with = [&](int iv) {
+    ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kWorkPush, 4);
+    cfg.push_interval = iv;
+    return ws::run_search(eng, rcfg, prob, cfg);
+  };
+  const auto frequent = run_with(4);
+  const auto rare = run_with(256);
+  EXPECT_GT(frequent.agg.total_steals, rare.agg.total_steals);
+  EXPECT_EQ(frequent.total_nodes(), rare.total_nodes());
+}
+
+TEST(HybridTree, DeterministicAndBounded) {
+  const uts::Params p = uts::hybrid_test(0);
+  const auto a = uts::search_sequential(p, 5'000'000);
+  const auto b = uts::search_sequential(p, 5'000'000);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->nodes, b->nodes);
+  EXPECT_GT(a->nodes, 1u);
+}
+
+TEST(HybridTree, SwitchesToBinomialFringe) {
+  // Below the shift depth the child count must obey the binomial rule
+  // (0 or m), not the geometric draw.
+  uts::Params p = uts::hybrid_test(0);
+  const int shift = static_cast<int>(p.shift_depth * p.gen_mx);
+  uts::Node n = uts::make_root(p);
+  // Walk down to the fringe.
+  for (int d = 0; d < shift + 1; ++d) n = uts::make_child(n, 0);
+  for (int i = 0; i < 200; ++i) {
+    uts::Node probe = uts::make_child(n, i);
+    const int nc = uts::num_children(probe, p);
+    EXPECT_TRUE(nc == 0 || nc == p.m) << "fringe node had " << nc;
+  }
+}
+
+TEST(HybridTree, AllAlgosCount) {
+  const uts::Params p = uts::hybrid_test(1);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p, 5'000'000)->nodes;
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 6;
+  rcfg.net = pgas::NetModel::distributed();
+  for (ws::Algo a : ws::kAllAlgosExtended) {
+    const auto r = ws::run_algo(eng, rcfg, a, prob, 2);
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+  }
+}
+
+TEST(Imbalance, MetricsComputed) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  const auto r = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 4);
+  EXPECT_GE(r.agg.nodes_cov, 0.0);
+  EXPECT_GE(r.agg.nodes_max_over_mean, 1.0);
+  // A balanced run should be within a reasonable factor of even.
+  EXPECT_LT(r.agg.nodes_max_over_mean, 4.0);
+}
+
+}  // namespace

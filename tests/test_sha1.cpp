@@ -1,0 +1,106 @@
+// SHA-1 correctness against RFC 3174 / FIPS 180-1 vectors, plus incremental
+// hashing and boundary-condition behaviour.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "sha1/sha1.hpp"
+
+namespace {
+
+using upcws::sha1::Digest;
+using upcws::sha1::Hasher;
+using upcws::sha1::hash;
+using upcws::sha1::to_hex;
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(to_hex(hash("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(to_hex(hash("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Hasher h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, Rfc3174Repeated) {
+  // RFC 3174 test 4: "0123456701234567..." repeated 10 times, x80... the RFC
+  // uses 80 repetitions of "01234567".
+  Hasher h;
+  for (int i = 0; i < 80; ++i) h.update("01234567");
+  EXPECT_EQ(to_hex(h.finish()), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries in interesting ways.";
+  const Digest ref = hash(msg);
+  // Split at every possible point.
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Hasher h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), ref) << "split at " << split;
+  }
+}
+
+TEST(Sha1, ByteAtATime) {
+  const std::string msg(200, 'x');
+  const Digest ref = hash(msg);
+  Hasher h;
+  for (char c : msg) h.update(&c, 1);
+  EXPECT_EQ(h.finish(), ref);
+}
+
+TEST(Sha1, ResetReusesHasher) {
+  Hasher h;
+  h.update("garbage");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(to_hex(h.finish()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, LengthBoundaries) {
+  // Messages whose padding straddles block boundaries: 55, 56, 63, 64, 65
+  // bytes. Compare one-shot against byte-at-a-time as a self-consistency
+  // check plus one pinned value.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'z');
+    Hasher h;
+    for (char c : msg) h.update(&c, 1);
+    EXPECT_EQ(h.finish(), hash(msg)) << "len " << len;
+  }
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  EXPECT_NE(hash("abc"), hash("abd"));
+  EXPECT_NE(hash("abc"), hash("abc "));
+  EXPECT_NE(hash(""), hash("\0", 1));
+}
+
+TEST(Sha1, HexFormatting) {
+  Digest d{};
+  d[0] = 0x00;
+  d[1] = 0xFF;
+  d[19] = 0x0A;
+  const std::string hex = to_hex(d);
+  ASSERT_EQ(hex.size(), 40u);
+  EXPECT_EQ(hex.substr(0, 4), "00ff");
+  EXPECT_EQ(hex.substr(38, 2), "0a");
+}
+
+}  // namespace

@@ -1,0 +1,192 @@
+// Fiber and discrete-event-scheduler tests: determinism, virtual-time
+// ordering, livelock guard, and cooperative interleaving semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/fiber.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using upcws::sim::Fiber;
+using upcws::sim::Scheduler;
+using upcws::sim::TimeLimitExceeded;
+
+TEST(Fiber, RunsToCompletion) {
+  int x = 0;
+  Fiber f([&] { x = 42; });
+  EXPECT_FALSE(f.finished());
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Fiber, YieldSuspendsAndResumes) {
+  std::vector<int> trace;
+  Fiber f([&] {
+    trace.push_back(1);
+    Fiber::yield_current();
+    trace.push_back(2);
+    Fiber::yield_current();
+    trace.push_back(3);
+  });
+  f.resume();
+  trace.push_back(10);
+  f.resume();
+  trace.push_back(20);
+  f.resume();
+  EXPECT_TRUE(f.finished());
+  EXPECT_EQ(trace, (std::vector<int>{1, 10, 2, 20, 3}));
+}
+
+TEST(Fiber, NestedFibers) {
+  std::string log;
+  Fiber inner([&] { log += "I"; });
+  Fiber outer([&] {
+    log += "a";
+    inner.resume();
+    log += "b";
+  });
+  outer.resume();
+  EXPECT_EQ(log, "aIb");
+}
+
+TEST(Fiber, ResumeFinishedThrows) {
+  Fiber f([] {});
+  f.resume();
+  EXPECT_THROW(f.resume(), std::logic_error);
+}
+
+TEST(Fiber, YieldOutsideFiberThrows) {
+  EXPECT_THROW(Fiber::yield_current(), std::logic_error);
+}
+
+TEST(Scheduler, RunsAllTasks) {
+  Scheduler s;
+  int done = 0;
+  for (int i = 0; i < 10; ++i) s.spawn([&] { ++done; });
+  s.run();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(Scheduler, MinClockRunsFirst) {
+  // Task 0 charges big time slices; task 1 small ones. After each yield the
+  // scheduler must pick the task with the smaller clock.
+  Scheduler s;
+  std::vector<int> order;
+  s.spawn([&] {
+    auto& sc = Scheduler::current();
+    order.push_back(0);
+    sc.advance(1000);
+    sc.yield();
+    order.push_back(0);
+  });
+  s.spawn([&] {
+    auto& sc = Scheduler::current();
+    order.push_back(1);
+    sc.advance(10);
+    sc.yield();
+    order.push_back(1);
+    sc.advance(10);
+    sc.yield();
+    order.push_back(1);
+  });
+  s.run();
+  // t0 runs first (tie at 0, lower id), charges 1000, yields. t1 runs at 0,
+  // 10, 20 before t0's 1000 comes up again.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 1, 1, 0}));
+}
+
+TEST(Scheduler, MakespanIsMaxClock) {
+  Scheduler s;
+  s.spawn([] { Scheduler::current().advance(500); });
+  s.spawn([] { Scheduler::current().advance(1500); });
+  s.run();
+  EXPECT_EQ(s.makespan_ns(), 1500u);
+}
+
+TEST(Scheduler, DeterministicTieBreakById) {
+  for (int rep = 0; rep < 3; ++rep) {
+    Scheduler s;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+      s.spawn([&order, i] { order.push_back(i); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(Scheduler, TimeLimitGuardsLivelock) {
+  Scheduler::Config cfg;
+  cfg.vt_limit_ns = 10'000;
+  Scheduler s(cfg);
+  s.spawn([] {
+    auto& sc = Scheduler::current();
+    for (;;) {  // never terminates on its own
+      sc.advance(100);
+      sc.yield();
+    }
+  });
+  EXPECT_THROW(s.run(), TimeLimitExceeded);
+}
+
+TEST(Scheduler, PingPongThroughSharedFlag) {
+  // Two tasks alternate through a shared variable, each advancing its
+  // clock; the virtual-time order forces strict alternation.
+  Scheduler s;
+  int turn = 0;
+  std::vector<int> seq;
+  auto body = [&](int id) {
+    auto& sc = Scheduler::current();
+    for (int i = 0; i < 5; ++i) {
+      while (turn != id) {
+        sc.advance(10);
+        sc.yield();
+      }
+      seq.push_back(id);
+      turn = 1 - id;
+      sc.advance(10);
+      sc.yield();
+    }
+  };
+  s.spawn([&] { body(0); });
+  s.spawn([&] { body(1); });
+  s.run();
+  ASSERT_EQ(seq.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seq[i], i % 2);
+}
+
+TEST(Scheduler, SwitchCountIsTracked) {
+  Scheduler s;
+  s.spawn([] {
+    for (int i = 0; i < 3; ++i) {
+      Scheduler::current().advance(1);
+      Scheduler::current().yield();
+    }
+  });
+  s.run();
+  EXPECT_GE(s.switches(), 4u);  // 3 yields + final completion resume
+}
+
+TEST(Scheduler, ManyFibers) {
+  Scheduler::Config cfg;
+  cfg.stack_bytes = 64 * 1024;
+  Scheduler s(cfg);
+  const int n = 512;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < n; ++i) {
+    s.spawn([&sum, i] {
+      auto& sc = Scheduler::current();
+      sc.advance(static_cast<std::uint64_t>(i));
+      sc.yield();
+      sum += static_cast<std::uint64_t>(i);
+    });
+  }
+  s.run();
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(n) * (n - 1) / 2);
+  EXPECT_EQ(s.makespan_ns(), static_cast<std::uint64_t>(n - 1));
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Static-partitioning baseline tests.
+#include <gtest/gtest.h>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+TEST(StaticPartition, CountsMatchSequential) {
+  for (std::uint32_t seed : {0u, 2u, 5u}) {
+    const uts::Params p = uts::test_small(seed);
+    const ws::UtsProblem prob(p);
+    const auto want = uts::search_sequential(p)->nodes;
+    pgas::SimEngine eng;
+    pgas::RunConfig rcfg;
+    rcfg.nranks = 7;
+    const auto r = ws::run_static_partition(eng, rcfg, prob);
+    EXPECT_EQ(r.total_nodes(), want) << seed;
+  }
+}
+
+TEST(StaticPartition, SingleRankEqualsSequential) {
+  const uts::Params p = uts::test_small(1);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 1;
+  const auto r = ws::run_static_partition(eng, rcfg, prob);
+  EXPECT_EQ(r.total_nodes(), uts::search_sequential(p)->nodes);
+  EXPECT_NEAR(r.agg.speedup, 1.0, 0.12);  // per-node yield/poll overhead
+}
+
+TEST(StaticPartition, ThreadEngineAgrees) {
+  const uts::Params p = uts::test_small(3);
+  const ws::UtsProblem prob(p);
+  pgas::ThreadEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  rcfg.net = pgas::NetModel::free();
+  const auto r = ws::run_static_partition(eng, rcfg, prob);
+  EXPECT_EQ(r.total_nodes(), uts::search_sequential(p)->nodes);
+}
+
+TEST(StaticPartition, NoLoadBalancingHappens) {
+  const uts::Params p = uts::scaled_medium(1);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  const auto r = ws::run_static_partition(eng, rcfg, prob);
+  EXPECT_EQ(r.agg.total_steals, 0u);
+  EXPECT_EQ(r.agg.total_releases, 0u);
+}
+
+TEST(Straggler, StealingRoutesAroundSlowRank) {
+  // One rank runs 6x slower. Work stealing should keep the makespan close
+  // to (n-1 fast ranks + 1 slow) optimal; static partitioning is gated by
+  // the straggler's share.
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.net.straggler_rank = 2;
+  rcfg.net.straggler_work_factor = 6.0;
+  const auto want = uts::search_sequential(p)->nodes;
+
+  const auto steal = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 8);
+  EXPECT_EQ(steal.total_nodes(), want);
+  // The straggler should end up visiting far fewer nodes than its peers.
+  const auto& slow = steal.per_thread[2].c.nodes;
+  double mean = 0;
+  for (const auto& t : steal.per_thread) mean += static_cast<double>(t.c.nodes);
+  mean /= 8;
+  EXPECT_LT(static_cast<double>(slow), mean * 0.6);
+
+  const auto stat = ws::run_static_partition(eng, rcfg, prob);
+  EXPECT_EQ(stat.total_nodes(), want);
+  EXPECT_GT(steal.agg.speedup, stat.agg.speedup);
+}
+
+TEST(Straggler, WorkNsHelper) {
+  pgas::NetModel m = pgas::NetModel::distributed();
+  m.work_ns_per_node = 100;
+  EXPECT_EQ(m.work_ns(0), 100u);
+  m.straggler_rank = 3;
+  m.straggler_work_factor = 2.5;
+  EXPECT_EQ(m.work_ns(3), 250u);
+  EXPECT_EQ(m.work_ns(4), 100u);
+}
+
+TEST(StaticPartition, LosesToStealingOnImbalancedTrees) {
+  // The motivation claim as a test: on a heavy-tailed tree the static
+  // speedup is far below work stealing's.
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  const auto stat = ws::run_static_partition(eng, rcfg, prob);
+  const auto steal = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 8);
+  EXPECT_LT(stat.agg.speedup * 1.5, steal.agg.speedup);
+  EXPECT_GT(stat.agg.nodes_max_over_mean, steal.agg.nodes_max_over_mean);
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+// Trace subsystem tests: recording, merging, export formats, and
+// consistency of traces captured from real runs (every successful steal has
+// a matching grant in the lock-less protocol, state timelines are
+// well-formed).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "pgas/sim_engine.hpp"
+#include "trace/trace.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+TEST(TraceUnit, MergedSortsByTime) {
+  trace::Trace t(2);
+  t.state(1, 50, stats::State::kSearching);
+  t.state(0, 10, stats::State::kWorking);
+  t.steal(1, 30, 0, 8, true);
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].t_ns, 10u);
+  EXPECT_EQ(all[1].t_ns, 30u);
+  EXPECT_EQ(all[2].t_ns, 50u);
+  EXPECT_EQ(t.total_events(), 3u);
+}
+
+TEST(TraceUnit, CsvFormat) {
+  trace::Trace t(1);
+  t.state(0, 5, stats::State::kWorking);
+  t.release(0, 9, 16);
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("t_ns,rank,kind,arg0,arg1"), std::string::npos);
+  EXPECT_NE(s.find("5,0,state,0,0"), std::string::npos);
+  EXPECT_NE(s.find("9,0,release,0,16"), std::string::npos);
+}
+
+TEST(TraceUnit, ChromeJsonWellFormedBrackets) {
+  trace::Trace t(2);
+  t.state(0, 0, stats::State::kWorking);
+  t.state(0, 100, stats::State::kSearching);
+  t.finish(0, 150);
+  t.steal(1, 50, 0, 4, false);
+  std::ostringstream os;
+  t.write_chrome_json(os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s[s.size() - 2], ']');  // trailing newline after ]
+  EXPECT_NE(s.find("\"name\":\"working\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"steal_fail\""), std::string::npos);
+  // Balanced braces (crude JSON sanity).
+  EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+            std::count(s.begin(), s.end(), '}'));
+}
+
+TEST(TraceUnit, KindNames) {
+  EXPECT_STREQ(trace::kind_name(trace::Kind::kStealOk), "steal_ok");
+  EXPECT_STREQ(trace::kind_name(trace::Kind::kServiceDeny), "service_deny");
+}
+
+class TracedRun : public testing::Test {
+ protected:
+  void SetUp() override {
+    const uts::Params p = uts::scaled_medium(3);
+    prob_ = std::make_unique<ws::UtsProblem>(p);
+    tr_ = std::make_unique<trace::Trace>(8);
+    pgas::SimEngine eng;
+    pgas::RunConfig rcfg;
+    rcfg.nranks = 8;
+    rcfg.net = pgas::NetModel::distributed();
+    ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kUpcDistMem, 4);
+    cfg.trace = tr_.get();
+    res_ = ws::run_search(eng, rcfg, *prob_, cfg);
+  }
+
+  std::unique_ptr<ws::UtsProblem> prob_;
+  std::unique_ptr<trace::Trace> tr_;
+  ws::SearchResult res_;
+};
+
+TEST_F(TracedRun, StealsMatchGrants) {
+  std::uint64_t ok_steals = 0, grants = 0, stolen_nodes = 0,
+                granted_nodes = 0;
+  for (const auto& e : tr_->merged()) {
+    if (e.kind == trace::Kind::kStealOk) {
+      ++ok_steals;
+      stolen_nodes += static_cast<std::uint64_t>(e.arg1);
+    }
+    if (e.kind == trace::Kind::kServiceGrant) {
+      ++grants;
+      granted_nodes += static_cast<std::uint64_t>(e.arg1);
+    }
+  }
+  EXPECT_GT(ok_steals, 0u);
+  EXPECT_EQ(ok_steals, grants);
+  EXPECT_EQ(stolen_nodes, granted_nodes);
+  EXPECT_EQ(ok_steals, res_.agg.total_steals);
+}
+
+TEST_F(TracedRun, StateTimelinesWellFormed) {
+  // Per rank: first state event is Working, timestamps non-decreasing, and
+  // no two consecutive identical states.
+  std::map<int, std::vector<trace::Event>> per_rank;
+  for (const auto& e : tr_->merged())
+    if (e.kind == trace::Kind::kState) per_rank[e.rank].push_back(e);
+  ASSERT_EQ(per_rank.size(), 8u);
+  for (auto& [rank, v] : per_rank) {
+    ASSERT_FALSE(v.empty());
+    EXPECT_EQ(v.front().arg0, static_cast<int>(stats::State::kWorking));
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_LE(v[i - 1].t_ns, v[i].t_ns) << "rank " << rank;
+      EXPECT_NE(v[i - 1].arg0, v[i].arg0) << "rank " << rank;
+    }
+  }
+}
+
+TEST_F(TracedRun, TraceDurationsMatchTimers) {
+  // Summing trace state intervals per rank should equal the StateTimer's
+  // totals (the two are recorded through the same transitions).
+  const auto all = tr_->merged();
+  for (int r = 0; r < 8; ++r) {
+    std::array<std::uint64_t, 4> ns{};
+    const trace::Event* prev = nullptr;
+    std::uint64_t end = 0;
+    for (const auto& e : all) {
+      if (e.rank != r || e.kind != trace::Kind::kState) continue;
+      if (prev != nullptr)
+        ns[static_cast<std::size_t>(prev->arg0)] += e.t_ns - prev->t_ns;
+      prev = &e;
+      end = std::max(end, e.t_ns);
+    }
+    ASSERT_NE(prev, nullptr);
+    // Complete the final interval with the timer's total to avoid needing
+    // the end timestamp here; just check the earlier intervals are counted
+    // by the timer too.
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_LE(ns[static_cast<std::size_t>(s)],
+                res_.per_thread[r].timer.ns_in(static_cast<stats::State>(s)))
+          << "rank " << r << " state " << s;
+    }
+  }
+}
+
+}  // namespace

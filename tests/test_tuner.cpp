@@ -1,0 +1,56 @@
+// Chunk-tuner tests.
+#include <gtest/gtest.h>
+
+#include "pgas/sim_engine.hpp"
+#include "ws/tuner.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+TEST(Tuner, PicksACandidateAndIsDeterministic) {
+  const ws::UtsProblem prob(uts::scaled_medium(3));
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  const std::vector<int> cands{1, 8, 64};
+  const auto a = ws::tune_chunk(eng, rcfg, ws::Algo::kUpcDistMem, prob, cands);
+  const auto b = ws::tune_chunk(eng, rcfg, ws::Algo::kUpcDistMem, prob, cands);
+  EXPECT_EQ(a.best_chunk, b.best_chunk);
+  EXPECT_EQ(a.best_nodes_per_sec, b.best_nodes_per_sec);
+  ASSERT_EQ(a.rates.size(), 3u);
+  bool found = false;
+  for (const auto& [k, rate] : a.rates) {
+    EXPECT_GT(rate, 0.0);
+    if (k == a.best_chunk) {
+      found = true;
+      EXPECT_EQ(rate, a.best_nodes_per_sec);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tuner, BestIsActuallyMax) {
+  const ws::UtsProblem prob(uts::scaled_medium(3));
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  const auto t =
+      ws::tune_chunk(eng, rcfg, ws::Algo::kUpcTerm, prob, {2, 16, 128});
+  for (const auto& [k, rate] : t.rates)
+    EXPECT_LE(rate, t.best_nodes_per_sec) << "k=" << k;
+}
+
+TEST(Tuner, EmptyCandidatesThrow) {
+  const ws::UtsProblem prob(uts::test_small());
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 2;
+  EXPECT_THROW(ws::tune_chunk(eng, rcfg, ws::Algo::kUpcDistMem, prob, {}),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,72 @@
+// UTS subtree-distribution tests: verify the statistical claims of the
+// paper's §2 on the scaled trees we use for benchmarking.
+#include <gtest/gtest.h>
+
+#include "uts/analysis.hpp"
+
+namespace {
+
+using namespace upcws::uts;
+
+TEST(SubtreeStats, SummaryHelpers) {
+  SubtreeSample s;
+  s.sizes = {1, 1, 1, 1, 6, 100};
+  EXPECT_NEAR(s.mean(), 110.0 / 6, 1e-9);
+  EXPECT_EQ(s.max(), 100u);
+  EXPECT_NEAR(s.top_share(1), 100.0 / 110, 1e-9);
+  EXPECT_NEAR(s.top_share(2), 106.0 / 110, 1e-9);
+  EXPECT_NEAR(s.leaf_fraction(), 4.0 / 6, 1e-9);
+  EXPECT_EQ(SubtreeSample{}.mean(), 0.0);
+}
+
+TEST(SubtreeStats, SamplerIsDeterministic) {
+  const Params p = test_small();
+  const auto a = sample_subtrees(p, 100, 10000, 1);
+  const auto b = sample_subtrees(p, 100, 10000, 1);
+  ASSERT_EQ(a.sizes.size(), 100u);
+  EXPECT_EQ(a.sizes, b.sizes);
+}
+
+TEST(SubtreeStats, HeavyTailInPaperRegime) {
+  // Near-critical binomial: "frequent small subtrees and occasionally
+  // enormous subtrees" — median tiny, mean >> median, top-1% dominates.
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.b0 = 100;
+  p.m = 2;
+  p.q = 0.5 * (1 - 1e-3);
+  const auto s = sample_subtrees(p, 2000, 200000, 3);
+
+  // About half of all subtrees die immediately (the root child draws
+  // 0 children with probability 1-q ≈ 1/2).
+  EXPECT_NEAR(s.leaf_fraction(), 0.5, 0.05);
+  // Extreme variation: the mean is far above the median...
+  EXPECT_GT(s.mean(), 10 * s.median());
+  // ...and the largest 1% of subtrees carry most of the total work.
+  EXPECT_GT(s.top_share(20), 0.5);
+}
+
+TEST(SubtreeStats, MildRegimeIsNotHeavyTailed) {
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.b0 = 100;
+  p.m = 2;
+  p.q = 0.30;  // subcritical: mean subtree size 1/(1-0.6) = 2.5
+  const auto s = sample_subtrees(p, 2000, 100000, 3);
+  EXPECT_NEAR(s.mean(), 2.5, 0.5);
+  EXPECT_LT(s.top_share(20), 0.25);
+  EXPECT_LT(s.max(), 1000u);
+}
+
+TEST(SubtreeStats, MeanMatchesBranchingTheory) {
+  // E[subtree] = 1 / (1 - m q) for the subcritical process.
+  Params p;
+  p.type = TreeType::kBinomial;
+  p.b0 = 100;
+  p.m = 2;
+  p.q = 0.45;
+  const auto s = sample_subtrees(p, 5000, 1000000, 7);
+  EXPECT_NEAR(s.mean(), 1.0 / (1.0 - 0.9), 1.5);
+}
+
+}  // namespace

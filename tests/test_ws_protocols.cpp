@@ -1,0 +1,257 @@
+// Protocol-behaviour tests: the mechanisms the paper distinguishes, beyond
+// bare count correctness — steal-half vs one-chunk semantics, lock-less
+// request accounting, termination edge cases, locality-aware probing, the
+// generic typed facade, and delay-injected thread runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/search.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+ws::SearchResult run_sim(ws::Algo a, const ws::Problem& prob, int nranks,
+                         int chunk, pgas::NetModel net, std::uint64_t seed = 1) {
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = nranks;
+  rcfg.net = net;
+  rcfg.seed = seed;
+  return ws::run_algo(eng, rcfg, a, prob, chunk);
+}
+
+TEST(Protocols, SingleNodeTree) {
+  // b0 = 0: the root is the whole tree; every rank but 0 is idle from the
+  // first instant. Termination must still be clean for every algorithm.
+  uts::Params p = uts::test_small();
+  p.b0 = 0;
+  const ws::UtsProblem prob(p);
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = run_sim(a, prob, 8, 4, pgas::NetModel::distributed());
+    EXPECT_EQ(r.total_nodes(), 1u) << ws::algo_label(a);
+  }
+}
+
+TEST(Protocols, ChunkLargerThanTree) {
+  // k far exceeding the stack depth: no release is ever possible, so no
+  // steals can happen; rank 0 does everything and termination still works.
+  const uts::Params p = uts::test_small(2);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = run_sim(a, prob, 4, 100000, pgas::NetModel::distributed());
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+  }
+}
+
+TEST(Protocols, StealHalfMovesMoreChunksPerSteal) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  const auto one =
+      run_sim(ws::Algo::kUpcTerm, prob, 8, 4, pgas::NetModel::distributed());
+  const auto half = run_sim(ws::Algo::kUpcTermRapdif, prob, 8, 4,
+                            pgas::NetModel::distributed());
+  auto chunks_per_steal = [](const ws::SearchResult& r) {
+    std::uint64_t chunks = 0, steals = 0;
+    for (const auto& t : r.per_thread) {
+      chunks += t.c.chunks_stolen;
+      steals += t.c.steals;
+    }
+    return steals > 0 ? static_cast<double>(chunks) /
+                            static_cast<double>(steals)
+                      : 0.0;
+  };
+  // One-chunk policy: exactly 1.0. Steal-half: strictly more on average.
+  EXPECT_DOUBLE_EQ(chunks_per_steal(one), 1.0);
+  EXPECT_GT(chunks_per_steal(half), 1.0);
+}
+
+TEST(Protocols, LocklessServicesRequestsWithoutLocking) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  const auto r = run_sim(ws::Algo::kUpcDistMem, prob, 8, 4,
+                         pgas::NetModel::distributed());
+  std::uint64_t serviced = 0, steals = 0;
+  for (const auto& t : r.per_thread) {
+    serviced += t.c.requests_serviced;
+    steals += t.c.steals;
+  }
+  // Every successful steal in the request/response protocol corresponds to
+  // a serviced request at some victim.
+  EXPECT_EQ(serviced, steals);
+  EXPECT_GT(steals, 0u);
+}
+
+TEST(Protocols, LockedFamilyNeverServicesRequests) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  for (ws::Algo a : {ws::Algo::kUpcSharedMem, ws::Algo::kUpcTerm,
+                     ws::Algo::kUpcTermRapdif}) {
+    const auto r = run_sim(a, prob, 6, 4, pgas::NetModel::distributed());
+    for (const auto& t : r.per_thread) {
+      EXPECT_EQ(t.c.requests_serviced, 0u) << ws::algo_label(a);
+      EXPECT_EQ(t.c.requests_denied, 0u) << ws::algo_label(a);
+    }
+  }
+}
+
+TEST(Protocols, CancelableBarrierIsEntered) {
+  const uts::Params p = uts::test_small(1);
+  const ws::UtsProblem prob(p);
+  const auto r = run_sim(ws::Algo::kUpcSharedMem, prob, 8, 4,
+                         pgas::NetModel::distributed());
+  std::uint64_t entries = 0;
+  for (const auto& t : r.per_thread) entries += t.c.barrier_entries;
+  // Termination requires everyone to be in the barrier at least once.
+  EXPECT_GE(entries, 8u);
+}
+
+TEST(Protocols, ProbeBarrierRarelyReEntered) {
+  // §3.3.1's point: with the streamlined protocol, barrier entries should be
+  // close to one per rank (the expensive operations happen "almost always,
+  // only once").
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  const auto r = run_sim(ws::Algo::kUpcDistMem, prob, 8, 4,
+                         pgas::NetModel::distributed());
+  std::uint64_t entries = 0;
+  for (const auto& t : r.per_thread) entries += t.c.barrier_entries;
+  EXPECT_GE(entries, 8u);
+  EXPECT_LE(entries, 16u) << "barrier should not be re-entered often";
+}
+
+TEST(Protocols, AllNodesAccountedAcrossRanks) {
+  // Conservation: visited nodes + nothing lost. Each algorithm's total
+  // stolen nodes must also be consistent: nodes stolen were pushed by
+  // victims and visited by someone.
+  const uts::Params p = uts::scaled_medium(7);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = run_sim(a, prob, 5, 3, pgas::NetModel::distributed());
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+    std::uint64_t leaves = 0;
+    for (const auto& t : r.per_thread) leaves += t.c.leaves;
+    EXPECT_EQ(leaves, uts::search_sequential(p)->leaves) << ws::algo_label(a);
+  }
+}
+
+TEST(Protocols, LocalityFirstStillCorrect) {
+  const uts::Params p = uts::scaled_medium(3);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 16;
+  rcfg.net = pgas::NetModel::hierarchical(4);
+  ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kUpcDistMem, 4);
+  cfg.locality_first = true;
+  const auto r = ws::run_search(eng, rcfg, prob, cfg);
+  EXPECT_EQ(r.total_nodes(), want);
+}
+
+TEST(Protocols, ThreadEngineWithDelayInjection) {
+  // Delay injection widens race windows in the handshakes; counts must
+  // still be exact.
+  const uts::Params p = uts::test_small(4);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine::Options opt;
+  opt.inject_scale = 0.02;  // 2% of modeled remote costs as real busy-wait
+  pgas::ThreadEngine eng(opt);
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 6;
+  rcfg.net = pgas::NetModel::distributed();
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = ws::run_algo(eng, rcfg, a, prob, 2);
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+  }
+}
+
+TEST(Protocols, GeometricTreeAllAlgos) {
+  const uts::Params p = uts::geo_test(8);  // ~1k nodes, bushy
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = run_sim(a, prob, 8, 2, pgas::NetModel::shared_memory());
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+  }
+}
+
+// ---- generic typed facade ----
+
+struct CountdownTask {
+  std::int32_t value;
+  std::int32_t fanout;
+};
+
+TEST(TypedFacade, PerfectTreeHasClosedFormSize) {
+  // A perfect `fanout`-ary tree of depth d has (f^(d+1)-1)/(f-1) nodes.
+  const int fanout = 3, depth = 7;  // 3280 nodes
+  auto prob = ws::make_problem(
+      CountdownTask{depth, fanout},
+      [](const CountdownTask& t, auto&& emit) {
+        if (t.value == 0) return;
+        for (int i = 0; i < t.fanout; ++i)
+          emit(CountdownTask{t.value - 1, t.fanout});
+      });
+  std::uint64_t want = 0, level = 1;
+  for (int d = 0; d <= depth; ++d) {
+    want += level;
+    level *= fanout;
+  }
+  for (ws::Algo a : ws::kAllAlgos) {
+    pgas::SimEngine eng;
+    pgas::RunConfig rcfg;
+    rcfg.nranks = 8;
+    rcfg.net = pgas::NetModel::distributed();
+    const auto r = ws::run_algo(eng, rcfg, a, prob, 4);
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+  }
+}
+
+TEST(TypedFacade, SharedAccumulatorSeesEveryLeaf) {
+  std::atomic<std::uint64_t> leaf_sum{0};
+  auto prob = ws::make_problem(
+      CountdownTask{5, 2},
+      [&leaf_sum](const CountdownTask& t, auto&& emit) {
+        if (t.value == 0) {
+          leaf_sum.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        for (int i = 0; i < t.fanout; ++i)
+          emit(CountdownTask{t.value - 1, t.fanout});
+      });
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  const auto r = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 2);
+  EXPECT_EQ(leaf_sum.load(), 32u);  // 2^5 leaves
+  EXPECT_EQ(r.total_nodes(), 63u);
+}
+
+TEST(TypedFacade, DepthFunctionFlowsIntoStats) {
+  auto prob = ws::make_problem(
+      CountdownTask{6, 2},
+      [](const CountdownTask& t, auto&& emit) {
+        if (t.value == 0) return;
+        for (int i = 0; i < t.fanout; ++i)
+          emit(CountdownTask{t.value - 1, t.fanout});
+      },
+      [](const CountdownTask& t) { return 6 - t.value; });
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 2;
+  const auto r = ws::run_algo(eng, rcfg, ws::Algo::kUpcDistMem, prob, 2);
+  EXPECT_EQ(r.agg.max_depth, 6);
+}
+
+}  // namespace
