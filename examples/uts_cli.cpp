@@ -28,6 +28,17 @@
 //   --trace-csv FILE  write the raw event trace as CSV
 //   --csv         emit one machine-readable CSV result line (plus a header)
 //                 instead of the human-readable summary
+//
+// Fault injection / robustness (see docs/fault_injection.md):
+//   --stall DUR[:PERIOD[:RANK]]  inject transient rank stalls: freeze for
+//                 ~DUR ns roughly every PERIOD ns (default PERIOD=10*DUR),
+//                 on RANK only (default: all ranks)
+//   --drop-prob P   drop each mpi-ws message with probability P
+//   --dup-prob P    duplicate each mpi-ws message with probability P
+//   --steal-timeout NS  harden the steal protocols: thief timeout/retry
+//                 (default when any fault is active: 10x remote latency)
+//   --watchdog-ms M   abort with a structured hang report if no rank
+//                 visits a node for M virtual milliseconds (sim engine)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,8 +48,10 @@
 #include <fstream>
 #include <memory>
 
+#include "pgas/faults.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
+#include "sim/scheduler.hpp"
 #include "stats/table.hpp"
 #include "trace/trace.hpp"
 #include "uts/sequential.hpp"
@@ -58,6 +71,18 @@ ws::Algo parse_algo(const std::string& s) {
   for (ws::Algo a : ws::kAllAlgos)
     if (s == ws::algo_label(a)) return a;
   usage("unknown algorithm label");
+}
+
+/// "DUR[:PERIOD[:RANK]]" (ns, ns, rank id) -> stall fields of the plan.
+void parse_stall(const std::string& spec, pgas::FaultPlan& plan) {
+  unsigned long long dur = 0, period = 0;
+  int rank = -1;
+  const int got = std::sscanf(spec.c_str(), "%llu:%llu:%d", &dur, &period,
+                              &rank);
+  if (got < 1 || dur == 0) usage("bad --stall spec (want DUR[:PERIOD[:RANK]])");
+  plan.stall_ns = dur;
+  plan.stall_period_ns = got >= 2 ? period : dur * 10;
+  plan.stall_rank = got >= 3 ? rank : -1;
 }
 
 }  // namespace
@@ -81,6 +106,10 @@ int main(int argc, char** argv) {
   std::string net_name = "dist";
   std::string trace_json, trace_csv;
   std::uint64_t run_seed = 1;
+  pgas::FaultPlan faults;
+  std::uint64_t steal_timeout_ns = 0;
+  bool steal_timeout_set = false;
+  double watchdog_ms = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -123,6 +152,18 @@ int main(int argc, char** argv) {
       trace_csv = next();
     else if (a == "--csv")
       csv = true;
+    else if (a == "--stall")
+      parse_stall(next(), faults);
+    else if (a == "--drop-prob")
+      faults.drop_prob = std::atof(next());
+    else if (a == "--dup-prob")
+      faults.dup_prob = std::atof(next());
+    else if (a == "--steal-timeout") {
+      steal_timeout_ns = static_cast<std::uint64_t>(std::atoll(next()));
+      steal_timeout_set = true;
+    }
+    else if (a == "--watchdog-ms")
+      watchdog_ms = std::atof(next());
     else
       usage(("unknown flag " + a).c_str());
   }
@@ -141,9 +182,22 @@ int main(int argc, char** argv) {
   else
     usage("unknown --net");
 
+  rcfg.faults = faults;
+  rcfg.watchdog_ns = static_cast<std::uint64_t>(watchdog_ms * 1e6);
+
   const ws::UtsProblem prob(tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(algo, chunk);
   cfg.poll_interval = poll;
+  cfg.steal_timeout_ns = steal_timeout_ns;
+  if (faults.any() && !steal_timeout_set) {
+    // Faults without hardening can stall steals indefinitely (and drops
+    // would hang mpi-ws outright); default to timeouts at 10x the remote
+    // latency. Pass --steal-timeout 0 explicitly to study the failure.
+    cfg.steal_timeout_ns = 10 * rcfg.net.remote_ref_ns;
+    if (!csv)
+      std::printf("fault plan active: steal timeout defaulted to %llu ns\n",
+                  static_cast<unsigned long long>(cfg.steal_timeout_ns));
+  }
   std::unique_ptr<trace::Trace> tr;
   if (!trace_json.empty() || !trace_csv.empty()) {
     tr = std::make_unique<trace::Trace>(nranks);
@@ -156,14 +210,23 @@ int main(int argc, char** argv) {
                 engine_name.c_str(), net_name.c_str());
 
   ws::SearchResult res;
-  if (engine_name == "sim") {
-    pgas::SimEngine eng;
-    res = ws::run_search(eng, rcfg, prob, cfg);
-  } else if (engine_name == "threads") {
-    pgas::ThreadEngine eng;
-    res = ws::run_search(eng, rcfg, prob, cfg);
-  } else {
-    usage("unknown -e engine");
+  try {
+    if (engine_name == "sim") {
+      pgas::SimEngine eng;
+      res = ws::run_search(eng, rcfg, prob, cfg);
+    } else if (engine_name == "threads") {
+      pgas::ThreadEngine eng;
+      res = ws::run_search(eng, rcfg, prob, cfg);
+    } else {
+      usage("unknown -e engine");
+    }
+  } catch (const sim::HangDetected& e) {
+    std::fprintf(stderr, "uts_cli: HANG DETECTED\n%s\n", e.what());
+    return 3;
+  } catch (const sim::TimeLimitExceeded& e) {
+    std::fprintf(stderr, "uts_cli: virtual time limit exceeded\n%s\n",
+                 e.what());
+    return 4;
   }
 
   if (tr) {

@@ -1,6 +1,7 @@
 #include "mp/comm.hpp"
 
 #include <cstring>
+#include <sstream>
 
 namespace upcws::mp {
 
@@ -22,10 +23,21 @@ void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
     std::memcpy(m.payload.data(), data, bytes);
   }
   // Wire time: latency plus payload serialization (with modeled jitter).
-  m.arrival_ns = c.now_ns() + c.jittered(net.bulk_ns(c.rank(), dst, bytes));
+  const std::uint64_t wire = c.jittered(net.bulk_ns(c.rank(), dst, bytes));
+  m.arrival_ns = c.now_ns() + wire;
   sends_.fetch_add(1, std::memory_order_relaxed);
+  pgas::FaultInjector* fi = c.faults();
+  if (fi != nullptr && fi->drop_message(c.now_ns()))
+    return;  // lost on the wire; the sender already paid injection cost
+  std::uint64_t dup_delay =
+      fi != nullptr ? fi->duplicate_delay(wire, c.now_ns()) : 0;
   Box& box = *boxes_[dst];
   std::lock_guard<std::mutex> g(box.mu);
+  if (dup_delay > 0) {
+    Message d = m;
+    d.arrival_ns += dup_delay;
+    box.q.push_back(std::move(d));
+  }
   box.q.push_back(std::move(m));
 }
 
@@ -63,6 +75,28 @@ Message Comm::recv(pgas::Ctx& c, int src, int tag) {
   Message m;
   while (!try_recv(c, src, tag, m)) c.yield();
   return m;
+}
+
+std::string Comm::debug_report() const {
+  std::ostringstream os;
+  os << "mailboxes (total sends " << total_sends() << "):\n";
+  for (std::size_t r = 0; r < boxes_.size(); ++r) {
+    Box& box = *boxes_[r];
+    std::lock_guard<std::mutex> g(box.mu);
+    os << "  rank " << r << ": " << box.q.size() << " queued";
+    std::size_t shown = 0;
+    for (const Message& m : box.q) {
+      if (shown++ == 8) {
+        os << " ...";
+        break;
+      }
+      os << (shown == 1 ? " [" : ", ") << "src=" << m.src << " tag=" << m.tag
+         << " arr=" << m.arrival_ns;
+    }
+    if (shown > 0 && shown <= 8) os << "]";
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace upcws::mp

@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "pgas/engine.hpp"
@@ -43,7 +44,10 @@ class Comm {
 
   /// Nonblocking eager send. Charges the sender its injection overhead; the
   /// message is delivered (visible to probe/recv at `dst`) one modeled
-  /// latency + bandwidth delay later.
+  /// latency + bandwidth delay later. When the sender's fault injector is
+  /// active the message may be silently dropped (never enqueued) or
+  /// duplicated (a second copy arrives up to two wire-times later) —
+  /// deterministically per (seed, rank).
   void send(pgas::Ctx& c, int dst, int tag, const void* data,
             std::size_t bytes);
 
@@ -66,6 +70,10 @@ class Comm {
   std::uint64_t total_sends() const {
     return sends_.load(std::memory_order_relaxed);
   }
+
+  /// Snapshot of queued (undelivered or unconsumed) messages per rank, for
+  /// hang reports. Not a synchronization point — call when ranks are parked.
+  std::string debug_report() const;
 
  private:
   struct Box {

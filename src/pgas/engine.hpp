@@ -23,7 +23,9 @@
 #include <cstdint>
 #include <functional>
 #include <random>
+#include <string>
 
+#include "pgas/faults.hpp"
 #include "pgas/netmodel.hpp"
 
 namespace upcws::pgas {
@@ -74,16 +76,27 @@ class Ctx {
   /// (RunConfig::seed, rank) so simulation runs are exactly reproducible.
   virtual std::mt19937_64& rng() = 0;
 
+  /// This rank's fault injector, or nullptr when fault injection is off
+  /// (RunConfig::faults all-zero). Engines attach it before running the
+  /// body; algorithm code may consult the plan (e.g. for control-message
+  /// redundancy) but must not mutate it.
+  FaultInjector* faults() const { return faults_; }
+
   // ------- convenience cost helpers (shared-memory abstraction à la UPC) --
 
-  /// Apply the cost model's timing jitter to a base remote-op cost.
-  /// Deterministic per (seed, rank, call sequence).
+  /// Apply the cost model's timing jitter — and any fault-plan latency
+  /// spike — to a base remote-op cost. Deterministic per (seed, rank, call
+  /// sequence).
   std::uint64_t jittered(std::uint64_t base) {
+    std::uint64_t v = base;
     const double f = net().jitter_frac;
-    if (f <= 0.0 || base == 0) return base;
-    std::uniform_real_distribution<double> u(0.0, 1.0);
-    return base + static_cast<std::uint64_t>(static_cast<double>(base) * f *
-                                             u(rng()));
+    if (f > 0.0 && base > 0) {
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      v = base + static_cast<std::uint64_t>(static_cast<double>(base) * f *
+                                            u(rng()));
+    }
+    if (faults_ != nullptr) v = faults_->spiked(v, now_ns());
+    return v;
   }
 
   /// Charge one small shared-variable reference to data owned by `owner`.
@@ -95,8 +108,12 @@ class Ctx {
   void charge_poll() { charge(net().poll_ns); }
 
   /// Charge one tree-node visit (SHA-1 + stack work); honours straggler
-  /// slowdown for this rank.
-  void charge_node_work() { charge(net().work_ns(rank())); }
+  /// slowdown for this rank. Also feeds the progress watchdog: node visits
+  /// are the global progress measure (RunConfig::watchdog_ns).
+  void charge_node_work() {
+    note_progress();
+    charge(net().work_ns(rank()));
+  }
 
   /// One-sided bulk get: copy `bytes` from memory with affinity `owner`
   /// into local memory, charging latency + bandwidth. The caller's protocol
@@ -133,6 +150,15 @@ class Ctx {
     return v.compare_exchange_strong(expected, desired,
                                      std::memory_order_acq_rel);
   }
+
+ protected:
+  /// Hook for the progress watchdog (node-count progress); engines that
+  /// support the watchdog override this. Must be free of cost accounting.
+  virtual void note_progress() {}
+
+  /// Set by the engine before the body runs when RunConfig::faults has any
+  /// fault enabled; otherwise stays null and every hook is skipped.
+  FaultInjector* faults_ = nullptr;
 };
 
 /// RAII guard for Lock acquisition through a Ctx (never plain
@@ -160,6 +186,19 @@ struct RunConfig {
   std::uint64_t vt_limit_ns = 0;
   /// Sim only: fiber stack size.
   std::size_t fiber_stack_bytes = 256 * 1024;
+  /// Fault-injection plan, seeded from (seed, rank); all-zero (default)
+  /// disables injection entirely — see pgas/faults.hpp. Stalls and message
+  /// drop/dup work under both engines; latency spikes need the cost model
+  /// (sim, or threads with delay injection).
+  FaultPlan faults{};
+  /// Sim only: progress watchdog. If no rank visits a tree node for this
+  /// much virtual time, the scheduler aborts with a structured hang report
+  /// (sim::HangDetected) instead of spinning to the time limit. 0 disables.
+  std::uint64_t watchdog_ns = 0;
+  /// Optional extra detail appended to the watchdog's hang report (e.g. the
+  /// ws driver snapshots per-rank protocol state). Called from scheduler
+  /// context with no fiber running.
+  std::function<std::string()> hang_reporter{};
 };
 
 struct RunResult {

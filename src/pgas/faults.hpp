@@ -1,0 +1,116 @@
+// Deterministic fault injection for the PGAS runtime.
+//
+// The paper's protocols (§3.3.1–§3.3.3) are argued correct under a benign
+// interconnect: a victim always services a posted steal request, and no
+// message is ever lost or duplicated. A FaultPlan attached to RunConfig
+// perturbs exactly those assumptions — reproducibly per (seed, rank):
+//
+//   * transient rank stalls: a rank freezes for a virtual interval at its
+//     next interaction point, including while it holds a lock;
+//   * heavy-tail latency spikes on remote operations (the jittered() costs);
+//   * message drop and duplication in the two-sided mp layer.
+//
+// Every draw comes from a per-rank mt19937_64 stream seeded from
+// (RunConfig::seed, rank) and *separate* from Ctx::rng(), so attaching an
+// all-zero plan consumes no randomness and leaves a run byte-identical
+// (tests/test_faults.cpp enforces this). Each injector belongs to a single
+// rank and is only ever driven by that rank's execution, so it needs no
+// synchronization under either engine.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace upcws::pgas {
+
+/// What to inject. All-zero (the default) disables every fault class.
+struct FaultPlan {
+  /// Transient rank stalls: every ~stall_period_ns of a rank's time, the
+  /// rank freezes for ~stall_ns (both scaled by U[0.5,1.5) draws). Both
+  /// must be > 0 to enable. Make stall_ns enormous to model a rank that
+  /// never comes back (a fail-stop proxy for watchdog tests).
+  std::uint64_t stall_ns = 0;
+  std::uint64_t stall_period_ns = 0;
+  /// Rank eligible to stall, or -1 for all ranks.
+  int stall_rank = -1;
+
+  /// Heavy-tail latency spikes: each remote-op cost is inflated, with
+  /// probability spike_prob, by base * spike_mult * Exp(1) extra time.
+  double spike_prob = 0.0;
+  double spike_mult = 10.0;
+
+  /// Two-sided messaging (src/mp) only: per-message loss / duplication
+  /// probability. One-sided PGAS references are modeled as reliable RDMA.
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+
+  bool stalls_enabled() const { return stall_ns > 0 && stall_period_ns > 0; }
+  bool spikes_enabled() const { return spike_prob > 0.0; }
+  bool messages_enabled() const { return drop_prob > 0.0 || dup_prob > 0.0; }
+  bool any() const {
+    return stalls_enabled() || spikes_enabled() || messages_enabled();
+  }
+};
+
+/// What one rank's injector actually did during a run.
+struct FaultCounters {
+  std::uint64_t stalls = 0;            ///< rank freezes injected
+  std::uint64_t stall_ns_total = 0;    ///< total frozen time (ns)
+  std::uint64_t spikes = 0;            ///< latency spikes injected
+  std::uint64_t spike_ns_total = 0;    ///< total extra latency (ns)
+  std::uint64_t msgs_dropped = 0;      ///< messages lost at this sender
+  std::uint64_t msgs_duplicated = 0;   ///< messages duplicated at this sender
+};
+
+/// One injected fault, timestamped in Ctx time (virtual ns under the
+/// simulator). Collected per rank; the ws driver merges them into an
+/// attached trace::Trace.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { kStall, kSpike, kMsgDrop, kMsgDup };
+  std::uint64_t t_ns = 0;
+  Kind kind = Kind::kStall;
+  std::uint64_t ns = 0;  ///< stall duration / extra latency (0 for messages)
+};
+
+/// Per-rank fault source. Engines construct one per rank when the plan has
+/// any fault enabled and attach it to that rank's Ctx.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t run_seed, int rank);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return c_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Interaction-point hook: returns the duration (ns of Ctx time) this
+  /// rank must freeze for right now, or 0. The caller charges the time.
+  std::uint64_t stall_due(std::uint64_t now_ns);
+
+  /// Remote-op hook: returns `base_ns` possibly inflated by a heavy-tail
+  /// latency spike.
+  std::uint64_t spiked(std::uint64_t base_ns, std::uint64_t now_ns);
+
+  /// Message hook: should this outgoing message be lost on the wire?
+  bool drop_message(std::uint64_t now_ns);
+
+  /// Message hook: if the message should be duplicated, returns the extra
+  /// wire delay of the duplicate relative to the original's arrival
+  /// (always > 0); returns 0 for no duplication. `wire_ns` is the modeled
+  /// latency of the original copy.
+  std::uint64_t duplicate_delay(std::uint64_t wire_ns, std::uint64_t now_ns);
+
+ private:
+  void record(FaultEvent::Kind kind, std::uint64_t t_ns, std::uint64_t ns);
+  /// U[0.5,1.5) scale factor for stall scheduling.
+  double scale();
+
+  FaultPlan plan_;
+  bool stall_here_ = false;  ///< stalls enabled and this rank is targeted
+  std::mt19937_64 rng_;
+  std::uint64_t next_stall_ns_ = 0;
+  FaultCounters c_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace upcws::pgas

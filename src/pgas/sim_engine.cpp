@@ -1,5 +1,6 @@
 #include "pgas/sim_engine.hpp"
 
+#include <memory>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -10,12 +11,14 @@ namespace {
 class SimCtx final : public Ctx {
  public:
   SimCtx(sim::Scheduler& sched, int rank, int nranks, const NetModel& net,
-         std::uint64_t seed)
+         std::uint64_t seed, FaultInjector* faults)
       : sched_(sched),
         rank_(rank),
         nranks_(nranks),
         net_(net),
-        rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)) {}
+        rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)) {
+    faults_ = faults;
+  }
 
   int rank() const override { return rank_; }
   int nranks() const override { return nranks_; }
@@ -32,11 +35,16 @@ class SimCtx final : public Ctx {
     acc_ += ns;
     if (acc_ >= kChargeQuantumNs) {
       acc_ = 0;
+      maybe_stall();
       sched_.yield();
     }
   }
 
   void yield() override {
+    // A fault-plan stall lands at the interaction point — including inside
+    // a critical section, which is exactly how a frozen lock holder is
+    // modeled (the stalled rank's clock jumps; contenders spin behind it).
+    maybe_stall();
     // Guarantee progress in virtual time on every interaction so that spin
     // loops cannot livelock the scheduler at a frozen clock.
     sched_.advance(net_.poll_ns > 0 ? net_.poll_ns : 1);
@@ -75,8 +83,17 @@ class SimCtx final : public Ctx {
 
   std::mt19937_64& rng() override { return rng_; }
 
+ protected:
+  void note_progress() override { sched_.note_progress(); }
+
  private:
   static constexpr std::uint64_t kChargeQuantumNs = 1000;
+
+  void maybe_stall() {
+    if (faults_ == nullptr) return;
+    const std::uint64_t s = faults_->stall_due(sched_.now(rank_));
+    if (s > 0) sched_.advance(s);
+  }
 
   sim::Scheduler& sched_;
   int rank_;
@@ -94,11 +111,22 @@ RunResult SimEngine::run(const RunConfig& cfg,
   scfg.vt_limit_ns =
       cfg.vt_limit_ns != 0 ? cfg.vt_limit_ns : 10'000'000'000'000ull;
   scfg.stack_bytes = cfg.fiber_stack_bytes;
-  sim::Scheduler sched(scfg);
+  scfg.watchdog_ns = cfg.watchdog_ns;
+  scfg.hang_report = cfg.hang_reporter;
+  const bool inject = cfg.faults.any();
+  std::vector<std::unique_ptr<FaultInjector>> injectors(cfg.nranks);
+  for (int r = 0; r < cfg.nranks; ++r)
+    if (inject)
+      injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
 
+  // Declared after the injectors on purpose: on abnormal teardown (time
+  // limit, hang watchdog) ~Scheduler cancel-unwinds suspended fibers, and
+  // destructors on those stacks may still charge time through a Ctx that
+  // dereferences its injector.
+  sim::Scheduler sched(scfg);
   for (int r = 0; r < cfg.nranks; ++r) {
     sched.spawn([&, r] {
-      SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed);
+      SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed, injectors[r].get());
       body(ctx);
     });
   }

@@ -1,6 +1,7 @@
 #include "pgas/thread_engine.hpp"
 
 #include <chrono>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -10,13 +11,16 @@ namespace {
 class ThreadCtx final : public Ctx {
  public:
   ThreadCtx(int rank, int nranks, const NetModel& net, std::uint64_t seed,
-            double inject_scale, std::chrono::steady_clock::time_point epoch)
+            double inject_scale, std::chrono::steady_clock::time_point epoch,
+            FaultInjector* faults)
       : rank_(rank),
         nranks_(nranks),
         net_(net),
         inject_scale_(inject_scale),
         rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)),
-        start_(epoch) {}
+        start_(epoch) {
+    faults_ = faults;
+  }
 
   int rank() const override { return rank_; }
   int nranks() const override { return nranks_; }
@@ -31,15 +35,21 @@ class ThreadCtx final : public Ctx {
 
   void charge(std::uint64_t ns) override {
     if (inject_scale_ <= 0.0) return;
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::nanoseconds(static_cast<std::uint64_t>(
-            static_cast<double>(ns) * inject_scale_));
-    while (std::chrono::steady_clock::now() < deadline)
-      std::this_thread::yield();
+    busy_wait(static_cast<std::uint64_t>(static_cast<double>(ns) *
+                                         inject_scale_));
   }
 
-  void yield() override { std::this_thread::yield(); }
+  void yield() override {
+    // Fault-plan stalls freeze the thread for real wall time — including
+    // while holding a Lock, which is how a stuck lock holder is produced
+    // under genuine preemption. Stall durations are wall ns here (no
+    // virtual clock), so plans for ThreadEngine should use small values.
+    if (faults_ != nullptr) {
+      const std::uint64_t s = faults_->stall_due(now_ns());
+      if (s > 0) busy_wait(s);
+    }
+    std::this_thread::yield();
+  }
 
   void lock(Lock& l) override {
     charge_ref(l.owner);
@@ -67,6 +77,13 @@ class ThreadCtx final : public Ctx {
   std::mt19937_64& rng() override { return rng_; }
 
  private:
+  static void busy_wait(std::uint64_t ns) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < deadline)
+      std::this_thread::yield();
+  }
+
   int rank_;
   int nranks_;
   const NetModel& net_;
@@ -83,10 +100,17 @@ RunResult ThreadEngine::run(const RunConfig& cfg,
   threads.reserve(cfg.nranks);
   std::atomic<int> ready{0};
 
+  const bool inject = cfg.faults.any();
+  std::vector<std::unique_ptr<FaultInjector>> injectors(cfg.nranks);
+  if (inject)
+    for (int r = 0; r < cfg.nranks; ++r)
+      injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
+
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < cfg.nranks; ++r) {
     threads.emplace_back([&, r] {
-      ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0);
+      ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0,
+                    injectors[r].get());
       // Crude start-line barrier so ranks begin together.
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (ready.load(std::memory_order_acquire) < cfg.nranks)

@@ -6,6 +6,13 @@
 #include <stdexcept>
 #include <vector>
 
+// Built with -fsanitize=address (UPCWS_SANITIZE=address), ASan must be told
+// about every stack switch or it reports false stack-buffer overflows and
+// corrupts its fake-stack bookkeeping across swapcontext.
+#ifdef UPCWS_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace upcws::sim {
 
 namespace {
@@ -19,16 +26,34 @@ struct Fiber::Impl {
   ucontext_t self{};     // context of the fiber
   ucontext_t resumer{};  // context to return to on yield/finish
   std::vector<std::uint8_t> stack;
+#ifdef UPCWS_ASAN_FIBERS
+  void* fiber_fake = nullptr;          // fiber's fake stack while suspended
+  const void* sched_bottom = nullptr;  // resumer's stack, learned on entry
+  std::size_t sched_size = 0;
+#endif
 };
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* f = reinterpret_cast<Fiber*>((static_cast<std::uintptr_t>(hi) << 32) |
                                      static_cast<std::uintptr_t>(lo));
-  f->fn_();
+#ifdef UPCWS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(nullptr, &f->impl_->sched_bottom,
+                                  &f->impl_->sched_size);
+#endif
+  try {
+    f->fn_();
+  } catch (const Cancelled&) {
+    // cancel() unwound the fiber stack; destructors have run.
+  }
   f->finished_ = true;
   // Return to the resumer. Do NOT fall off the end of the trampoline: the
   // linked uc_link is unset, so returning would terminate the process.
   g_current_fiber = nullptr;
+#ifdef UPCWS_ASAN_FIBERS
+  // nullptr fake-stack save: this fiber's fake stack is destroyed.
+  __sanitizer_start_switch_fiber(nullptr, f->impl_->sched_bottom,
+                                 f->impl_->sched_size);
+#endif
   swapcontext(&f->impl_->self, &f->impl_->resumer);
 }
 
@@ -38,9 +63,10 @@ Fiber::Fiber(Fn fn, std::size_t stack_bytes)
 }
 
 Fiber::~Fiber() {
-  // Destroying a suspended (started, unfinished) fiber leaks whatever is on
-  // its stack; the scheduler only destroys fibers after completion, except
-  // when tearing down after a simulation-time-limit error.
+  // Destroying a suspended (started, unfinished) fiber would leak whatever
+  // is on its stack; the scheduler cancel()s unfinished fibers before
+  // destroying them (abnormal teardown after TimeLimitExceeded or
+  // HangDetected), so destructors on fiber stacks always run.
 }
 
 void Fiber::resume() {
@@ -58,17 +84,47 @@ void Fiber::resume() {
                 2, static_cast<unsigned>(p >> 32),
                 static_cast<unsigned>(p & 0xFFFFFFFFu));
   }
+#ifdef UPCWS_ASAN_FIBERS
+  void* sched_fake = nullptr;
+  __sanitizer_start_switch_fiber(&sched_fake, impl_->stack.data(),
+                                 impl_->stack.size());
+#endif
   swapcontext(&impl_->resumer, &impl_->self);
+#ifdef UPCWS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(sched_fake, nullptr, nullptr);
+#endif
   g_current_fiber = prev;
+}
+
+void Fiber::cancel() {
+  if (!started_ || finished_) return;
+  cancel_ = true;
+  // One resume normally suffices: the fiber wakes at its suspended yield,
+  // throws Cancelled, and unwinds to the trampoline. Loop regardless in
+  // case a destructor on the unwinding stack suspends again.
+  while (!finished_) resume();
 }
 
 void Fiber::yield_current() {
   Fiber* f = g_current_fiber;
   if (f == nullptr)
     throw std::logic_error("Fiber::yield_current outside fiber context");
+  if (f->unwinding_) return;  // mid-cancel: destructors must not suspend
   g_current_fiber = nullptr;
+#ifdef UPCWS_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&f->impl_->fiber_fake, f->impl_->sched_bottom,
+                                 f->impl_->sched_size);
+#endif
   swapcontext(&f->impl_->self, &f->impl_->resumer);
+#ifdef UPCWS_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(f->impl_->fiber_fake, &f->impl_->sched_bottom,
+                                  &f->impl_->sched_size);
+#endif
   g_current_fiber = f;
+  if (f->cancel_) {
+    f->unwinding_ = true;
+    throw Cancelled{};
+  }
 }
 
 }  // namespace upcws::sim

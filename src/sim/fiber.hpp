@@ -41,17 +41,32 @@ class Fiber {
   /// Must be called from fiber context.
   static void yield_current();
 
+  /// Unwind a suspended fiber: resume it one last time with a cancellation
+  /// pending, so its next (historical) yield point rethrows as stack
+  /// unwinding, destructors on the fiber stack run, and the fiber finishes.
+  /// Yields hit *during* that unwinding return immediately instead of
+  /// suspending (throwing again would terminate inside a destructor).
+  /// No-op on unstarted or finished fibers. Caller must be the resumer.
+  void cancel();
+
   /// True once the fiber's function has returned.
   bool finished() const { return finished_; }
 
+  /// True once the fiber has been resumed at least once (its stack may
+  /// hold live objects until it finishes).
+  bool started() const { return started_; }
+
  private:
   struct Impl;
+  struct Cancelled {};  // unwinding token thrown by cancel(); never escapes
   static void trampoline(unsigned hi, unsigned lo);
 
   std::unique_ptr<Impl> impl_;
   Fn fn_;
   bool finished_ = false;
   bool started_ = false;
+  bool cancel_ = false;     // set by cancel(); checked on wake in yield
+  bool unwinding_ = false;  // Cancelled is in flight on this fiber's stack
 };
 
 }  // namespace upcws::sim

@@ -1,16 +1,45 @@
 #include "sim/scheduler.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace upcws::sim {
 
 namespace {
 thread_local Scheduler* g_current_scheduler = nullptr;
+
+std::string time_limit_msg(int task, std::uint64_t clock_ns,
+                           std::uint64_t limit_ns) {
+  std::ostringstream os;
+  os << "simulated virtual time limit exceeded: rank " << task << " at vt="
+     << clock_ns << " ns (limit " << limit_ns << " ns)";
+  return os.str();
+}
 }  // namespace
+
+TimeLimitExceeded::TimeLimitExceeded(int task, std::uint64_t clock_ns,
+                                     std::uint64_t limit_ns)
+    : std::runtime_error(time_limit_msg(task, clock_ns, limit_ns)),
+      task(task),
+      clock_ns(clock_ns),
+      limit_ns(limit_ns) {}
 
 Scheduler::Scheduler(Config cfg) : cfg_(cfg) {}
 
-Scheduler::~Scheduler() = default;
+Scheduler::~Scheduler() { unwind_all(); }
+
+void Scheduler::unwind_all() {
+  // Abnormal teardown (time limit, hang watchdog): suspended fibers still
+  // hold live objects on their stacks. Cancel each so destructors run.
+  // current_ tracks the fiber being unwound — destructors may legitimately
+  // charge time or query now() on the way out.
+  for (std::size_t i = 0; i < fibers_.size(); ++i) {
+    if (!fibers_[i]->started() || fibers_[i]->finished()) continue;
+    current_ = static_cast<int>(i);
+    fibers_[i]->cancel();
+  }
+  current_ = -1;
+}
 
 int Scheduler::spawn(std::function<void()> body) {
   if (running_) throw std::logic_error("spawn() during run()");
@@ -37,11 +66,18 @@ void Scheduler::run() {
     while (!rq_.empty()) {
       const QEntry e = rq_.top();
       rq_.pop();
+      // The head of the queue holds the global minimum virtual time: if even
+      // the least-advanced task is past the progress window, every task has
+      // spun without real work for watchdog_ns — a hang, not slowness.
+      // Checked before resuming so the stuck state is intact for the report.
+      if (cfg_.watchdog_ns > 0 && e.vt > progress_ns_ &&
+          e.vt - progress_ns_ > cfg_.watchdog_ns)
+        throw_hang(e.vt);
       current_ = e.task;
       ++switches_;
       fibers_[e.task]->resume();
       if (clocks_[e.task] > cfg_.vt_limit_ns)
-        throw TimeLimitExceeded(cfg_.vt_limit_ns);
+        throw TimeLimitExceeded(e.task, clocks_[e.task], cfg_.vt_limit_ns);
       if (!fibers_[e.task]->finished()) rq_.push({clocks_[e.task], e.task});
     }
   } catch (...) {
@@ -53,6 +89,20 @@ void Scheduler::run() {
   g_current_scheduler = prev;
   current_ = -1;
   running_ = false;
+}
+
+void Scheduler::throw_hang(std::uint64_t stuck_at_ns) const {
+  std::ostringstream os;
+  os << "progress watchdog: no rank made node-count progress for "
+     << (stuck_at_ns - progress_ns_) << " virtual ns (window "
+     << cfg_.watchdog_ns << " ns; last progress at vt=" << progress_ns_
+     << " ns, stuck at vt=" << stuck_at_ns << " ns)\n";
+  os << "per-task state:\n";
+  for (std::size_t i = 0; i < fibers_.size(); ++i)
+    os << "  task " << i << ": vt=" << clocks_[i] << " ns "
+       << (fibers_[i]->finished() ? "finished" : "runnable") << "\n";
+  if (cfg_.hang_report) os << cfg_.hang_report();
+  throw HangDetected(os.str(), cfg_.watchdog_ns, progress_ns_, stuck_at_ns);
 }
 
 std::uint64_t Scheduler::makespan_ns() const {

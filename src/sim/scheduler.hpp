@@ -20,6 +20,7 @@
 #include <memory>
 #include <queue>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/fiber.hpp"
@@ -27,14 +28,33 @@
 namespace upcws::sim {
 
 /// Thrown by run() when any task's virtual clock exceeds the configured
-/// limit — the simulator's deadlock/livelock guard (e.g. a termination
-/// protocol that never terminates).
+/// limit — the simulator's last-resort guard. Carries the offending task,
+/// its clock, and the limit so the failure is diagnosable.
 class TimeLimitExceeded : public std::runtime_error {
  public:
-  explicit TimeLimitExceeded(std::uint64_t limit_ns)
-      : std::runtime_error("simulated virtual time limit exceeded"),
-        limit_ns(limit_ns) {}
-  std::uint64_t limit_ns;
+  TimeLimitExceeded(int task, std::uint64_t clock_ns, std::uint64_t limit_ns);
+  int task;                 ///< task (rank) whose clock crossed the limit
+  std::uint64_t clock_ns;   ///< that task's virtual clock at the abort
+  std::uint64_t limit_ns;   ///< the configured limit
+};
+
+/// Thrown by run() when the progress watchdog trips: no task reported
+/// progress (Scheduler::note_progress) for Config::watchdog_ns of virtual
+/// time. what() is a structured multi-line hang report — per-task clocks
+/// and run state, plus whatever Config::hang_report contributed (the ws
+/// driver adds held locks, outstanding steal requests, and recent trace
+/// events).
+class HangDetected : public std::runtime_error {
+ public:
+  HangDetected(std::string report, std::uint64_t window_ns,
+               std::uint64_t last_progress_ns, std::uint64_t stuck_at_ns)
+      : std::runtime_error(std::move(report)),
+        window_ns(window_ns),
+        last_progress_ns(last_progress_ns),
+        stuck_at_ns(stuck_at_ns) {}
+  std::uint64_t window_ns;         ///< configured watchdog window
+  std::uint64_t last_progress_ns;  ///< virtual time of the last progress
+  std::uint64_t stuck_at_ns;       ///< virtual time when the watchdog fired
 };
 
 class Scheduler {
@@ -44,6 +64,11 @@ class Scheduler {
     std::uint64_t vt_limit_ns = UINT64_MAX;
     /// Fiber call-stack size.
     std::size_t stack_bytes = 256 * 1024;
+    /// Progress watchdog: abort with HangDetected when no task calls
+    /// note_progress() for this much virtual time. 0 disables.
+    std::uint64_t watchdog_ns = 0;
+    /// Optional extra text appended to the watchdog's hang report.
+    std::function<std::string()> hang_report{};
   };
 
   Scheduler() : Scheduler(Config{}) {}
@@ -77,6 +102,10 @@ class Scheduler {
   /// Charge `ns` of virtual time to the current task without yielding.
   void advance(std::uint64_t ns) { clocks_[current_] += ns; }
 
+  /// Report forward progress (a unit of real work, e.g. one tree-node
+  /// visit) at the current task's clock; arms the progress watchdog.
+  void note_progress() { progress_ns_ = clocks_[current_]; }
+
   /// Interaction point: return control to the scheduler. The task resumes
   /// when it once again holds the minimum virtual time.
   void yield();
@@ -97,6 +126,12 @@ class Scheduler {
     }
   };
 
+  [[noreturn]] void throw_hang(std::uint64_t stuck_at_ns) const;
+
+  /// Cancel-unwind every started-but-unfinished fiber (abnormal teardown)
+  /// so objects on fiber stacks are destroyed, not leaked.
+  void unwind_all();
+
   Config cfg_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::uint64_t> clocks_;
@@ -104,6 +139,7 @@ class Scheduler {
   int current_ = -1;
   bool running_ = false;
   std::uint64_t switches_ = 0;
+  std::uint64_t progress_ns_ = 0;
 };
 
 }  // namespace upcws::sim

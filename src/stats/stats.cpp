@@ -32,6 +32,14 @@ RunStats aggregate(const std::vector<ThreadStats>& per_thread,
     r.total_probes += t.c.probes;
     r.total_releases += t.c.releases;
     r.total_failed_steals += t.c.failed_steals;
+    r.total_steal_timeouts += t.c.steal_timeouts;
+    r.total_retransmits += t.c.retransmits;
+    r.total_dups_suppressed += t.c.dups_suppressed;
+    r.total_faults_stalls += t.c.faults_stalls;
+    r.total_faults_stall_ns += t.c.faults_stall_ns;
+    r.total_faults_spikes += t.c.faults_spikes;
+    r.total_faults_dropped += t.c.faults_dropped;
+    r.total_faults_duplicated += t.c.faults_duplicated;
     r.max_depth = std::max(r.max_depth, t.c.max_depth);
     for (int s = 0; s < static_cast<int>(State::kCount); ++s) {
       state_ns[s] += t.timer.ns_in(static_cast<State>(s));
@@ -109,6 +117,17 @@ std::string RunStats::summary() const {
      << " rate=" << nodes_per_sec / 1e6 << "M/s"
      << " speedup=" << speedup << " eff=" << efficiency
      << " steals=" << total_steals << " (" << steals_per_sec << "/s)";
+  if (total_faults_stalls + total_faults_spikes + total_faults_dropped +
+          total_faults_duplicated >
+      0)
+    os << " faults[stalls=" << total_faults_stalls
+       << " spikes=" << total_faults_spikes
+       << " dropped=" << total_faults_dropped
+       << " duplicated=" << total_faults_duplicated << "]";
+  if (total_steal_timeouts + total_retransmits + total_dups_suppressed > 0)
+    os << " recovery[timeouts=" << total_steal_timeouts
+       << " retransmits=" << total_retransmits
+       << " dups_suppressed=" << total_dups_suppressed << "]";
   return os.str();
 }
 

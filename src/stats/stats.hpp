@@ -43,6 +43,18 @@ struct Counters {
   std::uint64_t barrier_entries = 0;  ///< entries into the termination barrier
   int max_depth = 0;                  ///< deepest node seen
   std::uint64_t max_stack = 0;        ///< peak DFS stack occupancy (nodes)
+
+  // --- hardened-protocol recovery actions (0 unless WsConfig::hardened) ---
+  std::uint64_t steal_timeouts = 0;   ///< distmem: steal requests withdrawn
+  std::uint64_t retransmits = 0;      ///< mpi-ws: requests/replies/tokens resent
+  std::uint64_t dups_suppressed = 0;  ///< mpi-ws: duplicate messages discarded
+
+  // --- injected-fault tallies (copied from this rank's FaultInjector) -----
+  std::uint64_t faults_stalls = 0;      ///< rank stalls injected
+  std::uint64_t faults_stall_ns = 0;    ///< total injected stall time
+  std::uint64_t faults_spikes = 0;      ///< latency spikes injected
+  std::uint64_t faults_dropped = 0;     ///< messages silently dropped
+  std::uint64_t faults_duplicated = 0;  ///< messages duplicated
 };
 
 /// Tracks which Figure-1 state a thread is in and accumulates ns per state.
@@ -118,6 +130,16 @@ struct RunStats {
   std::uint64_t total_probes = 0;
   std::uint64_t total_releases = 0;
   std::uint64_t total_failed_steals = 0;
+  /// Hardened-protocol recovery + injected-fault totals (all 0 for a clean
+  /// unhardened run; see Counters).
+  std::uint64_t total_steal_timeouts = 0;
+  std::uint64_t total_retransmits = 0;
+  std::uint64_t total_dups_suppressed = 0;
+  std::uint64_t total_faults_stalls = 0;
+  std::uint64_t total_faults_stall_ns = 0;
+  std::uint64_t total_faults_spikes = 0;
+  std::uint64_t total_faults_dropped = 0;
+  std::uint64_t total_faults_duplicated = 0;
   int max_depth = 0;
   double elapsed_s = 0.0;
 

@@ -13,6 +13,12 @@ const char* kind_name(Kind k) {
     case Kind::kRelease: return "release";
     case Kind::kServiceGrant: return "service_grant";
     case Kind::kServiceDeny: return "service_deny";
+    case Kind::kStealTimeout: return "steal_timeout";
+    case Kind::kRetransmit: return "retransmit";
+    case Kind::kStall: return "stall";
+    case Kind::kSpike: return "spike";
+    case Kind::kMsgDrop: return "msg_drop";
+    case Kind::kMsgDup: return "msg_dup";
   }
   return "?";
 }

@@ -24,6 +24,14 @@ enum class Kind : std::uint8_t {
   kRelease,       ///< arg1 = nodes released to the shared region
   kServiceGrant,  ///< arg0 = thief rank, arg1 = nodes granted
   kServiceDeny,   ///< arg0 = thief rank
+  // Hardened-protocol recovery actions.
+  kStealTimeout,  ///< arg0 = victim whose answer the thief stopped awaiting
+  kRetransmit,    ///< arg0 = peer a request/reply/token was resent to
+  // Injected faults (merged from the per-rank FaultInjector logs).
+  kStall,         ///< arg1 = injected stall duration (ns)
+  kSpike,         ///< arg1 = extra latency injected on a remote op (ns)
+  kMsgDrop,       ///< a message from this rank was lost on the wire
+  kMsgDup,        ///< arg1 = delay of the duplicated copy (ns)
 };
 
 const char* kind_name(Kind k);
@@ -61,6 +69,17 @@ class Trace {
                bool granted) {
     record(rank, {t, rank, granted ? Kind::kServiceGrant : Kind::kServiceDeny,
                   thief, nodes});
+  }
+  void timeout(int rank, std::uint64_t t, int victim) {
+    record(rank, {t, rank, Kind::kStealTimeout, victim, 0});
+  }
+  void retransmit(int rank, std::uint64_t t, int peer) {
+    record(rank, {t, rank, Kind::kRetransmit, peer, 0});
+  }
+  /// Injected fault (see pgas/faults.hpp); `ns` is the stall/spike/dup-delay
+  /// magnitude, 0 for drops.
+  void fault(int rank, std::uint64_t t, Kind kind, std::int64_t ns) {
+    record(rank, {t, rank, kind, 0, ns});
   }
 
   /// Mark the end of a rank's timeline (closes its last state interval).

@@ -3,6 +3,7 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
 namespace upcws::ws {
@@ -21,6 +22,21 @@ enum Tag : int {
 
 enum Color : std::uint8_t { kWhite = 0, kBlack = 1 };
 
+/// Hardened wire format: REQUEST/NONE/ACK carry a u32 sequence number;
+/// WORK carries the u32 followed by the node payload; the token carries its
+/// color byte followed by a u32 round number. The legacy (unhardened)
+/// format — empty control payloads, raw WORK, 1-byte token — is preserved
+/// bit-for-bit when WsConfig::steal_timeout_ns == 0.
+std::uint32_t get_u32(const std::vector<std::uint8_t>& p, std::size_t off) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p.data() + off, sizeof v);
+  return v;
+}
+
+void put_u32(std::uint8_t* dst, std::uint32_t v) {
+  std::memcpy(dst, &v, sizeof v);
+}
+
 class MpiWorker final : public NodeSink {
  public:
   MpiWorker(pgas::Ctx& ctx, mp::Comm& comm, StealStack& stack,
@@ -33,8 +49,10 @@ class MpiWorker final : public NodeSink {
         n_(ctx.nranks()),
         k_(static_cast<std::size_t>(cfg.chunk_size)),
         nb_(prob.node_bytes()),
-        my_(stack) {
+        my_(stack),
+        hardened_(cfg.hardened()) {
     nodebuf_.resize(nb_);
+    if (hardened_) cache_.resize(n_);
     // Rank 0 starts holding a token so it can initiate the first probe
     // round once it goes idle.
     if (me_ == 0) {
@@ -95,6 +113,10 @@ class MpiWorker final : public NodeSink {
   void poll_while_working() {
     mp::Message m;
     while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
+      if (hardened_) {
+        handle_request(m, /*can_grant=*/true, /*trace_denial=*/true);
+        continue;
+      }
       if (my_.local_size() >= 2 * k_) {
         // Carve the oldest k local nodes and ship them.
         my_.release(k_);
@@ -115,15 +137,50 @@ class MpiWorker final : public NodeSink {
           cfg_.trace->service(me_, ctx_.now_ns(), m.src, 0, false);
       }
     }
+    if (hardened_) drain_stray_replies();
     drain_acks_and_token();
   }
 
   void drain_acks_and_token() {
     mp::Message m;
-    while (comm_.try_recv(ctx_, mp::kAny, kTagAck, m)) --outstanding_acks_;
-    if (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+    while (comm_.try_recv(ctx_, mp::kAny, kTagAck, m)) {
+      if (!hardened_) {
+        --outstanding_acks_;
+        continue;
+      }
+      // Count each grant's ack exactly once; re-acks of nudged duplicates
+      // and acks for superseded grants are suppressed.
+      GrantCache& gc = cache_[m.src];
+      if (gc.seq != 0 && gc.seq == get_u32(m.payload, 0) && !gc.acked) {
+        gc.acked = true;
+        --outstanding_acks_;
+      } else {
+        ++st_.c.dups_suppressed;
+      }
+    }
+    if (!hardened_) {
+      if (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+        has_token_ = true;
+        token_color_ = static_cast<Color>(m.payload.at(0));
+      }
+      return;
+    }
+    while (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+      const auto c = static_cast<Color>(m.payload.at(0));
+      const std::uint32_t rd = get_u32(m.payload, 1);
+      // Round filter: rank 0 accepts only the round it is waiting on (its
+      // own regenerations obsolete older rounds); other ranks accept each
+      // round once, in increasing order — duplicated or superseded tokens
+      // are dropped, so at most one token per round circulates usefully.
+      const bool fresh = me_ == 0 ? rd == round_ : rd > max_round_seen_;
+      if (!fresh) {
+        ++st_.c.dups_suppressed;
+        continue;
+      }
       has_token_ = true;
-      token_color_ = static_cast<Color>(m.payload.at(0));
+      token_color_ = c;
+      token_round_ = rd;
+      if (me_ != 0) max_round_seen_ = rd;
     }
   }
 
@@ -133,10 +190,16 @@ class MpiWorker final : public NodeSink {
   bool idle_comm() {
     mp::Message m;
     while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
+      if (hardened_) {
+        handle_request(m, /*can_grant=*/false, /*trace_denial=*/false);
+        continue;
+      }
       comm_.send(ctx_, m.src, kTagNone);
       ++st_.c.requests_denied;
     }
+    if (hardened_ && wait_victim_ < 0) drain_stray_replies();
     drain_acks_and_token();
+    if (hardened_) nudge_unacked();
     if (comm_.try_recv(ctx_, mp::kAny, kTagTerm, m)) return true;
 
     // Token rules (EWD840 with the ack hardening): only a passive rank with
@@ -144,26 +207,178 @@ class MpiWorker final : public NodeSink {
     if (has_token_ && outstanding_acks_ == 0) {
       if (me_ == 0) {
         if (round_started_ && token_color_ == kWhite && color_ == kWhite) {
-          for (int r = 1; r < n_; ++r) comm_.send(ctx_, r, kTagTerm);
+          broadcast_term();
           return true;
         }
         round_started_ = true;
         color_ = kWhite;
         has_token_ = false;
-        const std::uint8_t c = kWhite;
-        comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+        send_token(kWhite, hardened_ ? ++round_ : 0);
       } else {
         const std::uint8_t c = (color_ == kBlack) ? kBlack : token_color_;
         color_ = kWhite;
         has_token_ = false;
-        comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+        send_token(static_cast<Color>(c), token_round_);
       }
+    } else if (hardened_ && me_ == 0 && !has_token_ && round_started_ &&
+               outstanding_acks_ == 0 &&
+               ctx_.now_ns() - token_sent_ns_ >= token_rto_ns()) {
+      // The round's token is overdue — presumed dropped somewhere on the
+      // ring. Regenerate under a fresh round number; any late survivor of
+      // the old round is filtered out by every receiver.
+      color_ = kWhite;
+      send_token(kWhite, ++round_);
+      ++st_.c.retransmits;
+      if (cfg_.trace != nullptr)
+        cfg_.trace->retransmit(me_, ctx_.now_ns(), ring_next());
     }
     return false;
   }
 
   /// Token travels "down": 0 -> n-1 -> n-2 -> ... -> 1 -> 0.
   int ring_next() const { return me_ == 0 ? n_ - 1 : me_ - 1; }
+
+  void send_token(Color c, std::uint32_t round) {
+    if (!hardened_) {
+      const std::uint8_t b = c;
+      comm_.send(ctx_, ring_next(), kTagToken, &b, 1);
+      return;
+    }
+    std::uint8_t buf[5];
+    buf[0] = c;
+    put_u32(buf + 1, round);
+    comm_.send(ctx_, ring_next(), kTagToken, buf, sizeof buf);
+    if (me_ == 0) token_sent_ns_ = ctx_.now_ns();
+  }
+
+  /// A full ring traversal plus slack; after this long without the round's
+  /// token returning, rank 0 assumes it was dropped.
+  std::uint64_t token_rto_ns() const {
+    return cfg_.steal_timeout_ns * static_cast<std::uint64_t>(2 * n_);
+  }
+
+  void broadcast_term() {
+    // Under message drops the TERM broadcast is repeated: each rank must
+    // miss every copy to hang, which the repetition makes vanishingly
+    // unlikely (documented as probabilistic delivery; the watchdog is the
+    // backstop). Without drops one copy suffices.
+    pgas::FaultInjector* fi = ctx_.faults();
+    const int reps = (fi != nullptr && fi->plan().drop_prob > 0.0) ? 16 : 1;
+    for (int rep = 0; rep < reps; ++rep)
+      for (int r = 1; r < n_; ++r) comm_.send(ctx_, r, kTagTerm);
+  }
+
+  // ---- hardened victim side: per-thief reply cache -----------------------
+
+  /// Last reply sent to each thief. A duplicate REQUEST (same seq — the
+  /// thief timed out, or the wire duplicated it) is answered by resending
+  /// the cached reply, never by granting twice; a newer seq implicitly acks
+  /// the previous grant (the thief only moves on after absorbing it).
+  struct GrantCache {
+    std::uint32_t seq = 0;  ///< 0 = no history (thief seqs start at 1)
+    bool acked = true;
+    bool is_work = false;
+    std::vector<std::uint8_t> reply;
+    std::uint64_t last_send_ns = 0;
+  };
+
+  void handle_request(const mp::Message& m, bool can_grant,
+                      bool trace_denial) {
+    const std::uint32_t seq = get_u32(m.payload, 0);
+    GrantCache& gc = cache_[m.src];
+    if (gc.seq != 0) {
+      if (seq < gc.seq) return;  // ancient duplicate: drop silently
+      if (seq == gc.seq) {
+        ++st_.c.dups_suppressed;
+        resend_cached(m.src, gc);
+        return;
+      }
+      if (!gc.acked) {  // newer request: the old grant was consumed
+        gc.acked = true;
+        --outstanding_acks_;
+      }
+    }
+    answer_request(m.src, seq, can_grant, trace_denial);
+  }
+
+  void answer_request(int src, std::uint32_t seq, bool can_grant,
+                      bool trace_denial) {
+    GrantCache& gc = cache_[src];
+    gc.seq = seq;
+    gc.last_send_ns = ctx_.now_ns();
+    if (can_grant && my_.local_size() >= 2 * k_) {
+      my_.release(k_);
+      const std::size_t begin = my_.reserve(k_);
+      gc.is_work = true;
+      gc.acked = false;
+      gc.reply.resize(4 + k_ * nb_);
+      put_u32(gc.reply.data(), seq);
+      std::memcpy(gc.reply.data() + 4, my_.slot(begin), k_ * nb_);
+      comm_.send(ctx_, src, kTagWork, gc.reply.data(), gc.reply.size());
+      my_.maybe_compact();
+      color_ = kBlack;
+      ++outstanding_acks_;
+      ++st_.c.requests_serviced;
+      ++st_.c.releases;
+      if (cfg_.trace != nullptr)
+        cfg_.trace->service(me_, ctx_.now_ns(), src,
+                            static_cast<std::int64_t>(k_), true);
+    } else {
+      gc.is_work = false;
+      gc.acked = true;
+      gc.reply.resize(4);
+      put_u32(gc.reply.data(), seq);
+      comm_.send(ctx_, src, kTagNone, gc.reply.data(), gc.reply.size());
+      ++st_.c.requests_denied;
+      if (trace_denial && cfg_.trace != nullptr)
+        cfg_.trace->service(me_, ctx_.now_ns(), src, 0, false);
+    }
+  }
+
+  void resend_cached(int src, GrantCache& gc) {
+    gc.last_send_ns = ctx_.now_ns();
+    comm_.send(ctx_, src, gc.is_work ? kTagWork : kTagNone, gc.reply.data(),
+               gc.reply.size());
+    ++st_.c.retransmits;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->retransmit(me_, ctx_.now_ns(), src);
+  }
+
+  /// Idle victim: re-push any unacknowledged grant whose ack is overdue
+  /// (the WORK or its ACK may have been dropped). Without this, a lost ACK
+  /// would pin outstanding_acks_ above zero forever and block the token.
+  void nudge_unacked() {
+    if (outstanding_acks_ == 0) return;
+    const std::uint64_t now = ctx_.now_ns();
+    for (int t = 0; t < n_; ++t) {
+      GrantCache& gc = cache_[t];
+      if (gc.seq != 0 && gc.is_work && !gc.acked &&
+          now - gc.last_send_ns >= cfg_.steal_timeout_ns)
+        resend_cached(t, gc);
+    }
+  }
+
+  // ---- hardened thief side ----------------------------------------------
+
+  void send_ack(int dst, std::uint32_t seq) {
+    std::uint8_t buf[4];
+    put_u32(buf, seq);
+    comm_.send(ctx_, dst, kTagAck, buf, sizeof buf);
+  }
+
+  /// With no steal request outstanding, every WORK in the mailbox is a
+  /// nudged duplicate of a grant we already absorbed — re-ack it so the
+  /// victim stops resending — and every NONE is stale. Never called while
+  /// a request is outstanding (it would swallow the awaited reply).
+  void drain_stray_replies() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagWork, m)) {
+      send_ack(m.src, get_u32(m.payload, 0));
+      ++st_.c.dups_suppressed;
+    }
+    while (comm_.try_recv(ctx_, mp::kAny, kTagNone, m))
+      ++st_.c.dups_suppressed;
+  }
 
   bool find_work() {
     if (n_ == 1) {
@@ -181,33 +396,113 @@ class MpiWorker final : public NodeSink {
       if (v >= me_) ++v;
       ++st_.c.probes;
       ++st_.c.steal_attempts;
-      comm_.send(ctx_, v, kTagRequest);
-      set_state(State::kStealing);
-      // Await that victim's answer, staying responsive meanwhile.
-      for (;;) {
-        mp::Message m;
-        if (comm_.try_recv(ctx_, v, kTagWork, m)) {
-          absorb(m);
-          set_state(State::kWorking);
-          return true;
-        }
-        if (comm_.try_recv(ctx_, v, kTagNone, m)) {
-          ++st_.c.failed_steals;
-          break;
-        }
-        if (idle_comm()) return false;
-        ctx_.yield();
+      bool got;
+      if (hardened_) {
+        set_state(State::kStealing);
+        got = await_steal_hardened(v);
+      } else {
+        comm_.send(ctx_, v, kTagRequest);
+        set_state(State::kStealing);
+        got = await_steal(v);
       }
+      if (got) {
+        set_state(State::kWorking);
+        return true;
+      }
+      if (term_seen_) return false;
       set_state(State::kSearching);
       ctx_.yield();
     }
   }
 
+  /// Legacy steal round-trip: the bare request was already sent; await
+  /// that victim's answer, staying responsive meanwhile.
+  bool await_steal(int v) {
+    for (;;) {
+      mp::Message m;
+      if (comm_.try_recv(ctx_, v, kTagWork, m)) {
+        absorb(m);
+        return true;
+      }
+      if (comm_.try_recv(ctx_, v, kTagNone, m)) {
+        ++st_.c.failed_steals;
+        return false;
+      }
+      if (idle_comm()) {
+        term_seen_ = true;
+        return false;
+      }
+      ctx_.yield();
+    }
+  }
+
+  /// Hardened steal round-trip: the request carries a fresh sequence
+  /// number and is retransmitted (with exponential backoff) until the
+  /// victim answers with a matching WORK or NONE. The request is never
+  /// abandoned — a grant could already be committed or in flight, and
+  /// walking away from one would lose its nodes. Exactly-once absorption
+  /// holds because only a reply matching the outstanding seq is absorbed;
+  /// anything else is re-acked and dropped.
+  bool await_steal_hardened(int v) {
+    ++req_seq_;
+    wait_victim_ = v;
+    std::uint8_t req[4];
+    put_u32(req, req_seq_);
+    comm_.send(ctx_, v, kTagRequest, req, sizeof req);
+    std::uint64_t rto = cfg_.steal_timeout_ns;
+    std::uint64_t deadline = ctx_.now_ns() + rto;
+    for (;;) {
+      mp::Message m;
+      while (comm_.try_recv(ctx_, v, kTagWork, m)) {
+        const std::uint32_t seq = get_u32(m.payload, 0);
+        if (seq == req_seq_) {
+          wait_victim_ = -1;
+          absorb(m);
+          return true;
+        }
+        send_ack(v, seq);  // duplicate of an earlier absorbed grant
+        ++st_.c.dups_suppressed;
+      }
+      bool denied = false;
+      while (comm_.try_recv(ctx_, v, kTagNone, m)) {
+        if (get_u32(m.payload, 0) == req_seq_) {
+          denied = true;
+          break;
+        }
+        ++st_.c.dups_suppressed;
+      }
+      if (denied) {
+        wait_victim_ = -1;
+        ++st_.c.failed_steals;
+        return false;
+      }
+      if (idle_comm()) {
+        wait_victim_ = -1;
+        term_seen_ = true;
+        return false;
+      }
+      if (ctx_.now_ns() >= deadline) {
+        comm_.send(ctx_, v, kTagRequest, req, sizeof req);
+        ++st_.c.retransmits;
+        if (cfg_.trace != nullptr)
+          cfg_.trace->retransmit(me_, ctx_.now_ns(), v);
+        rto = std::min(rto * 2, cfg_.steal_timeout_ns * 8);
+        deadline = ctx_.now_ns() + rto;
+      }
+      ctx_.yield();
+    }
+  }
+
   void absorb(const mp::Message& m) {
-    const std::size_t take = m.payload.size() / nb_;
+    const std::size_t off = hardened_ ? 4 : 0;
+    const std::size_t take = (m.payload.size() - off) / nb_;
     for (std::size_t i = 0; i < take; ++i)
-      my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) + i * nb_);
-    comm_.send(ctx_, m.src, kTagAck);
+      my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) + off +
+               i * nb_);
+    if (hardened_)
+      send_ack(m.src, get_u32(m.payload, 0));
+    else
+      comm_.send(ctx_, m.src, kTagAck);
     ++st_.c.steals;
     st_.steal_sizes.add(take);
     if (cfg_.trace != nullptr)
@@ -228,12 +523,23 @@ class MpiWorker final : public NodeSink {
   StealStack& my_;
   stats::ThreadStats st_;
   std::vector<std::byte> nodebuf_;
+  const bool hardened_;
 
   Color color_ = kWhite;
   Color token_color_ = kWhite;
   bool has_token_ = false;
   bool round_started_ = false;
   int outstanding_acks_ = 0;
+  bool term_seen_ = false;
+
+  // hardened-only state
+  std::uint32_t req_seq_ = 0;         ///< thief: last issued request seq
+  int wait_victim_ = -1;              ///< thief: victim awaited, or -1
+  std::vector<GrantCache> cache_;     ///< victim: last reply per thief
+  std::uint32_t round_ = 0;           ///< rank 0: current token round
+  std::uint32_t max_round_seen_ = 0;  ///< others: newest round accepted
+  std::uint32_t token_round_ = 0;     ///< round carried by the held token
+  std::uint64_t token_sent_ns_ = 0;   ///< rank 0: when the round's token left
 };
 
 }  // namespace

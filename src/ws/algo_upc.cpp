@@ -27,6 +27,7 @@ class UpcWorker final : public NodeSink {
         nb_(prob.node_bytes()),
         my_(g.stacks[me_]) {
     nodebuf_.resize(nb_);
+    backoff_ns_ = cfg.steal_backoff_ns;
     perm_.resize(n_ > 1 ? n_ - 1 : 0);
     int v = 0;
     for (int i = 0; i < n_; ++i)
@@ -179,7 +180,19 @@ class UpcWorker final : public NodeSink {
   void service_requests() {
     ctx_.charge_poll();
     const int req = g_.slots[me_].steal_request.load(std::memory_order_acquire);
-    if (req == kNoRequest) return;
+    if (req < 0) return;  // no request, or one we already claimed
+    if (cfg_.hardened()) {
+      // Claim the request before answering it. A timed-out thief abandons
+      // its request by CASing thief->kNoRequest; this CAS and that one are
+      // mutually exclusive, so either the thief withdrew (we do nothing) or
+      // we are now committed and its cancellation will fail — the granted
+      // chunk can never be orphaned.
+      ctx_.charge(ctx_.net().local_ref_ns);
+      int expect = req;
+      if (!g_.slots[me_].steal_request.compare_exchange_strong(
+              expect, kServicing, std::memory_order_acq_rel))
+        return;  // thief gave up first
+    }
     const std::int64_t chunks =
         static_cast<std::int64_t>(my_.shared_size() / k_);
     if (chunks < 1) {
@@ -261,6 +274,14 @@ class UpcWorker final : public NodeSink {
 
   /// §3.3.3 steal: CAS our id into the victim's request word, spin on our
   /// own (local) response word, then one-sided-get the granted run.
+  ///
+  /// Hardened variant (cfg_.steal_timeout_ns > 0): if the victim does not
+  /// answer within the timeout (it may be stalled, possibly inside a
+  /// critical section), withdraw the request with a CAS me->kNoRequest and
+  /// back off exponentially before re-probing. The victim's claim-CAS
+  /// (kServicing) in service_requests() makes withdrawal and grant mutually
+  /// exclusive; once withdrawal fails the response is committed and we must
+  /// consume it — exactly-once chunk transfer either way.
   bool steal_reqresp(int v) {
     auto& mine = g_.slots[me_];
     ctx_.charge(ctx_.net().local_ref_ns);
@@ -268,17 +289,40 @@ class UpcWorker final : public NodeSink {
     int expect = kNoRequest;
     if (!ctx_.cas(g_.slots[v].steal_request, v, expect, me_))
       return false;  // another thief got there first; move on
+    const bool hardened = cfg_.hardened();
+    const std::uint64_t deadline =
+        hardened ? ctx_.now_ns() + cfg_.steal_timeout_ns : 0;
+    bool cancelable = hardened;
     for (;;) {
       ctx_.charge_poll();
       const std::int64_t a = mine.resp_amount.load(std::memory_order_acquire);
-      if (a == 0) return false;  // denied
+      if (a == 0) {
+        backoff_ns_ = cfg_.steal_backoff_ns;  // the victim answered in time
+        return false;                         // denied
+      }
       if (a > 0) {
         const std::size_t take = static_cast<std::size_t>(a);
         xfer_.resize(take * nb_);
         ctx_.bulk_get(xfer_.data(), g_.slots[v].outbox[me_].data(), take * nb_,
                       v);
         absorb(take);
+        backoff_ns_ = cfg_.steal_backoff_ns;
         return true;
+      }
+      if (cancelable && ctx_.now_ns() >= deadline) {
+        int still_me = me_;
+        if (ctx_.cas(g_.slots[v].steal_request, v, still_me, kNoRequest)) {
+          // Withdrawn before the victim claimed it; no response will come.
+          ++st_.c.steal_timeouts;
+          if (cfg_.trace != nullptr)
+            cfg_.trace->timeout(me_, ctx_.now_ns(), v);
+          ctx_.charge(backoff_ns_);
+          backoff_ns_ = std::min(backoff_ns_ * 2, cfg_.steal_backoff_max_ns);
+          return false;
+        }
+        // The victim already claimed (kServicing) or answered: a response
+        // is committed, so stop trying to cancel and wait it out.
+        cancelable = false;
       }
       // Pending. Keep global liveness while we wait: deny steal requests
       // aimed at us, and abandon the wait if termination was announced
@@ -509,6 +553,8 @@ class UpcWorker final : public NodeSink {
   std::vector<std::byte> xfer_;
   std::vector<int> perm_;
   std::size_t last_take_ = 0;  // nodes moved by the most recent steal
+  /// Hardened only: current exponential-backoff delay after a steal timeout.
+  std::uint64_t backoff_ns_ = 0;
 };
 
 }  // namespace

@@ -97,6 +97,22 @@ struct WsConfig {
   /// visited (and only while it holds at least 2 chunks of surplus).
   int push_interval = 32;
 
+  // --- hardened steal protocols (fault tolerance; off by default) --------
+
+  /// If > 0, enables the hardened protocols: a distmem thief abandons a
+  /// steal request unanswered for this long (Ctx-time ns) and re-probes,
+  /// and an mpi-ws thief retransmits sequence-numbered requests on this
+  /// period. 0 keeps the paper's original protocols bit-for-bit.
+  std::uint64_t steal_timeout_ns = 0;
+
+  /// Hardened only: initial backoff after an abandoned steal attempt;
+  /// doubles per consecutive timeout up to steal_backoff_max_ns.
+  std::uint64_t steal_backoff_ns = 20'000;
+  std::uint64_t steal_backoff_max_ns = 1'000'000;
+
+  /// True when the timeout/retry hardening is active.
+  bool hardened() const { return steal_timeout_ns > 0; }
+
   /// Optional execution trace sink (state changes + load-balancing events);
   /// see trace/trace.hpp. Not owned; must outlive the run.
   trace::Trace* trace = nullptr;
@@ -111,6 +127,10 @@ struct WsConfig {
       throw std::invalid_argument(
           "release_threshold < 2 (release must leave >= k local nodes)");
     if (poll_interval < 1) throw std::invalid_argument("poll_interval < 1");
+    if (steal_timeout_ns > 0 && steal_backoff_ns == 0)
+      throw std::invalid_argument("steal_backoff_ns == 0 with timeout set");
+    if (steal_backoff_max_ns < steal_backoff_ns)
+      throw std::invalid_argument("steal_backoff_max_ns < steal_backoff_ns");
   }
 };
 

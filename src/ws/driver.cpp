@@ -2,14 +2,60 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
 
 #include "mp/comm.hpp"
+#include "trace/trace.hpp"
 #include "ws/algo_mpi.hpp"
 #include "ws/algo_push.hpp"
 #include "ws/algo_upc.hpp"
 #include "ws/shared_state.hpp"
 
 namespace upcws::ws {
+
+namespace {
+
+/// Copy the rank's injected-fault tallies into its stats block and merge
+/// its fault events into the trace. Must run inside the SPMD body: the
+/// injectors live only for the duration of Engine::run.
+void harvest_faults(pgas::Ctx& ctx, stats::ThreadStats& st,
+                    trace::Trace* tr) {
+  pgas::FaultInjector* fi = ctx.faults();
+  if (fi == nullptr) return;
+  const pgas::FaultCounters& fc = fi->counters();
+  st.c.faults_stalls = fc.stalls;
+  st.c.faults_stall_ns = fc.stall_ns_total;
+  st.c.faults_spikes = fc.spikes;
+  st.c.faults_dropped = fc.msgs_dropped;
+  st.c.faults_duplicated = fc.msgs_duplicated;
+  if (tr == nullptr) return;
+  for (const pgas::FaultEvent& e : fi->events()) {
+    trace::Kind k = trace::Kind::kStall;
+    switch (e.kind) {
+      case pgas::FaultEvent::Kind::kStall: k = trace::Kind::kStall; break;
+      case pgas::FaultEvent::Kind::kSpike: k = trace::Kind::kSpike; break;
+      case pgas::FaultEvent::Kind::kMsgDrop: k = trace::Kind::kMsgDrop; break;
+      case pgas::FaultEvent::Kind::kMsgDup: k = trace::Kind::kMsgDup; break;
+    }
+    tr->fault(ctx.rank(), e.t_ns, k, static_cast<std::int64_t>(e.ns));
+  }
+}
+
+/// Tail of the trace, newest last, for hang reports.
+std::string trace_tail(const trace::Trace* tr, std::size_t n) {
+  if (tr == nullptr) return {};
+  std::ostringstream os;
+  const std::vector<trace::Event> all = tr->merged();
+  const std::size_t begin = all.size() > n ? all.size() - n : 0;
+  os << "last " << (all.size() - begin) << " trace events:\n";
+  for (std::size_t i = begin; i < all.size(); ++i)
+    os << "  t=" << all[i].t_ns << " rank=" << all[i].rank << " "
+       << trace::kind_name(all[i].kind) << " arg0=" << all[i].arg0
+       << " arg1=" << all[i].arg1 << "\n";
+  return os.str();
+}
+
+}  // namespace
 
 SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
                         const Problem& prob, const WsConfig& cfg,
@@ -20,6 +66,7 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
   SearchResult result;
   result.per_thread.resize(rcfg.nranks);
   std::vector<stats::ThreadStats>& per_thread = result.per_thread;
+  pgas::RunConfig rc = rcfg;  // may gain a default hang reporter below
 
   if (cfg.termination == Termination::kToken) {
     mp::Comm comm(rcfg.nranks);
@@ -27,11 +74,16 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
     std::vector<StealStack> stacks(rcfg.nranks);
     for (int r = 0; r < rcfg.nranks; ++r)
       stacks[r].init(prob.node_bytes(), r);
-    result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
+    if (rc.watchdog_ns > 0 && !rc.hang_reporter)
+      rc.hang_reporter = [&comm, tr = cfg.trace] {
+        return comm.debug_report() + trace_tail(tr, 24);
+      };
+    result.run = engine.run(rc, [&](pgas::Ctx& ctx) {
       per_thread[ctx.rank()] =
           cfg.push_based
               ? run_push_rank(ctx, comm, stacks[ctx.rank()], prob, cfg)
               : run_mpi_rank(ctx, comm, stacks[ctx.rank()], prob, cfg);
+      harvest_faults(ctx, per_thread[ctx.rank()], cfg.trace);
     });
   } else {
     SharedState g(rcfg.nranks, prob.node_bytes());
@@ -42,8 +94,37 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
         g.stacks[r].work_avail().store(kNoWorkAtAll,
                                        std::memory_order_relaxed);
     }
-    result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
+    if (rc.watchdog_ns > 0 && !rc.hang_reporter)
+      rc.hang_reporter = [&g, nr = rcfg.nranks, tr = cfg.trace] {
+        // Fibers are parked when this runs, so plain relaxed reads give a
+        // consistent picture of the stuck protocol.
+        std::ostringstream os;
+        os << "shared-state snapshot:\n";
+        for (int r = 0; r < nr; ++r)
+          os << "  rank " << r << ": work_avail="
+             << g.stacks[r].work_avail().load(std::memory_order_relaxed)
+             << " lock_holder="
+             << g.stacks[r].lock().holder.load(std::memory_order_relaxed)
+             << " steal_request="
+             << g.slots[r].steal_request.load(std::memory_order_relaxed)
+             << " resp_amount="
+             << g.slots[r].resp_amount.load(std::memory_order_relaxed)
+             << " term_flag="
+             << g.slots[r].term_flag.load(std::memory_order_relaxed) << "\n";
+        os << "  cb_lock_holder="
+           << g.cb_lock.holder.load(std::memory_order_relaxed)
+           << " cb_count=" << g.cb_count.load(std::memory_order_relaxed)
+           << " cb_cancel=" << g.cb_cancel.load(std::memory_order_relaxed)
+           << " cb_done=" << g.cb_done.load(std::memory_order_relaxed)
+           << " bar_count=" << g.bar_count.load(std::memory_order_relaxed)
+           << " term_root=" << g.term_root.load(std::memory_order_relaxed)
+           << "\n";
+        os << trace_tail(tr, 24);
+        return os.str();
+      };
+    result.run = engine.run(rc, [&](pgas::Ctx& ctx) {
       per_thread[ctx.rank()] = run_upc_rank(ctx, g, prob, cfg);
+      harvest_faults(ctx, per_thread[ctx.rank()], cfg.trace);
     });
   }
 
@@ -123,6 +204,7 @@ SearchResult run_static_partition(pgas::Engine& engine,
   result.run = engine.run(rcfg, [&](pgas::Ctx& ctx) {
     StaticRank r(ctx, prob);
     per_thread[ctx.rank()] = r.run();
+    harvest_faults(ctx, per_thread[ctx.rank()], nullptr);
   });
   const double seq_rate =
       seq_nodes_per_sec > 0.0

@@ -28,6 +28,13 @@ inline constexpr std::int64_t kNoWorkAtAll = -1;
 /// steal_request: rank id of the requesting thief, or kNoRequest.
 inline constexpr int kNoRequest = -1;
 
+/// steal_request: the victim has claimed the pending request and is
+/// committed to answering it (hardened protocol only). A thief that wants
+/// to abandon a timed-out request CASes thief->kNoRequest; once the victim
+/// has CASed thief->kServicing that cancellation can no longer succeed, so
+/// a grant is never orphaned (exactly-once chunk transfer).
+inline constexpr int kServicing = -2;
+
 /// steal response word: kRespPending until the victim answers with the node
 /// count granted (0 = denied).
 inline constexpr std::int64_t kRespPending = -1;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
 #include "uts/sequential.hpp"
 #include "ws/driver.hpp"
 #include "ws/uts_problem.hpp"
@@ -117,6 +118,102 @@ TEST(Timeline, RealRunProducesBalancedEvents) {
   for (int v : series) peak = std::max(peak, v);
   EXPECT_GT(peak, 1) << "diffusion should create multiple work sources";
   EXPECT_LE(peak, 8);
+}
+
+// ---------------------------------------------------------------------------
+// The same perturbations on ThreadEngine: real threads, real (wall-clock)
+// delays via inject_scale, real races. Timings are not reproducible here,
+// so only the exact-count invariant is asserted.
+
+TEST(ThreadPerturbation, JitterExactUnderRealRaces) {
+  const uts::Params p = uts::test_small(6);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine::Options opt;
+  opt.inject_scale = 0.05;  // distributed-model delays at 5% scale, for real
+  pgas::ThreadEngine eng(opt);
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.net.jitter_frac = 2.0;
+  for (ws::Algo a : ws::kAllAlgos) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      rcfg.seed = seed;
+      const auto r = ws::run_algo(eng, rcfg, a, prob, 2);
+      EXPECT_EQ(r.total_nodes(), want)
+          << ws::algo_label(a) << " seed " << seed;
+    }
+  }
+}
+
+TEST(ThreadPerturbation, StragglerExactAndRoutedAround) {
+  const uts::Params p = uts::test_small(6);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine::Options opt;
+  opt.inject_scale = 0.05;
+  pgas::ThreadEngine eng(opt);
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.net.straggler_rank = 1;
+  rcfg.net.straggler_work_factor = 8.0;
+  for (ws::Algo a : ws::kAllAlgos) {
+    const auto r = ws::run_algo(eng, rcfg, a, prob, 2);
+    EXPECT_EQ(r.total_nodes(), want) << ws::algo_label(a);
+    // Work stealing routes load away from the slow rank: it must not end
+    // up doing the largest share.
+    std::uint64_t straggler = r.per_thread[1].c.nodes, most = 0;
+    for (const auto& t : r.per_thread) most = std::max(most, t.c.nodes);
+    EXPECT_LT(straggler, most) << ws::algo_label(a);
+  }
+}
+
+TEST(ThreadPerturbation, FaultPlanStallsExact) {
+  // Fault-plan stalls on ThreadEngine freeze the OS thread for real wall
+  // time (times are wall-clock nanoseconds since the run epoch).
+  const uts::Params p = uts::test_small(6);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  rcfg.net = pgas::NetModel::free();
+  pgas::FaultPlan plan;
+  plan.stall_ns = 50'000;        // 50 us real freezes...
+  plan.stall_period_ns = 200'000;  // ...a few times per millisecond
+  rcfg.faults = plan;
+  for (ws::Algo a : ws::kAllAlgos) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      rcfg.seed = seed;
+      const auto r = ws::run_algo(eng, rcfg, a, prob, 2);
+      EXPECT_EQ(r.total_nodes(), want)
+          << ws::algo_label(a) << " seed " << seed;
+    }
+  }
+}
+
+TEST(ThreadPerturbation, HardenedMpiDropDupExact) {
+  // Message drop/duplication with the hardened mpi-ws on real threads:
+  // retransmit timers run on the wall clock.
+  const uts::Params p = uts::test_small(6);
+  const ws::UtsProblem prob(p);
+  const auto want = uts::search_sequential(p)->nodes;
+  pgas::ThreadEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 4;
+  rcfg.net = pgas::NetModel::free();
+  pgas::FaultPlan plan;
+  plan.drop_prob = 0.05;
+  plan.dup_prob = 0.05;
+  rcfg.faults = plan;
+  ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kMpiWs, 2);
+  cfg.steal_timeout_ns = 200'000;  // 0.2 ms wall-clock retransmit timer
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    rcfg.seed = seed;
+    const auto r = ws::run_search(eng, rcfg, prob, cfg);
+    EXPECT_EQ(r.total_nodes(), want) << "seed " << seed;
+  }
 }
 
 TEST(Driver, InvalidConfigsThrow) {
