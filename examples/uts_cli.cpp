@@ -39,6 +39,15 @@
 //                 (default when any fault is active: 10x remote latency)
 //   --watchdog-ms M   abort with a structured hang report if no rank
 //                 visits a node for M virtual milliseconds (sim engine)
+//   --crash R@NS[,R@NS...]  permanent fail-stop: rank R crashes at ~NS of
+//                 its own virtual time. Survivors detect the death, revoke
+//                 the dead rank's lock leases, salvage its stack, and replay
+//                 orphaned in-flight transfers, so the traversal still
+//                 visits every node exactly once (docs/fault_injection.md)
+//   --crash-in-lock    make every --crash land while the rank holds a lock
+//   --crash-mid-steal  make every --crash land inside a steal transfer
+//   --crash-detect NS  failure-detection latency: survivors see a death
+//                 only NS ns (of their own clock) after it happened
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +80,27 @@ ws::Algo parse_algo(const std::string& s) {
   for (ws::Algo a : ws::kAllAlgos)
     if (s == ws::algo_label(a)) return a;
   usage("unknown algorithm label");
+}
+
+/// "RANK@NS[,RANK@NS...]" -> fail-stop specs appended to the plan.
+void parse_crashes(const std::string& spec, pgas::FaultPlan& plan) {
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    int rank = -1;
+    unsigned long long at = 0;
+    int consumed = 0;
+    if (std::sscanf(p, "%d@%llu%n", &rank, &at, &consumed) < 2 || rank < 0)
+      usage("bad --crash spec (want RANK@NS[,RANK@NS...])");
+    pgas::CrashSpec c;
+    c.rank = rank;
+    c.at_ns = at;
+    plan.crashes.push_back(c);
+    p += consumed;
+    if (*p == ',')
+      ++p;
+    else if (*p != '\0')
+      usage("bad --crash spec (want RANK@NS[,RANK@NS...])");
+  }
 }
 
 /// "DUR[:PERIOD[:RANK]]" (ns, ns, rank id) -> stall fields of the plan.
@@ -107,6 +137,7 @@ int main(int argc, char** argv) {
   std::string trace_json, trace_csv;
   std::uint64_t run_seed = 1;
   pgas::FaultPlan faults;
+  pgas::CrashSpec::Where crash_where = pgas::CrashSpec::Where::kAnywhere;
   std::uint64_t steal_timeout_ns = 0;
   bool steal_timeout_set = false;
   double watchdog_ms = 0.0;
@@ -164,6 +195,15 @@ int main(int argc, char** argv) {
     }
     else if (a == "--watchdog-ms")
       watchdog_ms = std::atof(next());
+    else if (a == "--crash")
+      parse_crashes(next(), faults);
+    else if (a == "--crash-in-lock")
+      crash_where = pgas::CrashSpec::Where::kInLock;
+    else if (a == "--crash-mid-steal")
+      crash_where = pgas::CrashSpec::Where::kMidSteal;
+    else if (a == "--crash-detect")
+      faults.crash_detect_ns =
+          static_cast<std::uint64_t>(std::atoll(next()));
     else
       usage(("unknown flag " + a).c_str());
   }
@@ -182,6 +222,7 @@ int main(int argc, char** argv) {
   else
     usage("unknown --net");
 
+  for (pgas::CrashSpec& c : faults.crashes) c.where = crash_where;
   rcfg.faults = faults;
   rcfg.watchdog_ns = static_cast<std::uint64_t>(watchdog_ms * 1e6);
 

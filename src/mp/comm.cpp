@@ -12,6 +12,7 @@ Comm::Comm(int nranks) {
 
 void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
                 std::size_t bytes) {
+  if (c.crashed()) return;  // a fail-stopped rank injects nothing
   const auto& net = c.net();
   // Sender-side CPU cost (message injection).
   c.charge(net.mp_send_overhead_ns);

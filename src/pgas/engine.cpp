@@ -12,6 +12,7 @@ void Ctx::bulk_get(void* dst, const void* src, std::size_t bytes, int owner) {
 }
 
 void Ctx::bulk_put(void* dst, const void* src, std::size_t bytes, int owner) {
+  if (dead_) return;  // a crashed rank's in-flight put never lands
   charge(jittered(net().bulk_ns(rank(), owner, bytes)));
   std::memcpy(dst, src, bytes);
   // Publish before any subsequent release-store handshake.

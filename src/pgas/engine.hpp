@@ -21,9 +21,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "pgas/faults.hpp"
 #include "pgas/netmodel.hpp"
@@ -32,14 +34,47 @@ namespace upcws::pgas {
 
 /// A UPC-style lock with affinity. The lock word is always manipulated via
 /// Ctx so both engines and the cost model see every operation.
+///
+/// The lock word packs a 32-bit *epoch* above the holder id. Under crash
+/// injection (RunConfig::faults.crashes) every hold also publishes a lease
+/// deadline; once the holder is seen dead by the liveness board *and* its
+/// lease has expired, a contender revokes the lock by CASing in a bumped
+/// epoch. A stale unlock from the revoked epoch then fails its CAS (the
+/// holder field no longer matches) and is rejected — a crashed-then-revoked
+/// holder can never release a lock someone else now owns. Without crash
+/// injection the epoch stays 0 and the word behaves exactly like the old
+/// plain holder word.
 struct Lock {
-  /// Rank currently holding the lock, or kFree.
-  std::atomic<int> holder{kFree};
+  /// epoch << 32 | (holder + 1); low half 0 = free.
+  std::atomic<std::uint64_t> word{0};
+  /// Lease deadline (Ctx time) of the current hold; only maintained when
+  /// crash injection is active.
+  std::atomic<std::uint64_t> lease_expiry_ns{0};
   /// Affinity: the rank where this lock "lives" (remote acquisition of a
   /// lock owned elsewhere pays network round trips).
   int owner = 0;
 
   static constexpr int kFree = -1;
+
+  static constexpr std::uint64_t pack(std::uint32_t epoch, int holder) {
+    return (static_cast<std::uint64_t>(epoch) << 32) |
+           static_cast<std::uint32_t>(holder + 1);
+  }
+  static constexpr int holder_of(std::uint64_t w) {
+    return static_cast<int>(w & 0xFFFFFFFFu) - 1;
+  }
+  static constexpr std::uint32_t epoch_of(std::uint64_t w) {
+    return static_cast<std::uint32_t>(w >> 32);
+  }
+
+  /// Current holder (kFree if free) — diagnostics only.
+  int holder() const {
+    return holder_of(word.load(std::memory_order_relaxed));
+  }
+  /// Current epoch (bumped once per revocation) — diagnostics only.
+  std::uint32_t epoch() const {
+    return epoch_of(word.load(std::memory_order_relaxed));
+  }
 };
 
 /// Per-rank execution context handed to the algorithm body.
@@ -81,6 +116,40 @@ class Ctx {
   /// body; algorithm code may consult the plan (e.g. for control-message
   /// redundancy) but must not mutate it.
   FaultInjector* faults() const { return faults_; }
+
+  // ------- crash-fault surface (null/false unless crashes are injected) ---
+
+  /// The run's shared liveness board, or nullptr when no crash is injected.
+  /// Algorithms use its presence as the "crash mode" flag: every
+  /// crash-tolerance code path is gated on it so a crash-free plan stays
+  /// byte-identical to a run with no plan at all.
+  Liveness* liveness() const { return live_; }
+
+  /// True once this rank's injected crash has fired (the Ctx is dead:
+  /// charges, stores, unlocks, and sends are suppressed while the stack
+  /// unwinds).
+  bool crashed() const { return dead_; }
+
+  /// Does this rank currently see rank `r` as dead?
+  bool rank_dead(int r) {
+    return live_ != nullptr && live_->dead(r, now_ns());
+  }
+
+  /// Mark entry/exit of a steal transfer so CrashSpec::Where::kMidSteal can
+  /// target it (see StealScope).
+  void set_steal_scope(bool on) { in_steal_ = on; }
+
+  /// Locks this rank revoked from dead holders / own unlocks rejected
+  /// because the lock had been revoked underneath us.
+  std::uint64_t locks_revoked() const { return locks_revoked_; }
+  std::uint64_t stale_unlocks() const { return stale_unlocks_; }
+
+  /// Timestamped revocations this rank performed (for trace merging).
+  struct RevokeEvent {
+    std::uint64_t t_ns;
+    int dead_holder;
+  };
+  const std::vector<RevokeEvent>& revocations() const { return revoke_log_; }
 
   // ------- convenience cost helpers (shared-memory abstraction à la UPC) --
 
@@ -124,7 +193,9 @@ class Ctx {
   /// One-sided bulk put: mirror image of bulk_get.
   void bulk_put(void* dst, const void* src, std::size_t bytes, int owner);
 
-  /// Atomic load/store of a shared word with cost accounting.
+  /// Atomic load/store of a shared word with cost accounting. Mutations
+  /// from a dead (crashed) Ctx are suppressed: destructors unwinding on the
+  /// crashed rank's stack must not become visible to the survivors.
   template <typename T>
   T get(const std::atomic<T>& v, int owner) {
     charge_ref(owner);
@@ -132,6 +203,7 @@ class Ctx {
   }
   template <typename T>
   void put(std::atomic<T>& v, int owner, T x) {
+    if (dead_) return;
     charge_ref(owner);
     v.store(x, std::memory_order_release);
   }
@@ -139,6 +211,7 @@ class Ctx {
   /// remote). Returns the previous value.
   template <typename T>
   T add(std::atomic<T>& v, int owner, T delta) {
+    if (dead_) return v.load(std::memory_order_acquire);
     charge_ref(owner);
     return v.fetch_add(delta, std::memory_order_acq_rel);
   }
@@ -146,6 +219,7 @@ class Ctx {
   /// remote). Returns true on success; `expected` updated as usual.
   template <typename T>
   bool cas(std::atomic<T>& v, int owner, T& expected, T desired) {
+    if (dead_) return false;
     charge_ref(owner);
     return v.compare_exchange_strong(expected, desired,
                                      std::memory_order_acq_rel);
@@ -156,9 +230,82 @@ class Ctx {
   /// support the watchdog override this. Must be free of cost accounting.
   virtual void note_progress() {}
 
+  /// Engines call this from charge()/yield(). When the rank's injected
+  /// crash fires, flips the Ctx into dead mode, publishes the death on the
+  /// liveness board, and throws RankCrashed.
+  void maybe_crash() {
+    if (dead_ || faults_ == nullptr || live_ == nullptr) return;
+    // Never throw from a charge made by an unlock or by a destructor during
+    // unwinding (both would std::terminate). The crash simply fires at the
+    // next safe interaction point instead.
+    if (in_unlock_ || std::uncaught_exceptions() > 0) return;
+    const std::uint64_t t = now_ns();
+    if (!faults_->crash_due(t, lock_depth_ > 0, in_steal_)) return;
+    dead_ = true;
+    live_->mark_dead(rank(), t);
+    throw RankCrashed{rank(), t};
+  }
+
+  /// One acquisition attempt on the packed lock word; shared by both
+  /// engines. In crash mode a held lock whose holder is detected dead and
+  /// whose lease has expired is revoked — acquired under a bumped epoch in
+  /// a single CAS, so exactly one contender wins the revocation.
+  bool lock_word_acquire(Lock& l) {
+    std::uint64_t w = l.word.load(std::memory_order_acquire);
+    if (Lock::holder_of(w) == Lock::kFree) {
+      if (!l.word.compare_exchange_strong(
+              w, Lock::pack(Lock::epoch_of(w), rank()),
+              std::memory_order_acq_rel))
+        return false;
+    } else {
+      if (live_ == nullptr) return false;
+      const int h = Lock::holder_of(w);
+      const std::uint64_t now = now_ns();
+      if (!live_->dead(h, now) ||
+          now < l.lease_expiry_ns.load(std::memory_order_acquire))
+        return false;  // live holder, or dead one still within its lease
+      if (!l.word.compare_exchange_strong(
+              w, Lock::pack(Lock::epoch_of(w) + 1, rank()),
+              std::memory_order_acq_rel))
+        return false;  // raced with the holder's release or another revoker
+      ++locks_revoked_;
+      if (revoke_log_.size() < 1024) revoke_log_.push_back({now, h});
+    }
+    if (live_ != nullptr)
+      l.lease_expiry_ns.store(now_ns() + lease_ns_, std::memory_order_release);
+    ++lock_depth_;
+    return true;
+  }
+
+  /// Release the packed lock word. A release whose epoch was revoked out
+  /// from under the caller is rejected (counted, not applied): the lock now
+  /// belongs to the revoker.
+  void lock_word_release(Lock& l) {
+    if (lock_depth_ > 0) --lock_depth_;
+    std::uint64_t w = l.word.load(std::memory_order_acquire);
+    if (Lock::holder_of(w) != rank() ||
+        !l.word.compare_exchange_strong(w,
+                                        Lock::pack(Lock::epoch_of(w),
+                                                   Lock::kFree),
+                                        std::memory_order_acq_rel))
+      ++stale_unlocks_;
+  }
+
   /// Set by the engine before the body runs when RunConfig::faults has any
   /// fault enabled; otherwise stays null and every hook is skipped.
   FaultInjector* faults_ = nullptr;
+
+  /// Crash-mode state; all null/zero (and every gate skipped) unless the
+  /// plan injects crashes.
+  Liveness* live_ = nullptr;
+  std::uint64_t lease_ns_ = 0;
+  bool dead_ = false;
+  int lock_depth_ = 0;
+  bool in_steal_ = false;
+  bool in_unlock_ = false;
+  std::uint64_t locks_revoked_ = 0;
+  std::uint64_t stale_unlocks_ = 0;
+  std::vector<RevokeEvent> revoke_log_;
 };
 
 /// RAII guard for Lock acquisition through a Ctx (never plain
@@ -174,6 +321,20 @@ class LockGuard {
  private:
   Ctx& c_;
   Lock& l_;
+};
+
+/// RAII marker for a steal transfer in progress, so an injected
+/// CrashSpec::Where::kMidSteal lands inside the window where work is in
+/// flight between two stacks.
+class StealScope {
+ public:
+  explicit StealScope(Ctx& c) : c_(c) { c_.set_steal_scope(true); }
+  ~StealScope() { c_.set_steal_scope(false); }
+  StealScope(const StealScope&) = delete;
+  StealScope& operator=(const StealScope&) = delete;
+
+ private:
+  Ctx& c_;
 };
 
 /// Per-run configuration shared by both engines.
@@ -199,6 +360,15 @@ struct RunConfig {
   /// ws driver snapshots per-rank protocol state). Called from scheduler
   /// context with no fiber running.
   std::function<std::string()> hang_reporter{};
+  /// Shared liveness board for crash injection. May be supplied by the
+  /// caller (so post-run code and hang reporters can read it); if left null
+  /// while faults.crashes is non-empty, the engine creates a board that
+  /// lives for the duration of run().
+  Liveness* liveness = nullptr;
+  /// Lock lease duration under crash injection: a dead holder's lock may be
+  /// revoked once its lease has expired. 0 = engine default (1 ms of Ctx
+  /// time). Ignored when no crash is injected.
+  std::uint64_t lock_lease_ns = 0;
 };
 
 struct RunResult {

@@ -20,6 +20,25 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t run_seed,
   if (stall_here_)
     next_stall_ns_ = static_cast<std::uint64_t>(
         static_cast<double>(plan_.stall_period_ns) * scale());
+  for (const CrashSpec& cs : plan_.crashes) {
+    if (cs.rank == rank) {
+      crash_here_ = true;
+      crash_spec_ = cs;
+      break;  // at most one crash per rank; the first spec wins
+    }
+  }
+}
+
+bool FaultInjector::crash_due(std::uint64_t now_ns, bool in_lock,
+                              bool in_steal) {
+  if (!crash_here_ || now_ns < crash_spec_.at_ns) return false;
+  if (crash_spec_.where == CrashSpec::Where::kInLock && !in_lock) return false;
+  if (crash_spec_.where == CrashSpec::Where::kMidSteal && !in_steal)
+    return false;
+  crash_here_ = false;  // fail-stop fires exactly once
+  ++c_.crashes;
+  record(FaultEvent::Kind::kCrash, now_ns, 0);
+  return true;
 }
 
 double FaultInjector::scale() {

@@ -18,11 +18,42 @@
 // synchronization under either engine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 namespace upcws::pgas {
+
+/// A permanent rank failure: at (or after) `at_ns` of the rank's own Ctx
+/// time, the rank fail-stops at its next eligible interaction point. The
+/// crash is modeled as an exception (RankCrashed) thrown from Ctx::charge /
+/// Ctx::yield; after it fires the Ctx is dead — every later lock release,
+/// store, or message send from that rank is suppressed, exactly as if the
+/// process had vanished mid-instruction.
+struct CrashSpec {
+  /// Refine *where* the crash may land, for targeting the nasty windows:
+  ///   kAnywhere — first interaction point at/after at_ns
+  ///   kInLock   — first interaction point at/after at_ns while the rank
+  ///               holds at least one Lock (a dead lock holder)
+  ///   kMidSteal — first interaction point at/after at_ns while the rank is
+  ///               inside a steal transfer (in-flight work)
+  enum class Where : std::uint8_t { kAnywhere, kInLock, kMidSteal };
+
+  int rank = -1;
+  std::uint64_t at_ns = 0;
+  Where where = Where::kAnywhere;
+};
+
+/// Thrown by a Ctx when its rank's injected crash fires. Algorithm workers
+/// catch it to finalize partial statistics; engines catch it as a backstop
+/// (the rank's SPMD body simply ends).
+struct RankCrashed {
+  int rank = -1;
+  std::uint64_t t_ns = 0;
+};
 
 /// What to inject. All-zero (the default) disables every fault class.
 struct FaultPlan {
@@ -45,12 +76,72 @@ struct FaultPlan {
   double drop_prob = 0.0;
   double dup_prob = 0.0;
 
+  /// Permanent rank failures (fail-stop). Empty = none.
+  std::vector<CrashSpec> crashes;
+  /// Failure-detection latency: a survivor's liveness view reports a rank
+  /// dead once the viewer's own clock passes death_time + crash_detect_ns
+  /// (0 = detection is immediate). Models the detector's suspicion delay
+  /// while staying deterministic per run.
+  std::uint64_t crash_detect_ns = 0;
+
   bool stalls_enabled() const { return stall_ns > 0 && stall_period_ns > 0; }
   bool spikes_enabled() const { return spike_prob > 0.0; }
   bool messages_enabled() const { return drop_prob > 0.0 || dup_prob > 0.0; }
+  bool crashes_enabled() const { return !crashes.empty(); }
   bool any() const {
-    return stalls_enabled() || spikes_enabled() || messages_enabled();
+    return stalls_enabled() || spikes_enabled() || messages_enabled() ||
+           crashes_enabled();
   }
+};
+
+/// Shared liveness board: one death-time word per rank, written once by the
+/// crashing rank at its moment of death and read by everyone else. A viewer
+/// sees the death only after the configured detection latency has elapsed
+/// on the *viewer's* clock, so detection order is deterministic under the
+/// simulator and racy-but-monotonic under real threads.
+class Liveness {
+ public:
+  Liveness(int nranks, std::uint64_t detect_ns)
+      : detect_ns_(detect_ns), death_(nranks) {
+    for (auto& d : death_) d.store(kAlive, std::memory_order_relaxed);
+  }
+
+  int nranks() const { return static_cast<int>(death_.size()); }
+  std::uint64_t detect_ns() const { return detect_ns_; }
+
+  /// Called once by rank `r` as it dies (and by nobody else).
+  void mark_dead(int r, std::uint64_t t_ns) {
+    death_[r].store(t_ns, std::memory_order_release);
+  }
+
+  /// Raw death time of `r` (kAlive if it has not crashed), ignoring the
+  /// detection latency — for post-mortem reports only.
+  std::uint64_t death_ns(int r) const {
+    return death_[r].load(std::memory_order_acquire);
+  }
+
+  /// Does a viewer whose clock reads `viewer_now_ns` see rank `r` as dead?
+  bool dead(int r, std::uint64_t viewer_now_ns) const {
+    const std::uint64_t d = death_[r].load(std::memory_order_acquire);
+    return d != kAlive && viewer_now_ns >= d + detect_ns_;
+  }
+
+  /// Number of ranks `viewer_now_ns` sees as dead / alive.
+  int dead_count(std::uint64_t viewer_now_ns) const {
+    int c = 0;
+    for (int r = 0; r < nranks(); ++r)
+      if (dead(r, viewer_now_ns)) ++c;
+    return c;
+  }
+  int live_count(std::uint64_t viewer_now_ns) const {
+    return nranks() - dead_count(viewer_now_ns);
+  }
+
+  static constexpr std::uint64_t kAlive = UINT64_MAX;
+
+ private:
+  std::uint64_t detect_ns_;
+  std::vector<std::atomic<std::uint64_t>> death_;
 };
 
 /// What one rank's injector actually did during a run.
@@ -61,13 +152,14 @@ struct FaultCounters {
   std::uint64_t spike_ns_total = 0;    ///< total extra latency (ns)
   std::uint64_t msgs_dropped = 0;      ///< messages lost at this sender
   std::uint64_t msgs_duplicated = 0;   ///< messages duplicated at this sender
+  std::uint64_t crashes = 0;           ///< 0 or 1: this rank fail-stopped
 };
 
 /// One injected fault, timestamped in Ctx time (virtual ns under the
 /// simulator). Collected per rank; the ws driver merges them into an
 /// attached trace::Trace.
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kStall, kSpike, kMsgDrop, kMsgDup };
+  enum class Kind : std::uint8_t { kStall, kSpike, kMsgDrop, kMsgDup, kCrash };
   std::uint64_t t_ns = 0;
   Kind kind = Kind::kStall;
   std::uint64_t ns = 0;  ///< stall duration / extra latency (0 for messages)
@@ -100,6 +192,12 @@ class FaultInjector {
   /// latency of the original copy.
   std::uint64_t duplicate_delay(std::uint64_t wire_ns, std::uint64_t now_ns);
 
+  /// Interaction-point hook: should this rank fail-stop right now?
+  /// `in_lock` / `in_steal` describe the rank's current scope so the
+  /// kInLock / kMidSteal crash variants can target their windows. Fires at
+  /// most once; the caller throws RankCrashed and kills the Ctx.
+  bool crash_due(std::uint64_t now_ns, bool in_lock, bool in_steal);
+
  private:
   void record(FaultEvent::Kind kind, std::uint64_t t_ns, std::uint64_t ns);
   /// U[0.5,1.5) scale factor for stall scheduling.
@@ -107,6 +205,8 @@ class FaultInjector {
 
   FaultPlan plan_;
   bool stall_here_ = false;  ///< stalls enabled and this rank is targeted
+  bool crash_here_ = false;  ///< a CrashSpec targets this rank (and is armed)
+  CrashSpec crash_spec_{};   ///< the (first) spec targeting this rank
   std::mt19937_64 rng_;
   std::uint64_t next_stall_ns_ = 0;
   FaultCounters c_;

@@ -11,13 +11,16 @@ namespace {
 class SimCtx final : public Ctx {
  public:
   SimCtx(sim::Scheduler& sched, int rank, int nranks, const NetModel& net,
-         std::uint64_t seed, FaultInjector* faults)
+         std::uint64_t seed, FaultInjector* faults, Liveness* live,
+         std::uint64_t lease_ns)
       : sched_(sched),
         rank_(rank),
         nranks_(nranks),
         net_(net),
         rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)) {
     faults_ = faults;
+    live_ = live;
+    lease_ns_ = lease_ns;
   }
 
   int rank() const override { return rank_; }
@@ -26,6 +29,8 @@ class SimCtx final : public Ctx {
   std::uint64_t now_ns() override { return sched_.now(rank_); }
 
   void charge(std::uint64_t ns) override {
+    if (dead_) return;  // a crashed rank's clock is frozen at its death
+    maybe_crash();
     sched_.advance(ns);
     // Causality bound: a fiber that charges a lot of virtual time without
     // reaching an explicit interaction point must not keep executing (its
@@ -41,6 +46,8 @@ class SimCtx final : public Ctx {
   }
 
   void yield() override {
+    if (dead_) return;
+    maybe_crash();
     // A fault-plan stall lands at the interaction point — including inside
     // a critical section, which is exactly how a frozen lock holder is
     // modeled (the stalled rank's clock jumps; contenders spin behind it).
@@ -57,13 +64,12 @@ class SimCtx final : public Ctx {
     // reference too (remote spinning is exactly what makes contended remote
     // locks so costly in UPC, paper §3.1/§3.3.3).
     charge_ref(l.owner);
-    int expect = Lock::kFree;
     // Cooperative fibers: no preemption between the check and the store, so
     // compare_exchange never spuriously races here — the spin models time,
-    // not memory contention.
-    while (!l.holder.compare_exchange_strong(expect, rank_,
-                                             std::memory_order_acq_rel)) {
-      expect = Lock::kFree;
+    // not memory contention. Under crash injection the acquire attempt also
+    // revokes a dead holder's expired lease, so a crashed lock holder stalls
+    // contenders for at most detect latency + lease.
+    while (!lock_word_acquire(l)) {
       sched_.yield();
       charge_ref(l.owner);
     }
@@ -71,14 +77,15 @@ class SimCtx final : public Ctx {
 
   bool try_lock(Lock& l) override {
     charge_ref(l.owner);
-    int expect = Lock::kFree;
-    return l.holder.compare_exchange_strong(expect, rank_,
-                                            std::memory_order_acq_rel);
+    return lock_word_acquire(l);
   }
 
   void unlock(Lock& l) override {
+    if (dead_) return;  // a crashed holder never releases; see revocation
+    in_unlock_ = true;
     charge_ref(l.owner);
-    l.holder.store(Lock::kFree, std::memory_order_release);
+    in_unlock_ = false;
+    lock_word_release(l);
   }
 
   std::mt19937_64& rng() override { return rng_; }
@@ -119,6 +126,18 @@ RunResult SimEngine::run(const RunConfig& cfg,
     if (inject)
       injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
 
+  // Crash injection needs a liveness board; use the caller's (so it can be
+  // read after the run / in hang reports) or make one for the run.
+  std::unique_ptr<Liveness> own_live;
+  Liveness* live = cfg.liveness;
+  if (cfg.faults.crashes_enabled() && live == nullptr) {
+    own_live = std::make_unique<Liveness>(cfg.nranks,
+                                          cfg.faults.crash_detect_ns);
+    live = own_live.get();
+  }
+  const std::uint64_t lease_ns =
+      cfg.lock_lease_ns != 0 ? cfg.lock_lease_ns : 1'000'000ull;
+
   // Declared after the injectors on purpose: on abnormal teardown (time
   // limit, hang watchdog) ~Scheduler cancel-unwinds suspended fibers, and
   // destructors on those stacks may still charge time through a Ctx that
@@ -126,8 +145,15 @@ RunResult SimEngine::run(const RunConfig& cfg,
   sim::Scheduler sched(scfg);
   for (int r = 0; r < cfg.nranks; ++r) {
     sched.spawn([&, r] {
-      SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed, injectors[r].get());
-      body(ctx);
+      SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed, injectors[r].get(),
+                 cfg.faults.crashes_enabled() ? live : nullptr, lease_ns);
+      try {
+        body(ctx);
+      } catch (const RankCrashed&) {
+        // Backstop for bodies that don't handle their own crash: the rank's
+        // fiber simply ends here, its last words already on the liveness
+        // board.
+      }
     });
   }
   sched.run();

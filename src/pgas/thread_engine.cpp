@@ -12,7 +12,7 @@ class ThreadCtx final : public Ctx {
  public:
   ThreadCtx(int rank, int nranks, const NetModel& net, std::uint64_t seed,
             double inject_scale, std::chrono::steady_clock::time_point epoch,
-            FaultInjector* faults)
+            FaultInjector* faults, Liveness* live, std::uint64_t lease_ns)
       : rank_(rank),
         nranks_(nranks),
         net_(net),
@@ -20,6 +20,8 @@ class ThreadCtx final : public Ctx {
         rng_(seed * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(rank)),
         start_(epoch) {
     faults_ = faults;
+    live_ = live;
+    lease_ns_ = lease_ns;
   }
 
   int rank() const override { return rank_; }
@@ -34,12 +36,16 @@ class ThreadCtx final : public Ctx {
   }
 
   void charge(std::uint64_t ns) override {
+    if (dead_) return;
+    maybe_crash();
     if (inject_scale_ <= 0.0) return;
     busy_wait(static_cast<std::uint64_t>(static_cast<double>(ns) *
                                          inject_scale_));
   }
 
   void yield() override {
+    if (dead_) return;
+    maybe_crash();
     // Fault-plan stalls freeze the thread for real wall time — including
     // while holding a Lock, which is how a stuck lock holder is produced
     // under genuine preemption. Stall durations are wall ns here (no
@@ -53,25 +59,20 @@ class ThreadCtx final : public Ctx {
 
   void lock(Lock& l) override {
     charge_ref(l.owner);
-    int expect = Lock::kFree;
-    while (!l.holder.compare_exchange_weak(expect, rank_,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_relaxed)) {
-      expect = Lock::kFree;
-      std::this_thread::yield();
-    }
+    while (!lock_word_acquire(l)) std::this_thread::yield();
   }
 
   bool try_lock(Lock& l) override {
     charge_ref(l.owner);
-    int expect = Lock::kFree;
-    return l.holder.compare_exchange_strong(expect, rank_,
-                                            std::memory_order_acq_rel);
+    return lock_word_acquire(l);
   }
 
   void unlock(Lock& l) override {
+    if (dead_) return;  // a crashed holder never releases; see revocation
+    in_unlock_ = true;
     charge_ref(l.owner);
-    l.holder.store(Lock::kFree, std::memory_order_release);
+    in_unlock_ = false;
+    lock_word_release(l);
   }
 
   std::mt19937_64& rng() override { return rng_; }
@@ -106,16 +107,31 @@ RunResult ThreadEngine::run(const RunConfig& cfg,
     for (int r = 0; r < cfg.nranks; ++r)
       injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
 
+  std::unique_ptr<Liveness> own_live;
+  Liveness* live = cfg.liveness;
+  if (cfg.faults.crashes_enabled() && live == nullptr) {
+    own_live = std::make_unique<Liveness>(cfg.nranks,
+                                          cfg.faults.crash_detect_ns);
+    live = own_live.get();
+  }
+  const std::uint64_t lease_ns =
+      cfg.lock_lease_ns != 0 ? cfg.lock_lease_ns : 1'000'000ull;
+
   const auto t0 = std::chrono::steady_clock::now();
   for (int r = 0; r < cfg.nranks; ++r) {
     threads.emplace_back([&, r] {
       ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0,
-                    injectors[r].get());
+                    injectors[r].get(),
+                    cfg.faults.crashes_enabled() ? live : nullptr, lease_ns);
       // Crude start-line barrier so ranks begin together.
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (ready.load(std::memory_order_acquire) < cfg.nranks)
         std::this_thread::yield();
-      body(ctx);
+      try {
+        body(ctx);
+      } catch (const RankCrashed&) {
+        // The rank fail-stopped; its thread ends here.
+      }
     });
   }
   for (auto& t : threads) t.join();

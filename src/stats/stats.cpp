@@ -40,6 +40,13 @@ RunStats aggregate(const std::vector<ThreadStats>& per_thread,
     r.total_faults_spikes += t.c.faults_spikes;
     r.total_faults_dropped += t.c.faults_dropped;
     r.total_faults_duplicated += t.c.faults_duplicated;
+    r.total_crashes += t.c.faults_crashes;
+    r.total_locks_revoked += t.c.locks_revoked;
+    r.total_stale_unlocks += t.c.stale_unlocks;
+    r.total_salvages += t.c.salvages;
+    r.total_replays += t.c.replays;
+    r.total_recovered_nodes += t.c.recovered_nodes;
+    r.total_dedup_drops += t.c.dedup_drops;
     r.max_depth = std::max(r.max_depth, t.c.max_depth);
     for (int s = 0; s < static_cast<int>(State::kCount); ++s) {
       state_ns[s] += t.timer.ns_in(static_cast<State>(s));
@@ -128,6 +135,13 @@ std::string RunStats::summary() const {
     os << " recovery[timeouts=" << total_steal_timeouts
        << " retransmits=" << total_retransmits
        << " dups_suppressed=" << total_dups_suppressed << "]";
+  if (total_crashes > 0)
+    os << " crash[crashes=" << total_crashes
+       << " revoked=" << total_locks_revoked
+       << " stale_unlocks=" << total_stale_unlocks
+       << " salvages=" << total_salvages << " replays=" << total_replays
+       << " recovered=" << total_recovered_nodes
+       << " dedup_drops=" << total_dedup_drops << "]";
   return os.str();
 }
 

@@ -55,6 +55,15 @@ struct Counters {
   std::uint64_t faults_spikes = 0;      ///< latency spikes injected
   std::uint64_t faults_dropped = 0;     ///< messages silently dropped
   std::uint64_t faults_duplicated = 0;  ///< messages duplicated
+
+  // --- crash-fault tolerance (0 unless the plan injects crashes) ----------
+  std::uint64_t faults_crashes = 0;   ///< this rank fail-stopped (0 or 1)
+  std::uint64_t locks_revoked = 0;    ///< dead holders' leases this rank broke
+  std::uint64_t stale_unlocks = 0;    ///< unlocks rejected from revoked epochs
+  std::uint64_t salvages = 0;         ///< dead-rank stacks this rank salvaged
+  std::uint64_t replays = 0;          ///< orphaned transfer records replayed
+  std::uint64_t recovered_nodes = 0;  ///< nodes reintroduced by this rank
+  std::uint64_t dedup_drops = 0;      ///< recovered nodes dropped as dups
 };
 
 /// Tracks which Figure-1 state a thread is in and accumulates ns per state.
@@ -140,6 +149,14 @@ struct RunStats {
   std::uint64_t total_faults_spikes = 0;
   std::uint64_t total_faults_dropped = 0;
   std::uint64_t total_faults_duplicated = 0;
+  /// Crash-fault tolerance totals (all 0 for a crash-free run).
+  std::uint64_t total_crashes = 0;
+  std::uint64_t total_locks_revoked = 0;
+  std::uint64_t total_stale_unlocks = 0;
+  std::uint64_t total_salvages = 0;
+  std::uint64_t total_replays = 0;
+  std::uint64_t total_recovered_nodes = 0;
+  std::uint64_t total_dedup_drops = 0;
   int max_depth = 0;
   double elapsed_s = 0.0;
 

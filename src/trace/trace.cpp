@@ -19,6 +19,9 @@ const char* kind_name(Kind k) {
     case Kind::kSpike: return "spike";
     case Kind::kMsgDrop: return "msg_drop";
     case Kind::kMsgDup: return "msg_dup";
+    case Kind::kRankCrashed: return "rank_crashed";
+    case Kind::kLockRevoked: return "lock_revoked";
+    case Kind::kWorkRecovered: return "work_recovered";
   }
   return "?";
 }

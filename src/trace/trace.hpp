@@ -32,6 +32,10 @@ enum class Kind : std::uint8_t {
   kSpike,         ///< arg1 = extra latency injected on a remote op (ns)
   kMsgDrop,       ///< a message from this rank was lost on the wire
   kMsgDup,        ///< arg1 = delay of the duplicated copy (ns)
+  // Crash faults and recovery.
+  kRankCrashed,   ///< this rank fail-stopped (permanent)
+  kLockRevoked,   ///< arg0 = dead holder whose lease this rank broke
+  kWorkRecovered, ///< arg0 = dead rank recovered from, arg1 = nodes
 };
 
 const char* kind_name(Kind k);
@@ -80,6 +84,15 @@ class Trace {
   /// magnitude, 0 for drops.
   void fault(int rank, std::uint64_t t, Kind kind, std::int64_t ns) {
     record(rank, {t, rank, kind, 0, ns});
+  }
+  void crash(int rank, std::uint64_t t) {
+    record(rank, {t, rank, Kind::kRankCrashed, 0, 0});
+  }
+  void revoke(int rank, std::uint64_t t, int dead_holder) {
+    record(rank, {t, rank, Kind::kLockRevoked, dead_holder, 0});
+  }
+  void recover(int rank, std::uint64_t t, int from, std::int64_t nodes) {
+    record(rank, {t, rank, Kind::kWorkRecovered, from, nodes});
   }
 
   /// Mark the end of a rank's timeline (closes its last state interval).

@@ -40,7 +40,7 @@ void put_u32(std::uint8_t* dst, std::uint32_t v) {
 class MpiWorker final : public NodeSink {
  public:
   MpiWorker(pgas::Ctx& ctx, mp::Comm& comm, StealStack& stack,
-            const Problem& prob, const WsConfig& cfg)
+            const Problem& prob, const WsConfig& cfg, RecoveryBoard* board)
       : ctx_(ctx),
         comm_(comm),
         prob_(prob),
@@ -50,14 +50,20 @@ class MpiWorker final : public NodeSink {
         k_(static_cast<std::size_t>(cfg.chunk_size)),
         nb_(prob.node_bytes()),
         my_(stack),
-        hardened_(cfg.hardened()) {
+        hardened_(cfg.hardened()),
+        board_(board),
+        crash_mode_(board != nullptr && ctx.liveness() != nullptr &&
+                    cfg.hardened()) {
     nodebuf_.resize(nb_);
     if (hardened_) cache_.resize(n_);
     // Rank 0 starts holding a token so it can initiate the first probe
-    // round once it goes idle.
+    // round once it goes idle. Under crash injection leadership is dynamic
+    // (lowest live rank); leading_ tracks whether we currently run the
+    // leader rules.
     if (me_ == 0) {
       has_token_ = true;
       token_color_ = kWhite;
+      leading_ = true;
     }
   }
 
@@ -69,9 +75,17 @@ class MpiWorker final : public NodeSink {
       prob_.root(nodebuf_.data());
       my_.push(nodebuf_.data());
     }
-    for (;;) {
-      do_work();
-      if (!find_work()) break;
+    try {
+      for (;;) {
+        do_work();
+        if (!find_work()) break;
+      }
+    } catch (const pgas::RankCrashed&) {
+      // Fail-stop: preserve the node popped-but-not-yet-expanded so a
+      // salvager finds the stack exactly as if the crash had landed just
+      // before the pop. Partial counters are returned as-is (visited-node
+      // counts are modeled as durable).
+      if (visiting_) my_.push(nodebuf_.data());
     }
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
@@ -99,11 +113,15 @@ class MpiWorker final : public NodeSink {
   }
 
   void visit() {
+    // visiting_ brackets the window where nodebuf_ holds a node that is on
+    // no stack and not yet counted (see the crash handler in run()).
+    visiting_ = true;
     ctx_.charge_node_work();
     ++st_.c.nodes;
     st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
     const int nc = prob_.expand(nodebuf_.data(), *this);
     if (nc == 0) ++st_.c.leaves;
+    visiting_ = false;
     st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
     ctx_.yield();
   }
@@ -168,11 +186,12 @@ class MpiWorker final : public NodeSink {
     while (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
       const auto c = static_cast<Color>(m.payload.at(0));
       const std::uint32_t rd = get_u32(m.payload, 1);
-      // Round filter: rank 0 accepts only the round it is waiting on (its
-      // own regenerations obsolete older rounds); other ranks accept each
-      // round once, in increasing order — duplicated or superseded tokens
-      // are dropped, so at most one token per round circulates usefully.
-      const bool fresh = me_ == 0 ? rd == round_ : rd > max_round_seen_;
+      // Round filter: the leader accepts only the round it is waiting on
+      // (its own regenerations obsolete older rounds); other ranks accept
+      // each round once, in increasing order — duplicated or superseded
+      // tokens are dropped, so at most one token per round circulates
+      // usefully.
+      const bool fresh = leading_ ? rd == round_ : rd > max_round_seen_;
       if (!fresh) {
         ++st_.c.dups_suppressed;
         continue;
@@ -180,7 +199,7 @@ class MpiWorker final : public NodeSink {
       has_token_ = true;
       token_color_ = c;
       token_round_ = rd;
-      if (me_ != 0) max_round_seen_ = rd;
+      if (!leading_) max_round_seen_ = rd;
     }
   }
 
@@ -188,6 +207,17 @@ class MpiWorker final : public NodeSink {
   /// token-ring termination rules. Returns true when TERMINATE arrives (or
   /// rank 0 decides termination).
   bool idle_comm() {
+    if (crash_mode_ && !leading_ && leader() == me_) {
+      // Leader takeover: every rank below us died. Adopt the leader rules
+      // and start a fresh round that obsoletes anything the dead leader
+      // left circulating on the ring.
+      leading_ = true;
+      round_ = max_round_seen_ + 1;
+      round_started_ = false;
+      has_token_ = true;
+      token_color_ = kBlack;  // force one full clean round before deciding
+      color_ = kBlack;
+    }
     mp::Message m;
     while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
       if (hardened_) {
@@ -203,10 +233,16 @@ class MpiWorker final : public NodeSink {
     if (comm_.try_recv(ctx_, mp::kAny, kTagTerm, m)) return true;
 
     // Token rules (EWD840 with the ack hardening): only a passive rank with
-    // no unacknowledged transfers may handle the token.
+    // no unacknowledged transfers may handle the token. Under crash
+    // injection the leader additionally requires that the finished round
+    // raced with no death or recovery (epoch snapshot) and that no
+    // recoverable work remains — a salvage or replay re-activates work the
+    // token never saw.
     if (has_token_ && outstanding_acks_ == 0) {
-      if (me_ == 0) {
-        if (round_started_ && token_color_ == kWhite && color_ == kWhite) {
+      if (leading_) {
+        if (round_started_ && token_color_ == kWhite && color_ == kWhite &&
+            (!crash_mode_ ||
+             (recovery_epoch() == round_epoch_ && recovery_clean()))) {
           broadcast_term();
           return true;
         }
@@ -220,7 +256,7 @@ class MpiWorker final : public NodeSink {
         has_token_ = false;
         send_token(static_cast<Color>(c), token_round_);
       }
-    } else if (hardened_ && me_ == 0 && !has_token_ && round_started_ &&
+    } else if (hardened_ && leading_ && !has_token_ && round_started_ &&
                outstanding_acks_ == 0 &&
                ctx_.now_ns() - token_sent_ns_ >= token_rto_ns()) {
       // The round's token is overdue — presumed dropped somewhere on the
@@ -235,10 +271,30 @@ class MpiWorker final : public NodeSink {
     return false;
   }
 
-  /// Token travels "down": 0 -> n-1 -> n-2 -> ... -> 1 -> 0.
-  int ring_next() const { return me_ == 0 ? n_ - 1 : me_ - 1; }
+  /// Token travels "down": 0 -> n-1 -> n-2 -> ... -> 1 -> 0. In crash mode
+  /// dead ranks are skipped, so the ring always spans exactly the ranks the
+  /// sender sees alive.
+  int ring_next() const {
+    int nxt = me_ == 0 ? n_ - 1 : me_ - 1;
+    if (!crash_mode_) return nxt;
+    for (int i = 0; i < n_; ++i) {
+      if (!ctx_.rank_dead(nxt)) return nxt;
+      nxt = nxt == 0 ? n_ - 1 : nxt - 1;
+    }
+    return me_;
+  }
+
+  /// Failure-aware leadership: the lowest live rank runs the EWD840 leader
+  /// rules (rank 0 until it dies).
+  int leader() const {
+    if (!crash_mode_) return 0;
+    for (int r = 0; r < n_; ++r)
+      if (r == me_ || !ctx_.rank_dead(r)) return r;
+    return me_;
+  }
 
   void send_token(Color c, std::uint32_t round) {
+    if (crash_mode_ && leading_) round_epoch_ = recovery_epoch();
     if (!hardened_) {
       const std::uint8_t b = c;
       comm_.send(ctx_, ring_next(), kTagToken, &b, 1);
@@ -248,7 +304,7 @@ class MpiWorker final : public NodeSink {
     buf[0] = c;
     put_u32(buf + 1, round);
     comm_.send(ctx_, ring_next(), kTagToken, buf, sizeof buf);
-    if (me_ == 0) token_sent_ns_ = ctx_.now_ns();
+    if (leading_) token_sent_ns_ = ctx_.now_ns();
   }
 
   /// A full ring traversal plus slack; after this long without the round's
@@ -265,7 +321,10 @@ class MpiWorker final : public NodeSink {
     pgas::FaultInjector* fi = ctx_.faults();
     const int reps = (fi != nullptr && fi->plan().drop_prob > 0.0) ? 16 : 1;
     for (int rep = 0; rep < reps; ++rep)
-      for (int r = 1; r < n_; ++r) comm_.send(ctx_, r, kTagTerm);
+      for (int r = 0; r < n_; ++r) {
+        if (r == me_ || (crash_mode_ && ctx_.rank_dead(r))) continue;
+        comm_.send(ctx_, r, kTagTerm);
+      }
   }
 
   // ---- hardened victim side: per-thief reply cache -----------------------
@@ -284,6 +343,7 @@ class MpiWorker final : public NodeSink {
 
   void handle_request(const mp::Message& m, bool can_grant,
                       bool trace_denial) {
+    if (crash_mode_ && ctx_.rank_dead(m.src)) return;  // requester died
     const std::uint32_t seq = get_u32(m.payload, 0);
     GrantCache& gc = cache_[m.src];
     if (gc.seq != 0) {
@@ -307,8 +367,18 @@ class MpiWorker final : public NodeSink {
     gc.seq = seq;
     gc.last_send_ns = ctx_.now_ns();
     if (can_grant && my_.local_size() >= 2 * k_) {
+      // The grant is the mpi-ws "mid-steal" window: from here until the ack
+      // arrives the chunk is in flight, so CrashSpec::kMidSteal can target
+      // the charges inside this block.
+      pgas::StealScope scope(ctx_);
       my_.release(k_);
       const std::size_t begin = my_.reserve(k_);
+      // Lineage record directly after the reservation (no interaction point
+      // between): once the chunk has left the stack it is always reachable
+      // through the record, whichever endpoint dies next.
+      if (crash_mode_)
+        board_->publish(me_, src, me_, src, my_.slot(begin),
+                        static_cast<std::uint32_t>(k_));
       gc.is_work = true;
       gc.acked = false;
       gc.reply.resize(4 + k_ * nb_);
@@ -352,8 +422,17 @@ class MpiWorker final : public NodeSink {
     const std::uint64_t now = ctx_.now_ns();
     for (int t = 0; t < n_; ++t) {
       GrantCache& gc = cache_[t];
-      if (gc.seq != 0 && gc.is_work && !gc.acked &&
-          now - gc.last_send_ns >= cfg_.steal_timeout_ns)
+      if (gc.seq == 0 || !gc.is_work || gc.acked) continue;
+      if (crash_mode_ && ctx_.rank_dead(t)) {
+        // The thief died with our grant unacknowledged. The chunk's
+        // lineage record now owns it (a survivor replays it if the thief
+        // never absorbed); stop waiting so the token is not pinned by a
+        // ghost.
+        gc.acked = true;
+        --outstanding_acks_;
+        continue;
+      }
+      if (now - gc.last_send_ns >= cfg_.steal_timeout_ns)
         resend_cached(t, gc);
     }
   }
@@ -391,9 +470,20 @@ class MpiWorker final : public NodeSink {
     std::uniform_int_distribution<int> pick(0, n_ - 2);
     for (;;) {
       if (idle_comm()) return false;
-      // Choose a random victim (skip self).
+      if (crash_mode_ && maybe_recover()) {
+        // We re-activated ourselves with a dead rank's work: turn black so
+        // any in-flight token round is invalidated.
+        color_ = kBlack;
+        set_state(State::kWorking);
+        return true;
+      }
+      // Choose a random victim (skip self; in crash mode, skip the dead).
       int v = pick(ctx_.rng());
       if (v >= me_) ++v;
+      if (crash_mode_ && ctx_.rank_dead(v)) {
+        ctx_.yield();
+        continue;
+      }
       ++st_.c.probes;
       ++st_.c.steal_attempts;
       bool got;
@@ -476,6 +566,31 @@ class MpiWorker final : public NodeSink {
         ++st_.c.failed_steals;
         return false;
       }
+      if (crash_mode_ && ctx_.rank_dead(v)) {
+        // The victim died mid-protocol. If it had committed a grant, the
+        // chunk survives in its lineage record: retire the record and
+        // absorb straight from the payload; otherwise the steal failed.
+        wait_victim_ = -1;
+        TransferRec& rec = board_->rec(v, me_);
+        int expect = TransferRec::kPending;
+        if (rec.state.compare_exchange_strong(expect, TransferRec::kDone,
+                                              std::memory_order_acq_rel)) {
+          const std::size_t take = rec.nnodes;
+          for (std::size_t i = 0; i < take; ++i)
+            my_.push(rec.payload.data() + i * nb_);
+          ctx_.charge(ctx_.net().bulk_ns(me_, v, take * nb_));
+          ++st_.c.steals;
+          st_.steal_sizes.add(take);
+          st_.c.chunks_stolen += take / k_;
+          st_.c.nodes_stolen += take;
+          if (cfg_.trace != nullptr)
+            cfg_.trace->steal(me_, ctx_.now_ns(), v,
+                              static_cast<std::int64_t>(take), true);
+          return true;
+        }
+        ++st_.c.failed_steals;
+        return false;
+      }
       if (idle_comm()) {
         wait_victim_ = -1;
         term_seen_ = true;
@@ -496,6 +611,23 @@ class MpiWorker final : public NodeSink {
   void absorb(const mp::Message& m) {
     const std::size_t off = hardened_ ? 4 : 0;
     const std::size_t take = (m.payload.size() - off) / nb_;
+    // Retire the grant's lineage record *before* the pushes, with no
+    // interaction point between retire and pushes: "record pending" then
+    // means exactly "chunk in no stack". If the sender died after granting,
+    // a survivor may have replayed the record already — its claim beat ours
+    // and we must not apply the chunk a second time (still ack, so the
+    // protocol state stays consistent if the grant resurfaces).
+    if (crash_mode_) {
+      int expect = TransferRec::kPending;
+      if (!board_->rec(m.src, me_).state.compare_exchange_strong(
+              expect, TransferRec::kDone, std::memory_order_acq_rel)) {
+        if (hardened_)
+          send_ack(m.src, get_u32(m.payload, 0));
+        else
+          comm_.send(ctx_, m.src, kTagAck);
+        return;
+      }
+    }
     for (std::size_t i = 0; i < take; ++i)
       my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) + off +
                i * nb_);
@@ -512,6 +644,106 @@ class MpiWorker final : public NodeSink {
     st_.c.nodes_stolen += take;
   }
 
+  // ---- crash recovery (crash_mode_ only) --------------------------------
+
+  /// Survivor-side recovery sweep: salvage dead ranks' stacks (modeled as a
+  /// resilient store readable by survivors) and replay lineage records with
+  /// a dead endpoint — a dead thief can no longer absorb its chunk, and a
+  /// dead victim may have died before its grant reached a (live) thief
+  /// that has since moved on. The claim CAS arbitrates against a thief
+  /// that does still absorb, so the chunk lands exactly once either way.
+  bool maybe_recover() {
+    bool got = false;
+    for (int r = 0; r < n_; ++r) {
+      if (r == me_ || !ctx_.rank_dead(r) || board_->salvage_done(r)) continue;
+      if (salvage_stack(r)) got = true;
+    }
+    for (int w = 0; w < n_; ++w) {
+      for (int p = 0; p < n_; ++p) {
+        if (w == p) continue;
+        TransferRec& rec = board_->rec(w, p);
+        if (rec.state.load(std::memory_order_acquire) != TransferRec::kPending)
+          continue;
+        const bool victim_dead = rec.victim >= 0 && ctx_.rank_dead(rec.victim);
+        const bool thief_dead = rec.thief >= 0 && ctx_.rank_dead(rec.thief);
+        if (!victim_dead && !thief_dead) continue;
+        if (replay_record(rec)) got = true;
+      }
+    }
+    return got;
+  }
+
+  /// Take over a dead rank's whole stack. The mutation block has no
+  /// interaction point, so a salvage is all-or-nothing; the claim word
+  /// makes it exactly-once across salvagers.
+  bool salvage_stack(int r) {
+    StealStack& ds = (*board_->stacks)[r];
+    if (!board_->claim_salvage(r)) return false;
+    const std::size_t b = ds.salvage_begin();
+    const std::size_t e = ds.salvage_end();
+    const std::size_t taken = e > b ? e - b : 0;
+    for (std::size_t i = 0; i < taken; ++i) my_.push(ds.slot(b + i));
+    ds.clear_after_salvage();
+    board_->finish_salvage(r);
+    // Post-pay: the nodes are already safe on our stack, so a crash in
+    // this charge cannot lose them.
+    ctx_.charge(ctx_.net().bulk_ns(me_, r, taken * nb_));
+    ++st_.c.salvages;
+    st_.c.recovered_nodes += taken;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->recover(me_, ctx_.now_ns(), r,
+                          static_cast<std::int64_t>(taken));
+    return taken > 0;
+  }
+
+  /// Replay one orphaned transfer record (claim CAS makes it exactly-once;
+  /// the dedup filter is defense-in-depth).
+  bool replay_record(TransferRec& rec) {
+    pgas::LockGuard guard(ctx_, board_->dedup_lock);
+    if (!RecoveryBoard::claim(rec)) return false;
+    // Bump the recovery counter immediately after the claim: the leader's
+    // recovery_epoch must change before any window in which the board can
+    // read as clean, or it could certify a token round that never saw the
+    // replayed nodes.
+    board_->note_replay();
+    std::size_t kept = 0;
+    for (std::uint32_t i = 0; i < rec.nnodes; ++i) {
+      const std::byte* nd = rec.payload.data() + i * nb_;
+      if (board_->filter_new(nd)) {
+        my_.push(nd);
+        ++kept;
+      } else {
+        ++st_.c.dedup_drops;
+      }
+    }
+    ctx_.charge(ctx_.net().bulk_ns(me_, rec.victim, rec.nnodes * nb_));
+    ++st_.c.replays;
+    st_.c.recovered_nodes += kept;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->recover(me_, ctx_.now_ns(), rec.victim,
+                          static_cast<std::int64_t>(kept));
+    return kept > 0;
+  }
+
+  /// Snapshot of (deaths I have detected, recoveries completed). The
+  /// leader records it when a round's token leaves and refuses to declare
+  /// termination if it changed — a death or recovery mid-round may have
+  /// re-activated work the token never saw.
+  std::uint64_t recovery_epoch() const {
+    std::uint64_t dead = 0;
+    for (int r = 0; r < n_; ++r)
+      if (r != me_ && ctx_.rank_dead(r)) ++dead;
+    return (dead << 32) | board_->recoveries();
+  }
+
+  /// No recoverable work may remain before declaring termination.
+  bool recovery_clean() {
+    for (int r = 0; r < n_; ++r)
+      if (r != me_ && ctx_.rank_dead(r) && !board_->salvage_done(r))
+        return false;
+    return !board_->orphan_pending(ctx_);
+  }
+
   pgas::Ctx& ctx_;
   mp::Comm& comm_;
   const Problem& prob_;
@@ -524,6 +756,13 @@ class MpiWorker final : public NodeSink {
   stats::ThreadStats st_;
   std::vector<std::byte> nodebuf_;
   const bool hardened_;
+  /// Crash-fault tolerance (null/false unless the plan injects crashes AND
+  /// the protocol is hardened — lineage records ride on the seq/ack layer).
+  RecoveryBoard* board_;
+  const bool crash_mode_;
+  bool visiting_ = false;  ///< nodebuf_ holds a popped-but-uncounted node
+  bool leading_ = false;   ///< currently running the EWD840 leader rules
+  std::uint64_t round_epoch_ = 0;  ///< leader: recovery_epoch at round start
 
   Color color_ = kWhite;
   Color token_color_ = kWhite;
@@ -546,8 +785,8 @@ class MpiWorker final : public NodeSink {
 
 stats::ThreadStats run_mpi_rank(pgas::Ctx& ctx, mp::Comm& comm,
                                 StealStack& stack, const Problem& prob,
-                                const WsConfig& cfg) {
-  MpiWorker w(ctx, comm, stack, prob, cfg);
+                                const WsConfig& cfg, RecoveryBoard* board) {
+  MpiWorker w(ctx, comm, stack, prob, cfg, board);
   return w.run();
 }
 

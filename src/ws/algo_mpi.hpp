@@ -14,6 +14,7 @@
 #include "stats/stats.hpp"
 #include "ws/config.hpp"
 #include "ws/problem.hpp"
+#include "ws/recovery.hpp"
 #include "ws/stealstack.hpp"
 
 namespace upcws::ws {
@@ -21,8 +22,16 @@ namespace upcws::ws {
 /// Run one rank of mpi-ws to termination. `stack` is this rank's private
 /// DFS stack (no shared region semantics are used — all transfers go
 /// through messages).
+///
+/// `board` (non-null only under crash injection, and effective only with
+/// the hardened protocol) enables crash-fault tolerance: transfers are
+/// journaled as lineage records, survivors salvage dead ranks' stacks —
+/// modeled as a resilient store, after the relocatable collections of
+/// resilient APGAS runtimes — and the EWD840 ring skips dead ranks with
+/// leadership falling to the lowest live rank.
 stats::ThreadStats run_mpi_rank(pgas::Ctx& ctx, mp::Comm& comm,
                                 StealStack& stack, const Problem& prob,
-                                const WsConfig& cfg);
+                                const WsConfig& cfg,
+                                RecoveryBoard* board = nullptr);
 
 }  // namespace upcws::ws

@@ -1,6 +1,7 @@
 #include "ws/algo_upc.hpp"
 
 #include "trace/trace.hpp"
+#include "ws/recovery.hpp"
 
 #include <algorithm>
 #include <cstring>
@@ -25,7 +26,9 @@ class UpcWorker final : public NodeSink {
         n_(ctx.nranks()),
         k_(static_cast<std::size_t>(cfg.chunk_size)),
         nb_(prob.node_bytes()),
-        my_(g.stacks[me_]) {
+        my_(g.stacks[me_]),
+        board_(g.recovery),
+        crash_mode_(ctx.liveness() != nullptr && g.recovery != nullptr) {
     nodebuf_.resize(nb_);
     backoff_ns_ = cfg.steal_backoff_ns;
     perm_.resize(n_ > 1 ? n_ - 1 : 0);
@@ -42,10 +45,21 @@ class UpcWorker final : public NodeSink {
       prob_.root(nodebuf_.data());
       my_.push(nodebuf_.data());
     }
-    for (;;) {
-      do_work();
-      publish_idle();
-      if (!find_work()) break;
+    try {
+      for (;;) {
+        do_work();
+        publish_idle();
+        if (!find_work()) break;
+      }
+    } catch (const pgas::RankCrashed&) {
+      // This rank fail-stopped. The Ctx is already in dead mode (its
+      // remote stores no longer land), so all we do is preserve the node
+      // popped-but-not-yet-expanded: re-pushing it locally makes the crash
+      // indistinguishable from one that landed just before the pop, and a
+      // salvager will pick it up with the rest of the stack. Partial
+      // counters are returned as-is — visited-node counts are modeled as
+      // durable (monotonic aggregation at a resilient store).
+      if (visiting_) my_.push(nodebuf_.data());
     }
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
@@ -118,11 +132,18 @@ class UpcWorker final : public NodeSink {
   }
 
   void visit() {
+    // `visiting_` brackets the window where nodebuf_ holds a node that is
+    // on no stack and not yet counted: a crash inside charge_node_work()
+    // re-pushes it (see run()). It is cleared the instant the node is
+    // counted and its children pushed — both without interaction points —
+    // so the re-push can never duplicate a visited node.
+    visiting_ = true;
     ctx_.charge_node_work();
     ++st_.c.nodes;
     st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
     const int nc = prob_.expand(nodebuf_.data(), *this);
     if (nc == 0) ++st_.c.leaves;
+    visiting_ = false;
     st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
     while (my_.local_size() >=
            static_cast<std::size_t>(cfg_.release_threshold) * k_)
@@ -181,6 +202,13 @@ class UpcWorker final : public NodeSink {
     ctx_.charge_poll();
     const int req = g_.slots[me_].steal_request.load(std::memory_order_acquire);
     if (req < 0) return;  // no request, or one we already claimed
+    if (crash_mode_ && ctx_.rank_dead(req)) {
+      // The requester died waiting. Granting would strand the chunk in a
+      // lineage record until someone replays it; just drop the request.
+      ctx_.charge(ctx_.net().local_ref_ns);
+      g_.slots[me_].steal_request.store(kNoRequest, std::memory_order_release);
+      return;
+    }
     if (cfg_.hardened()) {
       // Claim the request before answering it. A timed-out thief abandons
       // its request by CASing thief->kNoRequest; this CAS and that one are
@@ -206,6 +234,12 @@ class UpcWorker final : public NodeSink {
           steal_half() ? std::max<std::int64_t>(1, chunks / 2) : 1;
       const std::size_t take = static_cast<std::size_t>(take_chunks) * k_;
       const std::size_t begin = my_.reserve(take);
+      // Lineage record first, directly after the reservation with no
+      // interaction point between: once the chunk has left the stack it is
+      // always reachable through the record, whichever side dies next.
+      if (crash_mode_)
+        board_->publish(me_, req, me_, req, my_.slot(begin),
+                        static_cast<std::uint32_t>(take));
       publish_avail();
       auto& box = g_.slots[me_].outbox[req];
       box.resize(take * nb_);
@@ -234,6 +268,7 @@ class UpcWorker final : public NodeSink {
 
   bool attempt_steal(int v) {
     ++st_.c.steal_attempts;
+    pgas::StealScope scope(ctx_);  // kMidSteal crash specs land in here
     const bool ok = lockless() ? steal_reqresp(v) : steal_locked(v);
     if (!ok) ++st_.c.failed_steals;
     if (cfg_.trace != nullptr)
@@ -257,6 +292,12 @@ class UpcWorker final : public NodeSink {
             steal_half() ? std::max<std::int64_t>(1, chunks / 2) : 1;
         take = static_cast<std::size_t>(take_chunks) * k_;
         begin = vs.reserve(take);
+        // Lineage record immediately after the reservation (no interaction
+        // point between): if we die before the chunk lands on our stack, a
+        // survivor replays it from the record.
+        if (crash_mode_)
+          board_->publish(me_, v, v, me_, vs.slot(begin),
+                          static_cast<std::uint32_t>(take));
         const auto left = static_cast<std::int64_t>(vs.shared_size());
         ctx_.put(vs.work_avail(), v, left);
         note_avail(vs, left);
@@ -268,7 +309,7 @@ class UpcWorker final : public NodeSink {
     ctx_.bulk_get(xfer_.data(), vs.slot(begin), take * nb_, v);
     vs.end_transfer();
     ctx_.charge_ref(v);  // remote completion notice for the in-flight count
-    absorb(take);
+    absorb(take, crash_mode_ ? &board_->rec(me_, v) : nullptr);
     return true;
   }
 
@@ -305,9 +346,27 @@ class UpcWorker final : public NodeSink {
         xfer_.resize(take * nb_);
         ctx_.bulk_get(xfer_.data(), g_.slots[v].outbox[me_].data(), take * nb_,
                       v);
-        absorb(take);
+        absorb(take, crash_mode_ ? &board_->rec(v, me_) : nullptr);
         backoff_ns_ = cfg_.steal_backoff_ns;
         return true;
+      }
+      if (crash_mode_ && ctx_.rank_dead(v)) {
+        // The victim died mid-protocol. If it had committed a grant, the
+        // chunk survives in its lineage record: retire the record and
+        // absorb straight from the payload. Otherwise the steal failed
+        // (a parked request in a dead rank's slot is harmless).
+        ctx_.charge_ref(v);
+        TransferRec& rec = board_->rec(v, me_);
+        int expect = TransferRec::kPending;
+        if (rec.state.compare_exchange_strong(expect, TransferRec::kDone,
+                                              std::memory_order_acq_rel)) {
+          const std::size_t take = rec.nnodes;
+          xfer_.assign(rec.payload.begin(), rec.payload.end());
+          absorb(take);
+          backoff_ns_ = cfg_.steal_backoff_ns;
+          return true;
+        }
+        return false;
       }
       if (cancelable && ctx_.now_ns() >= deadline) {
         int still_me = me_;
@@ -335,7 +394,20 @@ class UpcWorker final : public NodeSink {
     }
   }
 
-  void absorb(std::size_t take) {
+  void absorb(std::size_t take, TransferRec* rec = nullptr) {
+    // Retire the lineage record *before* the pushes, with no interaction
+    // point between retire and pushes: "record pending" is then exactly
+    // "chunk in no stack". The claim CAS fails only if a survivor already
+    // replayed this chunk after detecting our victim dead — then the chunk
+    // is on the replayer's stack and we must not apply it a second time.
+    if (rec != nullptr) {
+      int expect = TransferRec::kPending;
+      if (!rec->state.compare_exchange_strong(expect, TransferRec::kDone,
+                                              std::memory_order_acq_rel)) {
+        publish_avail();
+        return;
+      }
+    }
     last_take_ = take;
     st_.steal_sizes.add(take);
     for (std::size_t i = 0; i < take; ++i) my_.push(xfer_.data() + i * nb_);
@@ -354,6 +426,164 @@ class UpcWorker final : public NodeSink {
         return ctx_.net().same_node(me_, v);
       });
     }
+  }
+
+  // ---- crash recovery (crash_mode_ only) ----
+
+  /// Survivor-side recovery sweep, called from the search loops: salvage
+  /// any dead rank's stack (exactly once, arbitrated by the board) and
+  /// replay any lineage record with a dead endpoint — a dead thief can no
+  /// longer absorb its chunk, and a dead victim may have died before
+  /// completing a grant its (live) thief has already given up on. The
+  /// pending->claimed/done CAS arbitrates against a live thief that does
+  /// still absorb, so the chunk lands exactly once either way. Returns
+  /// true when nodes landed on our stack — the caller then has work again.
+  bool maybe_recover() {
+    if (!crash_mode_) return false;
+    bool got = false;
+    for (int r = 0; r < n_; ++r) {
+      if (r == me_ || !ctx_.rank_dead(r) || board_->salvage_done(r)) continue;
+      if (salvage_stack(r)) got = true;
+    }
+    for (int w = 0; w < n_; ++w) {
+      for (int p = 0; p < n_; ++p) {
+        if (w == p) continue;
+        TransferRec& rec = board_->rec(w, p);
+        if (rec.state.load(std::memory_order_acquire) != TransferRec::kPending)
+          continue;
+        const bool victim_dead = rec.victim >= 0 && ctx_.rank_dead(rec.victim);
+        const bool thief_dead = rec.thief >= 0 && ctx_.rank_dead(rec.thief);
+        if (!victim_dead && !thief_dead) continue;
+        if (replay_record(rec)) got = true;
+      }
+    }
+    return got;
+  }
+
+  /// Take over a dead rank's entire stack interval [shared_base, top).
+  /// The mutation block runs with no interaction point, so a salvage is
+  /// all-or-nothing even though the salvager itself may crash; the claim
+  /// word makes it exactly-once across salvagers.
+  bool salvage_stack(int r) {
+    StealStack& ds = g_.stacks[r];
+    // Locked family: acquire the dead owner's stack lock — revoking its
+    // lease if it died inside the critical section — to exclude thieves
+    // that are still legitimately stealing from the stale stack.
+    std::optional<pgas::LockGuard> guard;
+    if (!lockless()) guard.emplace(ctx_, ds.lock());
+    if (!board_->claim_salvage(r)) return false;
+    const std::size_t b = ds.salvage_begin();
+    const std::size_t e = ds.salvage_end();
+    const std::size_t taken = e > b ? e - b : 0;
+    for (std::size_t i = 0; i < taken; ++i) my_.push(ds.slot(b + i));
+    ds.clear_after_salvage();
+    const std::int64_t idle = probe_term() ? kNoWorkAtAll : 0;
+    ds.work_avail().store(idle, std::memory_order_release);
+    note_avail(ds, 0);
+    board_->finish_salvage(r);
+    // Post-pay the transfer cost: the nodes are already safe on our stack,
+    // so a crash landing in this charge cannot lose them (our own death
+    // hands them to the next salvager).
+    ctx_.charge(ctx_.net().bulk_ns(me_, r, taken * nb_));
+    ++st_.c.salvages;
+    st_.c.recovered_nodes += taken;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->recover(me_, ctx_.now_ns(), r,
+                          static_cast<std::int64_t>(taken));
+    return taken > 0;
+  }
+
+  /// Replay one orphaned transfer: its thief died between the victim-side
+  /// reservation and the retire CAS, so the chunk exists only in the
+  /// record payload. The claim CAS makes the replay exactly-once; the
+  /// dedup filter is defense-in-depth (chunks are disjoint reservations,
+  /// so in a correct execution it never drops anything).
+  bool replay_record(TransferRec& rec) {
+    pgas::LockGuard guard(ctx_, board_->dedup_lock);
+    if (!RecoveryBoard::claim(rec)) return false;  // raced; other claimer won
+    board_->note_replay();
+    std::size_t kept = 0;
+    for (std::uint32_t i = 0; i < rec.nnodes; ++i) {
+      const std::byte* nd = rec.payload.data() + i * nb_;
+      if (board_->filter_new(nd)) {
+        my_.push(nd);
+        ++kept;
+      } else {
+        ++st_.c.dedup_drops;
+      }
+    }
+    ctx_.charge(ctx_.net().bulk_ns(me_, rec.victim, rec.nnodes * nb_));
+    ++st_.c.replays;
+    st_.c.recovered_nodes += kept;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->recover(me_, ctx_.now_ns(), rec.victim,
+                          static_cast<std::int64_t>(kept));
+    return kept > 0;
+  }
+
+  /// Crash-mode membership invariants for the termination barriers.
+  ///
+  /// The entry count at which the barrier means global termination: every
+  /// rank we currently see alive, plus one ghost entry per dead rank that
+  /// died *while counted in* (its in_barrier mirror is set — and a rank can
+  /// only die in-barrier with an empty stack, so its ghost entry is as good
+  /// as a live one).
+  int barrier_target() {
+    int dead = 0, ghosts = 0;
+    for (int r = 0; r < n_; ++r) {
+      if (r == me_ || !ctx_.rank_dead(r)) continue;
+      ++dead;
+      if (board_->in_barrier(r).load(std::memory_order_acquire)) ++ghosts;
+    }
+    return n_ - dead + ghosts;
+  }
+
+  /// No recoverable work may remain: every detected-dead rank salvaged and
+  /// no orphaned lineage record pending.
+  bool recovery_clean() {
+    for (int r = 0; r < n_; ++r)
+      if (r != me_ && ctx_.rank_dead(r) && !board_->salvage_done(r))
+        return false;
+    return !board_->orphan_pending(ctx_);
+  }
+
+  /// Cheap pre-check (no charges, no claims): recoverable work may exist.
+  /// Barrier waiters use it to cancel out *before* touching that work — a
+  /// rank must never claim a chunk while its +1 still stands in a barrier
+  /// count, or a peer could see the board clean and the count full and
+  /// declare termination with the chunk unvisited.
+  bool recovery_possible() {
+    if (!crash_mode_) return false;
+    for (int r = 0; r < n_; ++r)
+      if (r != me_ && ctx_.rank_dead(r) && !board_->salvage_done(r))
+        return true;
+    return board_->orphan_pending(ctx_);
+  }
+
+  /// Enter/leave the probe-family barrier. In crash mode the in_barrier
+  /// mirror flag and the counter move with no interaction point between
+  /// (flag pre-charged), so survivors can always tell whether a dead
+  /// rank's +1 is in the count.
+  int bar_enter() {
+    if (!crash_mode_) return ctx_.add(g_.bar_count, 0, 1) + 1;
+    ctx_.charge_ref(0);
+    board_->in_barrier(me_).store(1, std::memory_order_release);
+    return g_.bar_count.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  void bar_leave() {
+    if (!crash_mode_) {
+      ctx_.add(g_.bar_count, 0, -1);
+      return;
+    }
+    ctx_.charge_ref(0);
+    board_->in_barrier(me_).store(0, std::memory_order_release);
+    g_.bar_count.fetch_add(-1, std::memory_order_acq_rel);
+  }
+
+  bool term_satisfied(int cnt) {
+    if (!crash_mode_) return cnt == n_;
+    return cnt >= barrier_target() && recovery_clean();
   }
 
   // ---- termination policies ----
@@ -380,7 +610,7 @@ class UpcWorker final : public NodeSink {
   bool single_rank_done_probe() {
     set_state(State::kTermination);
     ++st_.c.barrier_entries;
-    ctx_.add(g_.bar_count, 0, 1);
+    bar_enter();
     announce_termination();
     return true;
   }
@@ -390,6 +620,11 @@ class UpcWorker final : public NodeSink {
   bool find_work_cb() {
     set_state(State::kSearching);
     for (;;) {
+      if (maybe_recover()) {
+        publish_avail();
+        set_state(State::kWorking);
+        return true;
+      }
       shuffle_perm();
       for (int v : perm_) {
         if (probe(v) >= static_cast<std::int64_t>(k_)) {
@@ -410,14 +645,32 @@ class UpcWorker final : public NodeSink {
     }
   }
 
+  /// Crash-atomic count update for the cancelable barrier: the in_barrier
+  /// mirror flag and the counter move together (pre-charged, no interaction
+  /// point between). Caller holds cb_lock.
+  void cb_set_count(int cnt, int flag) {
+    if (!crash_mode_) {
+      ctx_.put(g_.cb_count, 0, cnt);
+      return;
+    }
+    ctx_.charge_ref(0);
+    board_->in_barrier(me_).store(flag, std::memory_order_release);
+    g_.cb_count.store(cnt, std::memory_order_release);
+  }
+
   /// §3.1 cancelable barrier. Returns true when global termination was
-  /// detected (count reached nranks), false when cancelled by new work.
+  /// detected (count reached the membership target), false when cancelled
+  /// by new work. Failure-aware: dead ranks are excluded from the target
+  /// (their ghost entries — deaths while counted in — still count, which is
+  /// sound because a rank can only die in-barrier with an empty stack), and
+  /// waiters run the recovery sweep so a crashed rank's work re-enters the
+  /// search instead of deadlocking the barrier.
   bool cancelable_barrier() {
     {
       pgas::LockGuard guard(ctx_, g_.cb_lock);
       const int cnt = ctx_.get(g_.cb_count, 0) + 1;
-      ctx_.put(g_.cb_count, 0, cnt);
-      if (cnt == n_) ctx_.put(g_.cb_done, 0, 1);
+      cb_set_count(cnt, 1);
+      if (term_satisfied(cnt)) ctx_.put(g_.cb_done, 0, 1);
     }
 
     // Remote spin on the done/cancel flags (all owned by rank 0) — the
@@ -425,6 +678,27 @@ class UpcWorker final : public NodeSink {
     for (;;) {
       if (ctx_.get(g_.cb_done, 0) != 0) break;
       if (ctx_.get(g_.cb_cancel, 0) != 0) break;
+      if (crash_mode_) {
+        if (recovery_possible()) {
+          // Leave the barrier first; the find-work cycle top performs the
+          // actual salvage/replay once our +1 is withdrawn. If another
+          // survivor wins the claim meanwhile, the pre-check goes false and
+          // we simply re-enter.
+          pgas::LockGuard guard(ctx_, g_.cb_lock);
+          if (ctx_.get(g_.cb_done, 0) == 0) {
+            cb_set_count(ctx_.get(g_.cb_count, 0) - 1, 0);
+            return false;
+          }
+          break;  // termination already declared
+        }
+        // A death elsewhere may have lowered the target below the current
+        // count; re-evaluate (cheap raw pre-check, confirmed under lock).
+        if (term_satisfied(g_.cb_count.load(std::memory_order_acquire))) {
+          pgas::LockGuard guard(ctx_, g_.cb_lock);
+          if (term_satisfied(ctx_.get(g_.cb_count, 0)))
+            ctx_.put(g_.cb_done, 0, 1);
+        }
+      }
       if (lockless()) service_requests();
       ctx_.yield();
     }
@@ -434,7 +708,7 @@ class UpcWorker final : public NodeSink {
       pgas::LockGuard guard(ctx_, g_.cb_lock);
       done = ctx_.get(g_.cb_done, 0) != 0;
       if (!done) {
-        ctx_.put(g_.cb_count, 0, ctx_.get(g_.cb_count, 0) - 1);
+        cb_set_count(ctx_.get(g_.cb_count, 0) - 1, 0);
         ctx_.put(g_.cb_cancel, 0, 0);
       }
     }
@@ -447,6 +721,11 @@ class UpcWorker final : public NodeSink {
   bool find_work_probe() {
     set_state(State::kSearching);
     for (;;) {
+      if (maybe_recover()) {
+        publish_avail();
+        set_state(State::kWorking);
+        return true;
+      }
       shuffle_perm();
       bool any_working = false;
       for (int v : perm_) {
@@ -476,28 +755,45 @@ class UpcWorker final : public NodeSink {
 
   /// §3.3.1 barrier with in-barrier probing of a single victim.
   /// Returns 1 on termination, 0 if work was stolen while waiting.
+  /// Failure-aware: the entry target tracks live membership (plus ghost
+  /// entries of ranks that died while counted in), waiters run the recovery
+  /// sweep, and the termination condition is re-evaluated as deaths are
+  /// detected.
   int barrier_probe() {
     set_state(State::kTermination);
     ++st_.c.barrier_entries;
-    int cnt = ctx_.add(g_.bar_count, 0, 1) + 1;
-    if (cnt == n_) {
+    int cnt = bar_enter();
+    if (term_satisfied(cnt)) {
       announce_termination();
       return 1;
     }
     std::uniform_int_distribution<int> pick(0, n_ - 2);
     for (;;) {
       if (check_term_flag()) return 1;
+      if (crash_mode_) {
+        if (recovery_possible()) {
+          // Leave the barrier first; find_work_probe's cycle top performs
+          // the actual salvage/replay once our +1 is withdrawn.
+          bar_leave();
+          return 0;
+        }
+        ctx_.charge_ref(0);
+        if (term_satisfied(g_.bar_count.load(std::memory_order_acquire))) {
+          announce_termination();
+          return 1;
+        }
+      }
       const int v = perm_[pick(ctx_.rng())];
       const std::int64_t a = probe(v);
       if (a >= static_cast<std::int64_t>(k_)) {
-        // Leave the barrier *before* stealing so that bar_count == nranks
-        // really implies no thread holds or is acquiring work.
-        ctx_.add(g_.bar_count, 0, -1);
+        // Leave the barrier *before* stealing so that bar_count reaching
+        // the target really implies no thread holds or is acquiring work.
+        bar_leave();
         set_state(State::kStealing);
         if (attempt_steal(v)) return 0;
         set_state(State::kTermination);
-        cnt = ctx_.add(g_.bar_count, 0, 1) + 1;
-        if (cnt == n_) {
+        cnt = bar_enter();
+        if (term_satisfied(cnt)) {
           announce_termination();
           return 1;
         }
@@ -527,15 +823,26 @@ class UpcWorker final : public NodeSink {
   }
 
   /// Propagate the announcement to our children in the binomial tree
-  /// rooted at term_root.
+  /// rooted at term_root. In crash mode a dead child's subtree is adopted:
+  /// we forward directly to its descendants so the announcement cannot be
+  /// swallowed by a crashed interior node.
   void forward_announcement() {
     const int root = ctx_.get(g_.term_root, 0);
     const int pos = (me_ - root + n_) % n_;
-    for (int c : {2 * pos + 1, 2 * pos + 2}) {
-      if (c < n_) {
-        const int dst = (root + c) % n_;
-        ctx_.put(g_.slots[dst].term_flag, dst, 1);
+    fwd_.clear();
+    fwd_.push_back(2 * pos + 1);
+    fwd_.push_back(2 * pos + 2);
+    while (!fwd_.empty()) {
+      const int c = fwd_.back();
+      fwd_.pop_back();
+      if (c >= n_) continue;
+      const int dst = (root + c) % n_;
+      if (crash_mode_ && ctx_.rank_dead(dst)) {
+        fwd_.push_back(2 * c + 1);
+        fwd_.push_back(2 * c + 2);
+        continue;
       }
+      ctx_.put(g_.slots[dst].term_flag, dst, 1);
     }
   }
 
@@ -552,9 +859,15 @@ class UpcWorker final : public NodeSink {
   std::vector<std::byte> nodebuf_;
   std::vector<std::byte> xfer_;
   std::vector<int> perm_;
+  std::vector<int> fwd_;  // scratch for forward_announcement
   std::size_t last_take_ = 0;  // nodes moved by the most recent steal
   /// Hardened only: current exponential-backoff delay after a steal timeout.
   std::uint64_t backoff_ns_ = 0;
+  /// Crash-fault tolerance (null / false unless the plan injects crashes).
+  RecoveryBoard* board_;
+  const bool crash_mode_;
+  /// nodebuf_ holds a popped-but-uncounted node (see visit()).
+  bool visiting_ = false;
 };
 
 }  // namespace

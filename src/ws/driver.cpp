@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "mp/comm.hpp"
@@ -9,6 +10,7 @@
 #include "ws/algo_mpi.hpp"
 #include "ws/algo_push.hpp"
 #include "ws/algo_upc.hpp"
+#include "ws/recovery.hpp"
 #include "ws/shared_state.hpp"
 
 namespace upcws::ws {
@@ -28,17 +30,45 @@ void harvest_faults(pgas::Ctx& ctx, stats::ThreadStats& st,
   st.c.faults_spikes = fc.spikes;
   st.c.faults_dropped = fc.msgs_dropped;
   st.c.faults_duplicated = fc.msgs_duplicated;
+  st.c.faults_crashes = fc.crashes;
+  st.c.locks_revoked = ctx.locks_revoked();
+  st.c.stale_unlocks = ctx.stale_unlocks();
   if (tr == nullptr) return;
   for (const pgas::FaultEvent& e : fi->events()) {
+    if (e.kind == pgas::FaultEvent::Kind::kCrash) {
+      tr->crash(ctx.rank(), e.t_ns);
+      continue;
+    }
     trace::Kind k = trace::Kind::kStall;
     switch (e.kind) {
       case pgas::FaultEvent::Kind::kStall: k = trace::Kind::kStall; break;
       case pgas::FaultEvent::Kind::kSpike: k = trace::Kind::kSpike; break;
       case pgas::FaultEvent::Kind::kMsgDrop: k = trace::Kind::kMsgDrop; break;
       case pgas::FaultEvent::Kind::kMsgDup: k = trace::Kind::kMsgDup; break;
+      case pgas::FaultEvent::Kind::kCrash: break;  // handled above
     }
     tr->fault(ctx.rank(), e.t_ns, k, static_cast<std::int64_t>(e.ns));
   }
+  for (const pgas::Ctx::RevokeEvent& rv : ctx.revocations())
+    tr->revoke(ctx.rank(), rv.t_ns, rv.dead_holder);
+}
+
+/// Per-rank liveness view for hang reports: who is dead, since when, and
+/// what detection latency viewers apply.
+std::string liveness_report(const pgas::Liveness* lv) {
+  if (lv == nullptr) return {};
+  std::ostringstream os;
+  os << "liveness board (detect_ns=" << lv->detect_ns() << "):\n  ";
+  for (int r = 0; r < lv->nranks(); ++r) {
+    const std::uint64_t d = lv->death_ns(r);
+    os << "r" << r << "=";
+    if (d == pgas::Liveness::kAlive)
+      os << "alive ";
+    else
+      os << "dead@" << d << " ";
+  }
+  os << "\n";
+  return os.str();
 }
 
 /// Tail of the trace, newest last, for hang reports.
@@ -68,25 +98,47 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
   std::vector<stats::ThreadStats>& per_thread = result.per_thread;
   pgas::RunConfig rc = rcfg;  // may gain a default hang reporter below
 
+  // Crash-mode plumbing. The liveness board is created here (not inside the
+  // engine) so hang reporters and post-run code can read it; the recovery
+  // board journals in-flight transfers and exposes dead ranks' stacks as a
+  // resilient store the survivors can salvage.
+  std::optional<pgas::Liveness> live_store;
+  std::optional<RecoveryBoard> board_store;
+  RecoveryBoard* board = nullptr;
+  if (rc.faults.crashes_enabled()) {
+    if (rc.liveness == nullptr) {
+      live_store.emplace(rcfg.nranks, rc.faults.crash_detect_ns);
+      rc.liveness = &*live_store;
+    }
+    board_store.emplace(rcfg.nranks, prob.node_bytes());
+    board = &*board_store;
+  }
+  const pgas::Liveness* live_view = rc.liveness;
+
   if (cfg.termination == Termination::kToken) {
     mp::Comm comm(rcfg.nranks);
     // mpi-ws keeps a purely local stack per rank.
     std::vector<StealStack> stacks(rcfg.nranks);
     for (int r = 0; r < rcfg.nranks; ++r)
       stacks[r].init(prob.node_bytes(), r);
+    if (board != nullptr) board->stacks = &stacks;
     if (rc.watchdog_ns > 0 && !rc.hang_reporter)
-      rc.hang_reporter = [&comm, tr = cfg.trace] {
-        return comm.debug_report() + trace_tail(tr, 24);
+      rc.hang_reporter = [&comm, tr = cfg.trace, live_view] {
+        return liveness_report(live_view) + comm.debug_report() +
+               trace_tail(tr, 24);
       };
     result.run = engine.run(rc, [&](pgas::Ctx& ctx) {
       per_thread[ctx.rank()] =
           cfg.push_based
               ? run_push_rank(ctx, comm, stacks[ctx.rank()], prob, cfg)
-              : run_mpi_rank(ctx, comm, stacks[ctx.rank()], prob, cfg);
+              : run_mpi_rank(ctx, comm, stacks[ctx.rank()], prob, cfg,
+                             board);
       harvest_faults(ctx, per_thread[ctx.rank()], cfg.trace);
     });
   } else {
     SharedState g(rcfg.nranks, prob.node_bytes());
+    g.recovery = board;
+    if (board != nullptr) board->stacks = &g.stacks;
     if (cfg.termination == Termination::kProbeBarrier) {
       // Ranks without work advertise "no work at all" from the start so the
       // streamlined termination probe sees a consistent encoding.
@@ -95,24 +147,29 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
                                        std::memory_order_relaxed);
     }
     if (rc.watchdog_ns > 0 && !rc.hang_reporter)
-      rc.hang_reporter = [&g, nr = rcfg.nranks, tr = cfg.trace] {
+      rc.hang_reporter = [&g, nr = rcfg.nranks, tr = cfg.trace, live_view] {
         // Fibers are parked when this runs, so plain relaxed reads give a
         // consistent picture of the stuck protocol.
         std::ostringstream os;
+        os << liveness_report(live_view);
         os << "shared-state snapshot:\n";
-        for (int r = 0; r < nr; ++r)
+        for (int r = 0; r < nr; ++r) {
+          StealStack& ss = g.stacks[r];
           os << "  rank " << r << ": work_avail="
-             << g.stacks[r].work_avail().load(std::memory_order_relaxed)
-             << " lock_holder="
-             << g.stacks[r].lock().holder.load(std::memory_order_relaxed)
+             << ss.work_avail().load(std::memory_order_relaxed)
+             << " lock_holder=" << ss.lock().holder()
+             << " lock_epoch=" << ss.lock().epoch()
+             << " lease_expiry="
+             << ss.lock().lease_expiry_ns.load(std::memory_order_relaxed)
              << " steal_request="
              << g.slots[r].steal_request.load(std::memory_order_relaxed)
              << " resp_amount="
              << g.slots[r].resp_amount.load(std::memory_order_relaxed)
              << " term_flag="
              << g.slots[r].term_flag.load(std::memory_order_relaxed) << "\n";
-        os << "  cb_lock_holder="
-           << g.cb_lock.holder.load(std::memory_order_relaxed)
+        }
+        os << "  cb_lock_holder=" << g.cb_lock.holder()
+           << " cb_lock_epoch=" << g.cb_lock.epoch()
            << " cb_count=" << g.cb_count.load(std::memory_order_relaxed)
            << " cb_cancel=" << g.cb_cancel.load(std::memory_order_relaxed)
            << " cb_done=" << g.cb_done.load(std::memory_order_relaxed)

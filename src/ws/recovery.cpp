@@ -1,0 +1,49 @@
+#include "ws/recovery.hpp"
+
+#include <cstring>
+
+namespace upcws::ws {
+
+RecoveryBoard::RecoveryBoard(int nranks, std::size_t node_bytes)
+    : n_(nranks),
+      nb_(node_bytes),
+      recs_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+      salvage_(static_cast<std::size_t>(nranks)),
+      in_barrier_(static_cast<std::size_t>(nranks)) {
+  for (auto& s : salvage_) s.store(0, std::memory_order_relaxed);
+  for (auto& b : in_barrier_) b.store(0, std::memory_order_relaxed);
+  dedup_lock.owner = 0;
+}
+
+void RecoveryBoard::publish(int writer, int peer, int victim, int thief,
+                            const std::byte* data, std::uint32_t count) {
+  TransferRec& r = rec(writer, peer);
+  r.victim = victim;
+  r.thief = thief;
+  r.nnodes = count;
+  const std::size_t bytes = static_cast<std::size_t>(count) * nb_;
+  r.payload.resize(bytes);
+  std::memcpy(r.payload.data(), data, bytes);
+  r.state.store(TransferRec::kPending, std::memory_order_release);
+}
+
+bool RecoveryBoard::orphan_pending(pgas::Ctx& viewer) const {
+  // A pending record with a dead endpoint is recoverable work termination
+  // must wait for: a dead thief can never absorb its chunk, and a dead
+  // victim may have died before a live thief ever saw the grant.
+  for (const TransferRec& r : recs_) {
+    if (r.state.load(std::memory_order_acquire) != TransferRec::kPending)
+      continue;
+    if (r.thief >= 0 && viewer.rank_dead(r.thief)) return true;
+    if (r.victim >= 0 && viewer.rank_dead(r.victim)) return true;
+  }
+  return false;
+}
+
+bool RecoveryBoard::filter_new(const std::byte* node) {
+  return seen_
+      .emplace(reinterpret_cast<const char*>(node), nb_)
+      .second;
+}
+
+}  // namespace upcws::ws

@@ -77,6 +77,10 @@ struct SharedState {
   // --- probe-then-barrier termination (§3.3.1); affinity rank 0 ---
   std::atomic<int> bar_count{0};
   std::atomic<int> term_root{-1};
+
+  /// Crash-recovery board (lineage records, salvage claims, barrier
+  /// membership mirror); null unless the fault plan injects crashes.
+  class RecoveryBoard* recovery = nullptr;
 };
 
 }  // namespace upcws::ws

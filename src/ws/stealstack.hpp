@@ -114,6 +114,27 @@ class StealStack {
   /// Peak total occupancy (nodes) over the stack's lifetime.
   std::uint64_t peak_depth() const { return peak_; }
 
+  // ---- crash salvage (recovery paths only) ----
+  //
+  // A salvager reads a *dead* owner's whole live interval [salvage_begin,
+  // salvage_end) — shared and local region alike; the owner is gone, so the
+  // owner-only indices are stable — and then empties the stack. The locked
+  // family additionally holds the (revoked) stack lock across the salvage to
+  // exclude concurrent thieves.
+
+  std::size_t salvage_begin() const {
+    return shared_base_.load(std::memory_order_acquire);
+  }
+  std::size_t salvage_end() const { return top_; }
+
+  /// Empty the stack after its contents were salvaged. Same exclusion
+  /// requirements as the salvage read.
+  void clear_after_salvage() {
+    shared_base_.store(0, std::memory_order_release);
+    local_ = 0;
+    top_ = 0;
+  }
+
  private:
   void ensure_capacity(std::size_t nodes);
 

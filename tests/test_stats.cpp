@@ -108,6 +108,42 @@ TEST(TableTest, NumericFormatting) {
   EXPECT_EQ(Table::fmt(-7), "-7");
 }
 
+TEST(Aggregate, CrashCountersRollUp) {
+  std::vector<ThreadStats> per(3);
+  per[0].c.faults_crashes = 1;
+  per[1].c.locks_revoked = 2;
+  per[1].c.stale_unlocks = 3;
+  per[1].c.salvages = 4;
+  per[2].c.replays = 5;
+  per[2].c.recovered_nodes = 60;
+  per[2].c.dedup_drops = 7;
+  const RunStats r = aggregate(per, 1e-6, 0.0);
+  EXPECT_EQ(r.total_crashes, 1u);
+  EXPECT_EQ(r.total_locks_revoked, 2u);
+  EXPECT_EQ(r.total_stale_unlocks, 3u);
+  EXPECT_EQ(r.total_salvages, 4u);
+  EXPECT_EQ(r.total_replays, 5u);
+  EXPECT_EQ(r.total_recovered_nodes, 60u);
+  EXPECT_EQ(r.total_dedup_drops, 7u);
+}
+
+TEST(RunStatsTest, SummaryIncludesCrashBlockOnlyWhenCrashed) {
+  std::vector<ThreadStats> per(2);
+  per[0].timer.start(State::kWorking, 0);
+  per[0].timer.stop(100);
+  const RunStats clean = aggregate(per, 1e-6, 0.0);
+  EXPECT_EQ(clean.summary().find("crash["), std::string::npos);
+
+  per[1].c.faults_crashes = 1;
+  per[0].c.salvages = 2;
+  per[0].c.recovered_nodes = 9;
+  const RunStats crashed = aggregate(per, 1e-6, 0.0);
+  const std::string s = crashed.summary();
+  EXPECT_NE(s.find("crash["), std::string::npos);
+  EXPECT_NE(s.find("salvages=2"), std::string::npos);
+  EXPECT_NE(s.find("recovered=9"), std::string::npos);
+}
+
 TEST(RunStatsTest, SummaryMentionsKeyFigures) {
   std::vector<ThreadStats> per(1);
   per[0].c.nodes = 12345;

@@ -64,6 +64,74 @@ TEST(TraceUnit, ChromeJsonWellFormedBrackets) {
 TEST(TraceUnit, KindNames) {
   EXPECT_STREQ(trace::kind_name(trace::Kind::kStealOk), "steal_ok");
   EXPECT_STREQ(trace::kind_name(trace::Kind::kServiceDeny), "service_deny");
+  EXPECT_STREQ(trace::kind_name(trace::Kind::kRankCrashed), "rank_crashed");
+  EXPECT_STREQ(trace::kind_name(trace::Kind::kLockRevoked), "lock_revoked");
+  EXPECT_STREQ(trace::kind_name(trace::Kind::kWorkRecovered),
+               "work_recovered");
+}
+
+TEST(TraceUnit, CrashEventsRoundTrip) {
+  trace::Trace t(4);
+  t.crash(3, 20'000);
+  t.revoke(1, 25'000, 3);
+  t.recover(2, 30'000, 3, 17);
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].kind, trace::Kind::kRankCrashed);
+  EXPECT_EQ(all[0].rank, 3);
+  EXPECT_EQ(all[1].kind, trace::Kind::kLockRevoked);
+  EXPECT_EQ(all[1].rank, 1);
+  EXPECT_EQ(all[1].arg0, 3);  // dead holder whose lease was broken
+  EXPECT_EQ(all[2].kind, trace::Kind::kWorkRecovered);
+  EXPECT_EQ(all[2].rank, 2);
+  EXPECT_EQ(all[2].arg0, 3);   // recovered-from rank
+  EXPECT_EQ(all[2].arg1, 17);  // nodes reintroduced
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  const std::string s = csv.str();
+  EXPECT_NE(s.find("20000,3,rank_crashed,0,0"), std::string::npos);
+  EXPECT_NE(s.find("25000,1,lock_revoked,3,0"), std::string::npos);
+  EXPECT_NE(s.find("30000,2,work_recovered,3,17"), std::string::npos);
+
+  std::ostringstream js;
+  t.write_chrome_json(js);
+  const std::string j = js.str();
+  EXPECT_NE(j.find("\"name\":\"rank_crashed\""), std::string::npos);
+  EXPECT_NE(j.find("\"name\":\"work_recovered\""), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(TracedCrashRun, CrashAndRecoveryEventsMatchStats) {
+  const uts::Params p = uts::test_small(5);
+  const ws::UtsProblem prob(p);
+  trace::Trace tr(8);
+  pgas::SimEngine eng;
+  pgas::RunConfig rcfg;
+  rcfg.nranks = 8;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.watchdog_ns = 50'000'000'000ull;
+  rcfg.faults.crashes.push_back({3, 20'000, pgas::CrashSpec::Where::kAnywhere});
+  rcfg.faults.crash_detect_ns = 5'000;
+  ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kUpcDistMem, 2);
+  cfg.steal_timeout_ns = 30'000;
+  cfg.trace = &tr;
+  const auto r = ws::run_search(eng, rcfg, prob, cfg);
+
+  std::uint64_t crashes = 0, recovered = 0;
+  for (const auto& e : tr.merged()) {
+    if (e.kind == trace::Kind::kRankCrashed) {
+      ++crashes;
+      EXPECT_EQ(e.rank, 3);
+      EXPECT_GE(e.t_ns, 20'000u);
+    }
+    if (e.kind == trace::Kind::kWorkRecovered)
+      recovered += static_cast<std::uint64_t>(e.arg1);
+  }
+  EXPECT_EQ(crashes, r.agg.total_crashes);
+  EXPECT_EQ(crashes, 1u);
+  EXPECT_EQ(recovered, r.agg.total_recovered_nodes);
 }
 
 class TracedRun : public testing::Test {
