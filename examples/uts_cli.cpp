@@ -28,6 +28,10 @@
 //   --trace-csv FILE  write the raw event trace as CSV
 //   --csv         emit one machine-readable CSV result line (plus a header)
 //                 instead of the human-readable summary
+//   --replay FILE re-execute a schedule recorded by schedule_check (an
+//                 `upcws-replay v1` file): the full configuration comes
+//                 from the file, every other flag is ignored. Exit 0 iff
+//                 the outcome matches the file's expectation.
 //
 // Fault injection / robustness (see docs/fault_injection.md):
 //   --stall DUR[:PERIOD[:RANK]]  inject transient rank stalls: freeze for
@@ -57,6 +61,7 @@
 #include <fstream>
 #include <memory>
 
+#include "check/replay.hpp"
 #include "pgas/faults.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
@@ -134,7 +139,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string engine_name = "sim";
   std::string net_name = "dist";
-  std::string trace_json, trace_csv;
+  std::string trace_json, trace_csv, replay_path;
   std::uint64_t run_seed = 1;
   pgas::FaultPlan faults;
   pgas::CrashSpec::Where crash_where = pgas::CrashSpec::Where::kAnywhere;
@@ -183,6 +188,8 @@ int main(int argc, char** argv) {
       trace_csv = next();
     else if (a == "--csv")
       csv = true;
+    else if (a == "--replay")
+      replay_path = next();
     else if (a == "--stall")
       parse_stall(next(), faults);
     else if (a == "--drop-prob")
@@ -206,6 +213,32 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(next()));
     else
       usage(("unknown flag " + a).c_str());
+  }
+
+  if (!replay_path.empty()) {
+    try {
+      const check::ReplayFile rf = check::load_replay(replay_path);
+      std::printf("uts_cli: replaying %s  algo=%s ranks=%d chunk=%d "
+                  "seed=%llu  %zu recorded decisions, expected outcome: %s\n",
+                  replay_path.c_str(), ws::algo_label(rf.spec.algo),
+                  rf.spec.nranks, rf.spec.chunk,
+                  static_cast<unsigned long long>(rf.spec.run_seed),
+                  rf.trail.size(), rf.oracle.c_str());
+      const check::RunOutcome o = check::run_replay(rf);
+      if (o.violated)
+        std::printf("outcome: VIOLATION %s\n  %s\n", o.oracle.c_str(),
+                    o.message.c_str());
+      else
+        std::printf("outcome: clean run, %llu nodes\n",
+                    static_cast<unsigned long long>(o.nodes));
+      const bool match = check::replay_matches(rf, o);
+      std::printf("replay %s the recorded expectation\n",
+                  match ? "MATCHES" : "DOES NOT MATCH");
+      return match ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "uts_cli: %s\n", e.what());
+      return 2;
+    }
   }
 
   pgas::RunConfig rcfg;
@@ -249,6 +282,11 @@ int main(int argc, char** argv) {
     std::printf("uts_cli: %s  algo=%s ranks=%d chunk=%d engine=%s net=%s\n",
                 tree.describe().c_str(), ws::algo_label(algo), nranks, chunk,
                 engine_name.c_str(), net_name.c_str());
+  // Always state the effective seeds (stderr, so --csv stays parseable): a
+  // reported run is reproducible only with tree seed + run seed in hand.
+  std::fprintf(stderr, "seeds: tree=%u run=%llu (repeat with -r %u -S %llu)\n",
+               tree.root_seed, static_cast<unsigned long long>(run_seed),
+               tree.root_seed, static_cast<unsigned long long>(run_seed));
 
   ws::SearchResult res;
   try {

@@ -1,0 +1,179 @@
+#include "check/replay.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/strategies.hpp"
+
+namespace upcws::check {
+
+namespace {
+
+const char* tree_type_name(uts::TreeType t) {
+  switch (t) {
+    case uts::TreeType::kBinomial: return "binomial";
+    case uts::TreeType::kGeometric: return "geometric";
+    case uts::TreeType::kHybrid: return "hybrid";
+  }
+  return "binomial";
+}
+
+uts::TreeType tree_type_from(const std::string& s) {
+  if (s == "binomial") return uts::TreeType::kBinomial;
+  if (s == "geometric") return uts::TreeType::kGeometric;
+  if (s == "hybrid") return uts::TreeType::kHybrid;
+  throw std::invalid_argument("replay: unknown tree type " + s);
+}
+
+const char* where_name(pgas::CrashSpec::Where w) {
+  switch (w) {
+    case pgas::CrashSpec::Where::kAnywhere: return "anywhere";
+    case pgas::CrashSpec::Where::kInLock: return "in-lock";
+    case pgas::CrashSpec::Where::kMidSteal: return "mid-steal";
+  }
+  return "anywhere";
+}
+
+pgas::CrashSpec::Where where_from(const std::string& s) {
+  if (s == "anywhere") return pgas::CrashSpec::Where::kAnywhere;
+  if (s == "in-lock") return pgas::CrashSpec::Where::kInLock;
+  if (s == "mid-steal") return pgas::CrashSpec::Where::kMidSteal;
+  throw std::invalid_argument("replay: unknown crash site " + s);
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("replay: " + what);
+}
+
+}  // namespace
+
+void write_replay(std::ostream& os, const ReplayFile& rf) {
+  const CheckSpec& s = rf.spec;
+  // Round-trip-exact doubles: the tree's q/b0 feed the SHA-1 node states,
+  // so a replay must reconstruct bit-identical parameters.
+  os << std::setprecision(17);
+  os << "upcws-replay v1\n";
+  os << "algo " << ws::algo_label(s.algo) << "\n";
+  os << "nranks " << s.nranks << "\n";
+  os << "chunk " << s.chunk << "\n";
+  os << "net " << s.net << "\n";
+  os << "tree " << tree_type_name(s.tree.type) << " " << s.tree.root_seed
+     << " " << s.tree.b0 << " " << s.tree.m << " " << s.tree.q << " "
+     << s.tree.gen_mx << " " << static_cast<int>(s.tree.shape) << " "
+     << s.tree.shift_depth << "\n";
+  os << "run-seed " << s.run_seed << "\n";
+  os << "steal-timeout-ns " << s.steal_timeout_ns << "\n";
+  os << "watchdog-ns " << s.watchdog_ns << "\n";
+  os << "vt-limit-ns " << s.vt_limit_ns << "\n";
+  for (const pgas::CrashSpec& c : s.crashes)
+    os << "crash " << c.rank << "@" << c.at_ns << " " << where_name(c.where)
+       << "\n";
+  os << "crash-detect-ns " << s.crash_detect_ns << "\n";
+  if (s.bug_weak_claim) os << "bug weak-claim\n";
+  os << "window-ns " << rf.window_ns << "\n";
+  os << "oracle " << (rf.oracle.empty() ? "none" : rf.oracle) << "\n";
+  os << "trail";
+  for (std::uint16_t c : rf.trail) os << " " << c;
+  os << "\n";
+}
+
+void save_replay(const std::string& path, const ReplayFile& rf) {
+  std::ofstream os(path);
+  if (!os) bad("cannot write " + path);
+  write_replay(os, rf);
+}
+
+ReplayFile read_replay(std::istream& is) {
+  ReplayFile rf;
+  rf.spec.crashes.clear();
+  std::string line;
+  if (!std::getline(is, line) || line != "upcws-replay v1")
+    bad("missing 'upcws-replay v1' header");
+  bool have_trail = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "algo") {
+      std::string v;
+      ls >> v;
+      rf.spec.algo = algo_from_label(v);
+    } else if (key == "nranks") {
+      ls >> rf.spec.nranks;
+    } else if (key == "chunk") {
+      ls >> rf.spec.chunk;
+    } else if (key == "net") {
+      ls >> rf.spec.net;
+      net_by_name(rf.spec.net);  // validate
+    } else if (key == "tree") {
+      std::string t;
+      int shape = 0;
+      ls >> t >> rf.spec.tree.root_seed >> rf.spec.tree.b0 >> rf.spec.tree.m >>
+          rf.spec.tree.q >> rf.spec.tree.gen_mx >> shape >>
+          rf.spec.tree.shift_depth;
+      rf.spec.tree.type = tree_type_from(t);
+      rf.spec.tree.shape = static_cast<uts::GeomShape>(shape);
+    } else if (key == "run-seed") {
+      ls >> rf.spec.run_seed;
+    } else if (key == "steal-timeout-ns") {
+      ls >> rf.spec.steal_timeout_ns;
+    } else if (key == "watchdog-ns") {
+      ls >> rf.spec.watchdog_ns;
+    } else if (key == "vt-limit-ns") {
+      ls >> rf.spec.vt_limit_ns;
+    } else if (key == "crash") {
+      std::string at, where;
+      ls >> at >> where;
+      const std::size_t sep = at.find('@');
+      if (sep == std::string::npos) bad("crash wants <rank>@<at_ns>");
+      pgas::CrashSpec c;
+      c.rank = std::stoi(at.substr(0, sep));
+      c.at_ns = std::stoull(at.substr(sep + 1));
+      c.where = where_from(where);
+      rf.spec.crashes.push_back(c);
+    } else if (key == "crash-detect-ns") {
+      ls >> rf.spec.crash_detect_ns;
+    } else if (key == "bug") {
+      std::string v;
+      ls >> v;
+      if (v != "weak-claim") bad("unknown bug " + v);
+      rf.spec.bug_weak_claim = true;
+    } else if (key == "window-ns") {
+      ls >> rf.window_ns;
+    } else if (key == "oracle") {
+      ls >> rf.oracle;
+    } else if (key == "trail") {
+      have_trail = true;
+      unsigned v = 0;
+      while (ls >> v) rf.trail.push_back(static_cast<std::uint16_t>(v));
+    } else {
+      bad("unknown key " + key);
+    }
+    if (ls.fail() && !ls.eof()) bad("malformed value for key " + key);
+  }
+  if (!have_trail) bad("missing trail line");
+  return rf;
+}
+
+ReplayFile load_replay(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) bad("cannot read " + path);
+  return read_replay(is);
+}
+
+RunOutcome run_replay(const ReplayFile& rf, trace::Trace* tr) {
+  const auto oracles = default_oracles();
+  ReplayPolicy rp(rf.trail);
+  return run_schedule(rf.spec, &rp, rf.window_ns, &oracles, tr);
+}
+
+bool replay_matches(const ReplayFile& rf, const RunOutcome& out) {
+  if (rf.oracle.empty() || rf.oracle == "none")
+    return !out.violated && out.completed;
+  return out.violated && out.oracle == rf.oracle;
+}
+
+}  // namespace upcws::check

@@ -1,0 +1,61 @@
+// Replay files: a self-contained, line-oriented text record of one checked
+// schedule — the full CheckSpec, the fairness window, the oracle expected
+// to fire, and the decision-choice trail. Loading the file and running it
+// reproduces the violation in a single deterministic run (uts_cli --replay,
+// schedule_check --replay).
+//
+// Format (one `key value...` pair per line, '#' comments allowed):
+//
+//   upcws-replay v1
+//   algo upc-distmem
+//   nranks 4
+//   chunk 2
+//   net dist
+//   tree binomial <root_seed> <b0> <m> <q> <gen_mx> <shape> <shift_depth>
+//   run-seed 1
+//   steal-timeout-ns 30000
+//   watchdog-ns 200000000
+//   vt-limit-ns 0
+//   crash <rank>@<at_ns> anywhere|in-lock|mid-steal      (repeatable)
+//   crash-detect-ns 5000
+//   bug weak-claim                                        (optional)
+//   window-ns 100000
+//   oracle node-conservation                              ("none" if clean)
+//   trail 0 0 1 0 2 ...                                   (may be empty)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+
+namespace upcws::check {
+
+struct ReplayFile {
+  CheckSpec spec;
+  std::uint64_t window_ns = 100'000;
+  /// Oracle the recorded schedule violates ("none" when recording a clean
+  /// schedule).
+  std::string oracle = "none";
+  std::vector<std::uint16_t> trail;
+};
+
+/// Serialize to the v1 text format.
+void write_replay(std::ostream& os, const ReplayFile& rf);
+void save_replay(const std::string& path, const ReplayFile& rf);
+
+/// Parse the v1 text format; throws std::invalid_argument on malformed
+/// input (unknown keys are rejected — a replay must reproduce exactly).
+ReplayFile read_replay(std::istream& is);
+ReplayFile load_replay(const std::string& path);
+
+/// Re-execute a replay file: runs the recorded schedule once under the full
+/// oracle battery. `tr`, if non-null, receives the run's trace.
+RunOutcome run_replay(const ReplayFile& rf, trace::Trace* tr = nullptr);
+
+/// True when the replayed outcome matches the file's expectation (the
+/// recorded oracle fired, or the file expects "none" and the run is clean).
+bool replay_matches(const ReplayFile& rf, const RunOutcome& out);
+
+}  // namespace upcws::check

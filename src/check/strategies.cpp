@@ -1,0 +1,41 @@
+#include "check/strategies.hpp"
+
+#include <algorithm>
+
+namespace upcws::check {
+
+PctPolicy::PctPolicy(std::uint64_t seed, int ntasks, int d,
+                     std::uint64_t horizon)
+    : rng_(seed), prio_(static_cast<std::size_t>(ntasks)) {
+  // Distinct initial priorities d .. d+ntasks-1 in random order; demotions
+  // use d-1 .. 0, so every demoted task sits below every never-demoted one.
+  for (int t = 0; t < ntasks; ++t) prio_[static_cast<std::size_t>(t)] = d + t;
+  std::shuffle(prio_.begin(), prio_.end(), rng_);
+  next_demote_ = d - 1;
+  if (horizon == 0) horizon = 1;
+  std::uniform_int_distribution<std::uint64_t> dist(1, horizon);
+  while (points_.size() < static_cast<std::size_t>(d) &&
+         points_.size() < horizon)
+    points_.insert(dist(rng_));
+}
+
+std::size_t PctPolicy::pick(const std::vector<sim::Candidate>& c) {
+  if (c.size() < 2) return 0;
+  ++step_;
+  auto winner = [&] {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < c.size(); ++i)
+      if (prio_[static_cast<std::size_t>(c[i].task)] >
+          prio_[static_cast<std::size_t>(c[best].task)])
+        best = i;
+    return best;
+  };
+  std::size_t w = winner();
+  if (points_.count(step_) != 0 && next_demote_ >= 0) {
+    prio_[static_cast<std::size_t>(c[w].task)] = next_demote_--;
+    w = winner();
+  }
+  return w;
+}
+
+}  // namespace upcws::check

@@ -1,0 +1,80 @@
+// Schedule-exploration strategies: SchedulePolicy implementations that
+// drive the simulator through interleavings other than the default min-vt
+// order. Each strategy is deterministic given its seed/inputs, so any
+// schedule it produces can be reproduced from its recorded decision trail
+// alone (see ReplayPolicy).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sim/schedule_policy.hpp"
+
+namespace upcws::check {
+
+/// Seeded random walk: every multi-candidate decision picks uniformly among
+/// the offered candidates. The simplest and often the most effective
+/// strategy for shallow races (cf. probabilistic concurrency testing
+/// folklore: most bugs need few specific reorderings).
+class RandomWalkPolicy final : public sim::SchedulePolicy {
+ public:
+  explicit RandomWalkPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  std::size_t pick(const std::vector<sim::Candidate>& c) override {
+    if (c.size() < 2) return 0;
+    return std::uniform_int_distribution<std::size_t>(0, c.size() - 1)(rng_);
+  }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// PCT-style priority scheduling (Burckhardt et al., ASPLOS'10): each task
+/// gets a distinct random priority; the highest-priority candidate always
+/// runs, except at d randomly chosen decision steps where the current
+/// winner's priority is demoted below everyone else's. Guarantees (in the
+/// classical analysis) a 1/(n * k^(d-1)) chance of hitting any bug of
+/// depth d, independent of schedule length k's position.
+class PctPolicy final : public sim::SchedulePolicy {
+ public:
+  /// `ntasks` = rank count, `d` = preemption-point budget, `horizon` = an
+  /// estimate of the run's total decision count (change points are drawn
+  /// uniformly from [1, horizon]).
+  PctPolicy(std::uint64_t seed, int ntasks, int d, std::uint64_t horizon);
+
+  std::size_t pick(const std::vector<sim::Candidate>& c) override;
+
+ private:
+  std::mt19937_64 rng_;
+  std::vector<std::int64_t> prio_;   // task id -> priority (higher runs)
+  std::set<std::uint64_t> points_;   // decision steps that demote the winner
+  std::int64_t next_demote_;         // next below-everything priority
+  std::uint64_t step_ = 0;
+};
+
+/// Replays a recorded choice trail: decision step i takes choices[i], and
+/// any step beyond the trail (or with a choice index out of range) falls
+/// back to the default order. An empty trail is exactly the default
+/// deterministic schedule.
+class ReplayPolicy final : public sim::SchedulePolicy {
+ public:
+  explicit ReplayPolicy(std::vector<std::uint16_t> choices)
+      : choices_(std::move(choices)) {}
+
+  std::size_t pick(const std::vector<sim::Candidate>& c) override {
+    if (c.size() < 2) return 0;
+    const std::size_t s = step_++;
+    const std::size_t ch = s < choices_.size() ? choices_[s] : 0;
+    return ch < c.size() ? ch : 0;
+  }
+
+  std::uint64_t steps() const { return step_; }
+
+ private:
+  std::vector<std::uint16_t> choices_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace upcws::check

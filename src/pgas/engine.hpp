@@ -29,6 +29,7 @@
 
 #include "pgas/faults.hpp"
 #include "pgas/netmodel.hpp"
+#include "sim/schedule_policy.hpp"
 
 namespace upcws::pgas {
 
@@ -369,6 +370,18 @@ struct RunConfig {
   /// revoked once its lease has expired. 0 = engine default (1 ms of Ctx
   /// time). Ignored when no crash is injected.
   std::uint64_t lock_lease_ns = 0;
+  /// Sim only: scheduling-decision hook for systematic schedule exploration
+  /// (src/check). Not owned; must outlive run(). Null = the original
+  /// deterministic min-vt order, byte-identical to pre-hook builds.
+  sim::SchedulePolicy* schedule_policy = nullptr;
+  /// Sim only, policy runs: fairness window for candidate selection — only
+  /// ranks within this many ns of the minimum virtual clock are offered to
+  /// the policy. 0 = unbounded (see sim::Scheduler::Config::policy_window_ns).
+  std::uint64_t schedule_window_ns = 0;
+  /// Sim only: when non-null, receives the run's scheduling-decision trail
+  /// (also on abnormal exit — HangDetected / TimeLimitExceeded propagate
+  /// *after* the trail is copied out, so the failing schedule is replayable).
+  std::vector<sim::Decision>* decision_trail = nullptr;
 };
 
 struct RunResult {

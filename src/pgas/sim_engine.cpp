@@ -120,6 +120,8 @@ RunResult SimEngine::run(const RunConfig& cfg,
   scfg.stack_bytes = cfg.fiber_stack_bytes;
   scfg.watchdog_ns = cfg.watchdog_ns;
   scfg.hang_report = cfg.hang_reporter;
+  scfg.policy = cfg.schedule_policy;
+  scfg.policy_window_ns = cfg.schedule_window_ns;
   const bool inject = cfg.faults.any();
   std::vector<std::unique_ptr<FaultInjector>> injectors(cfg.nranks);
   for (int r = 0; r < cfg.nranks; ++r)
@@ -156,7 +158,16 @@ RunResult SimEngine::run(const RunConfig& cfg,
       }
     });
   }
-  sched.run();
+  try {
+    sched.run();
+  } catch (...) {
+    // The decision trail must survive abnormal exits (HangDetected,
+    // TimeLimitExceeded, oracle violations thrown through the policy): a
+    // schedule that *caused* the failure is exactly the one worth replaying.
+    if (cfg.decision_trail != nullptr) *cfg.decision_trail = sched.decisions();
+    throw;
+  }
+  if (cfg.decision_trail != nullptr) *cfg.decision_trail = sched.decisions();
 
   RunResult res;
   res.elapsed_s = static_cast<double>(sched.makespan_ns()) * 1e-9;

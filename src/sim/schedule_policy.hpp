@@ -1,0 +1,52 @@
+// Pluggable scheduling policy: the simulator's controlled source of
+// nondeterminism.
+//
+// The deterministic scheduler always resumes the runnable task with the
+// smallest virtual time. That is one legal interleaving out of many: any
+// task whose virtual clock is "close enough" to the minimum could equally
+// well have been observed to run next on a real machine. A SchedulePolicy
+// intercepts exactly that choice. The schedule checker (src/check/) installs
+// policies that explore the choice space systematically — random walk, PCT
+// priorities, DFS — and records every decision in a trail so a failing
+// schedule can be shrunk and replayed bit-for-bit.
+//
+// With no policy installed the scheduler takes its original single-successor
+// path and byte-identical runs are preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace upcws::sim {
+
+/// One runnable task offered to the policy at a scheduling step.
+struct Candidate {
+  std::uint64_t vt;  ///< the task's virtual clock (ns)
+  int task;          ///< task (rank) id
+};
+
+/// One recorded scheduling decision. Only steps with >= 2 candidates are
+/// decisions; single-candidate steps are forced moves and are neither
+/// recorded nor counted in `step`. Replaying the same sequence of `choice`
+/// values through a replay policy reproduces the run exactly.
+struct Decision {
+  std::uint32_t step;          ///< decision index (dense, from 0)
+  std::uint16_t n_candidates;  ///< how many tasks were eligible
+  std::uint16_t choice;        ///< index picked (0 = default min-vt order)
+  int task;                    ///< task id that was resumed
+  std::uint64_t vt;            ///< that task's virtual clock when resumed
+};
+
+/// Scheduling-decision hook. pick() is called at *every* scheduling step
+/// (even forced moves with one candidate, so instrumentation wrapped around
+/// a policy can observe every slice boundary), with candidates sorted by
+/// (vt, task) ascending — index 0 is the default deterministic choice.
+/// Steps with a single candidate must return 0 and do not advance the
+/// decision numbering; the scheduler clamps out-of-range returns to 0.
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  virtual std::size_t pick(const std::vector<Candidate>& candidates) = 0;
+};
+
+}  // namespace upcws::sim

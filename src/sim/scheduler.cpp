@@ -63,6 +63,13 @@ void Scheduler::run() {
   Scheduler* prev = g_current_scheduler;
   g_current_scheduler = this;
   try {
+    if (cfg_.policy != nullptr) {
+      run_policy();
+      g_current_scheduler = prev;
+      current_ = -1;
+      running_ = false;
+      return;
+    }
     while (!rq_.empty()) {
       const QEntry e = rq_.top();
       rq_.pop();
@@ -91,6 +98,60 @@ void Scheduler::run() {
   running_ = false;
 }
 
+void Scheduler::run_policy() {
+  // Exploration mode: the runnable set lives in a plain vector so the policy
+  // can be offered every eligible task, not just the min-vt head. Drain the
+  // spawn-time priority queue first (spawn() feeds rq_ in both modes).
+  std::vector<QEntry> runnable;
+  while (!rq_.empty()) {
+    runnable.push_back(rq_.top());
+    rq_.pop();
+  }
+  decisions_.clear();
+  std::vector<Candidate> cand;
+  while (!runnable.empty()) {
+    std::uint64_t min_vt = UINT64_MAX;
+    for (const QEntry& e : runnable) min_vt = std::min(min_vt, e.vt);
+    // Same watchdog semantics as the default loop: the minimum virtual time
+    // is the least-advanced task, so if even it is past the progress window
+    // the whole system has spun without real work.
+    if (cfg_.watchdog_ns > 0 && min_vt > progress_ns_ &&
+        min_vt - progress_ns_ > cfg_.watchdog_ns)
+      throw_hang(min_vt);
+    cand.clear();
+    for (const QEntry& e : runnable)
+      if (cfg_.policy_window_ns == 0 || e.vt - min_vt <= cfg_.policy_window_ns)
+        cand.push_back({e.vt, e.task});
+    std::sort(cand.begin(), cand.end(), [](const Candidate& a,
+                                           const Candidate& b) {
+      return a.vt != b.vt ? a.vt < b.vt : a.task < b.task;
+    });
+    std::size_t choice = cfg_.policy->pick(cand);
+    if (choice >= cand.size()) choice = 0;
+    if (cand.size() >= 2)
+      decisions_.push_back({static_cast<std::uint32_t>(decisions_.size()),
+                            static_cast<std::uint16_t>(cand.size()),
+                            static_cast<std::uint16_t>(choice),
+                            cand[choice].task, cand[choice].vt});
+    const int task = cand[choice].task;
+    current_ = task;
+    ++switches_;
+    fibers_[task]->resume();
+    if (clocks_[task] > cfg_.vt_limit_ns)
+      throw TimeLimitExceeded(task, clocks_[task], cfg_.vt_limit_ns);
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+      if (runnable[i].task != task) continue;
+      if (fibers_[task]->finished()) {
+        runnable[i] = runnable.back();
+        runnable.pop_back();
+      } else {
+        runnable[i].vt = clocks_[task];
+      }
+      break;
+    }
+  }
+}
+
 void Scheduler::throw_hang(std::uint64_t stuck_at_ns) const {
   std::ostringstream os;
   os << "progress watchdog: no rank made node-count progress for "
@@ -101,6 +162,20 @@ void Scheduler::throw_hang(std::uint64_t stuck_at_ns) const {
   for (std::size_t i = 0; i < fibers_.size(); ++i)
     os << "  task " << i << ": vt=" << clocks_[i] << " ns "
        << (fibers_[i]->finished() ? "finished" : "runnable") << "\n";
+  if (!decisions_.empty()) {
+    // Tail of the schedule-exploration decision trail: makes a hang found
+    // by the checker diagnosable (and re-runnable) straight from the report.
+    constexpr std::size_t kTail = 16;
+    const std::size_t from =
+        decisions_.size() > kTail ? decisions_.size() - kTail : 0;
+    os << "schedule decisions (last " << (decisions_.size() - from) << " of "
+       << decisions_.size() << "):\n";
+    for (std::size_t i = from; i < decisions_.size(); ++i)
+      os << "  step " << decisions_[i].step << ": choice "
+         << decisions_[i].choice << "/" << decisions_[i].n_candidates
+         << " -> task " << decisions_[i].task << " at vt=" << decisions_[i].vt
+         << " ns\n";
+  }
   if (cfg_.hang_report) os << cfg_.hang_report();
   throw HangDetected(os.str(), cfg_.watchdog_ns, progress_ns_, stuck_at_ns);
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/schedule_policy.hpp"
 
 namespace upcws::sim {
 
@@ -69,6 +70,17 @@ class Scheduler {
     std::uint64_t watchdog_ns = 0;
     /// Optional extra text appended to the watchdog's hang report.
     std::function<std::string()> hang_report{};
+    /// Scheduling-decision hook (not owned; must outlive run()). When null
+    /// the scheduler runs its original min-vt loop, byte-identical to
+    /// pre-policy builds. When set, every scheduling step is routed through
+    /// the policy and multi-candidate decisions are recorded in decisions().
+    SchedulePolicy* policy = nullptr;
+    /// Fairness bound for policy runs: only tasks whose virtual clock is
+    /// within this many ns of the global minimum are offered as candidates.
+    /// 0 = no bound (every runnable task is a candidate). Without a bound an
+    /// adversarial policy can starve the min-vt task behind a busy-wait
+    /// spinner forever (the spinner stays runnable at ever-growing vt).
+    std::uint64_t policy_window_ns = 0;
   };
 
   Scheduler() : Scheduler(Config{}) {}
@@ -117,6 +129,10 @@ class Scheduler {
   /// Number of scheduler context switches performed (diagnostic).
   std::uint64_t switches() const { return switches_; }
 
+  /// Decision trail of the last run (empty unless Config::policy was set).
+  /// One entry per scheduling step that offered >= 2 candidates.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+
  private:
   struct QEntry {
     std::uint64_t vt;
@@ -127,6 +143,9 @@ class Scheduler {
   };
 
   [[noreturn]] void throw_hang(std::uint64_t stuck_at_ns) const;
+
+  /// Policy-driven variant of the run loop (Config::policy != nullptr).
+  void run_policy();
 
   /// Cancel-unwind every started-but-unfinished fiber (abnormal teardown)
   /// so objects on fiber stacks are destroyed, not leaked.
@@ -140,6 +159,7 @@ class Scheduler {
   bool running_ = false;
   std::uint64_t switches_ = 0;
   std::uint64_t progress_ns_ = 0;
+  std::vector<Decision> decisions_;
 };
 
 }  // namespace upcws::sim

@@ -572,9 +572,7 @@ class MpiWorker final : public NodeSink {
         // absorb straight from the payload; otherwise the steal failed.
         wait_victim_ = -1;
         TransferRec& rec = board_->rec(v, me_);
-        int expect = TransferRec::kPending;
-        if (rec.state.compare_exchange_strong(expect, TransferRec::kDone,
-                                              std::memory_order_acq_rel)) {
+        if (board_->retire(ctx_, rec)) {
           const std::size_t take = rec.nnodes;
           for (std::size_t i = 0; i < take; ++i)
             my_.push(rec.payload.data() + i * nb_);
@@ -618,9 +616,7 @@ class MpiWorker final : public NodeSink {
     // and we must not apply the chunk a second time (still ack, so the
     // protocol state stays consistent if the grant resurfaces).
     if (crash_mode_) {
-      int expect = TransferRec::kPending;
-      if (!board_->rec(m.src, me_).state.compare_exchange_strong(
-              expect, TransferRec::kDone, std::memory_order_acq_rel)) {
+      if (!board_->retire(ctx_, board_->rec(m.src, me_))) {
         if (hardened_)
           send_ack(m.src, get_u32(m.payload, 0));
         else
@@ -700,7 +696,7 @@ class MpiWorker final : public NodeSink {
   /// the dedup filter is defense-in-depth).
   bool replay_record(TransferRec& rec) {
     pgas::LockGuard guard(ctx_, board_->dedup_lock);
-    if (!RecoveryBoard::claim(rec)) return false;
+    if (!board_->claim_rec(ctx_, rec)) return false;
     // Bump the recovery counter immediately after the claim: the leader's
     // recovery_epoch must change before any window in which the board can
     // read as clean, or it could certify a token round that never saw the

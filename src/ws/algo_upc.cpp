@@ -357,9 +357,7 @@ class UpcWorker final : public NodeSink {
         // (a parked request in a dead rank's slot is harmless).
         ctx_.charge_ref(v);
         TransferRec& rec = board_->rec(v, me_);
-        int expect = TransferRec::kPending;
-        if (rec.state.compare_exchange_strong(expect, TransferRec::kDone,
-                                              std::memory_order_acq_rel)) {
+        if (board_->retire(ctx_, rec)) {
           const std::size_t take = rec.nnodes;
           xfer_.assign(rec.payload.begin(), rec.payload.end());
           absorb(take);
@@ -401,9 +399,7 @@ class UpcWorker final : public NodeSink {
     // replayed this chunk after detecting our victim dead — then the chunk
     // is on the replayer's stack and we must not apply it a second time.
     if (rec != nullptr) {
-      int expect = TransferRec::kPending;
-      if (!rec->state.compare_exchange_strong(expect, TransferRec::kDone,
-                                              std::memory_order_acq_rel)) {
+      if (!board_->retire(ctx_, *rec)) {
         publish_avail();
         return;
       }
@@ -500,7 +496,7 @@ class UpcWorker final : public NodeSink {
   /// so in a correct execution it never drops anything).
   bool replay_record(TransferRec& rec) {
     pgas::LockGuard guard(ctx_, board_->dedup_lock);
-    if (!RecoveryBoard::claim(rec)) return false;  // raced; other claimer won
+    if (!board_->claim_rec(ctx_, rec)) return false;  // raced; other won
     board_->note_replay();
     std::size_t kept = 0;
     for (std::uint32_t i = 0; i < rec.nnodes; ++i) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -24,6 +25,9 @@ class Trace;
 }
 
 namespace upcws::ws {
+
+struct SharedState;
+class RecoveryBoard;
 
 enum class Algo {
   kUpcSharedMem,
@@ -116,6 +120,27 @@ struct WsConfig {
   /// Optional execution trace sink (state changes + load-balancing events);
   /// see trace/trace.hpp. Not owned; must outlive the run.
   trace::Trace* trace = nullptr;
+
+  // --- schedule-checking instrumentation (src/check; off by default) -----
+
+  /// Called by run_search once the run's shared structures exist, before
+  /// the engine starts: the SharedState for the UPC family (null for
+  /// mpi-ws / work-push) and the RecoveryBoard when crash injection is on
+  /// (null otherwise). The pointers are valid until check_detach (or until
+  /// run_search propagates an exception) — the schedule checker's invariant
+  /// oracles probe protocol state through them between fiber slices.
+  std::function<void(SharedState*, RecoveryBoard*)> check_attach{};
+
+  /// Called after the engine returns normally, while the shared structures
+  /// are still alive — end-of-run oracle checks (no transfer record left
+  /// pending, stacks drained) run here. Not called when the run throws.
+  std::function<void()> check_detach{};
+
+  /// Test-only protocol sabotage for validating the schedule checker: when
+  /// true, the RecoveryBoard's retire/claim arbitration uses a deliberately
+  /// non-atomic read-yield-write in place of the claim CAS, opening a
+  /// schedule-dependent exactly-once violation (see recovery.hpp).
+  bool bug_weak_claim = false;
 
   /// Derive the paper's configuration for a Figure-3 label.
   static WsConfig for_algo(Algo a, int chunk_size = 20);

@@ -121,7 +121,11 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
     std::vector<StealStack> stacks(rcfg.nranks);
     for (int r = 0; r < rcfg.nranks; ++r)
       stacks[r].init(prob.node_bytes(), r);
-    if (board != nullptr) board->stacks = &stacks;
+    if (board != nullptr) {
+      board->stacks = &stacks;
+      board->bug_weak_claim = cfg.bug_weak_claim;
+    }
+    if (cfg.check_attach) cfg.check_attach(nullptr, board);
     if (rc.watchdog_ns > 0 && !rc.hang_reporter)
       rc.hang_reporter = [&comm, tr = cfg.trace, live_view] {
         return liveness_report(live_view) + comm.debug_report() +
@@ -135,10 +139,15 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
                              board);
       harvest_faults(ctx, per_thread[ctx.rank()], cfg.trace);
     });
+    if (cfg.check_detach) cfg.check_detach();
   } else {
     SharedState g(rcfg.nranks, prob.node_bytes());
     g.recovery = board;
-    if (board != nullptr) board->stacks = &g.stacks;
+    if (board != nullptr) {
+      board->stacks = &g.stacks;
+      board->bug_weak_claim = cfg.bug_weak_claim;
+    }
+    if (cfg.check_attach) cfg.check_attach(&g, board);
     if (cfg.termination == Termination::kProbeBarrier) {
       // Ranks without work advertise "no work at all" from the start so the
       // streamlined termination probe sees a consistent encoding.
@@ -183,6 +192,7 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
       per_thread[ctx.rank()] = run_upc_rank(ctx, g, prob, cfg);
       harvest_faults(ctx, per_thread[ctx.rank()], cfg.trace);
     });
+    if (cfg.check_detach) cfg.check_detach();
   }
 
   const double seq_rate =

@@ -27,6 +27,34 @@ void RecoveryBoard::publish(int writer, int peer, int victim, int thief,
   r.state.store(TransferRec::kPending, std::memory_order_release);
 }
 
+bool RecoveryBoard::retire(pgas::Ctx& ctx, TransferRec& r) {
+  if (!bug_weak_claim) {
+    int expect = TransferRec::kPending;
+    return r.state.compare_exchange_strong(expect, TransferRec::kDone,
+                                           std::memory_order_acq_rel);
+  }
+  // Deliberately broken arbitration for checker validation: check, then an
+  // interaction point (a "remote verify" round trip), then an unconditional
+  // store. Another rank scheduled into the window can claim the record for
+  // replay and still lose the arbitration it already won.
+  if (r.state.load(std::memory_order_acquire) != TransferRec::kPending)
+    return false;
+  ctx.charge(ctx.net().remote_ref_ns);
+  ctx.yield();
+  r.state.store(TransferRec::kDone, std::memory_order_release);
+  return true;
+}
+
+bool RecoveryBoard::claim_rec(pgas::Ctx& ctx, TransferRec& r) {
+  if (!bug_weak_claim) return claim(r);
+  if (r.state.load(std::memory_order_acquire) != TransferRec::kPending)
+    return false;
+  ctx.charge(ctx.net().remote_ref_ns);
+  ctx.yield();
+  r.state.store(TransferRec::kClaimed, std::memory_order_release);
+  return true;
+}
+
 bool RecoveryBoard::orphan_pending(pgas::Ctx& viewer) const {
   // A pending record with a dead endpoint is recoverable work termination
   // must wait for: a dead thief can never absorb its chunk, and a dead

@@ -101,6 +101,32 @@ class RecoveryBoard {
                                            std::memory_order_acq_rel);
   }
 
+  // ---- arbitration entry points (routed so the checker can sabotage) ----
+  //
+  // All pending -> {done, claimed} transitions in the algorithms go through
+  // retire()/claim_rec() below. With bug_weak_claim false (always, outside
+  // the schedule checker's self-test) they are exactly the CAS of
+  // complete()/claim() — no extra Ctx charges, no behavior change. With it
+  // true they become a read / yield / write with a deliberate TOCTOU window:
+  // a live thief's retire can then race a survivor's replay claim on the
+  // same record, and since the thief's normal-path pushes never enter the
+  // dedup filter, the race double-counts the chunk — but only under
+  // schedules that interleave another rank into the window. This is the
+  // seeded bug `schedule_check` is validated against.
+
+  /// When true, retire()/claim_rec() use the weakened non-atomic
+  /// arbitration. Set by the driver from WsConfig::bug_weak_claim.
+  bool bug_weak_claim = false;
+
+  /// Route for the thief-side retire (both a thief absorbing its own grant
+  /// and a live rank retiring a dead peer's record). Equivalent to
+  /// `rec.state CAS kPending -> kDone` unless bug_weak_claim.
+  bool retire(pgas::Ctx& ctx, TransferRec& r);
+
+  /// Route for the recoverer-side replay claim. Equivalent to claim(r)
+  /// unless bug_weak_claim.
+  bool claim_rec(pgas::Ctx& ctx, TransferRec& r);
+
   // ---- per-dead-rank stack salvage arbitration ----
 
   /// Claim the (single) salvage of dead rank `r`; false if someone else

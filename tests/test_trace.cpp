@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "pgas/sim_engine.hpp"
 #include "trace/trace.hpp"
@@ -68,6 +70,69 @@ TEST(TraceUnit, KindNames) {
   EXPECT_STREQ(trace::kind_name(trace::Kind::kLockRevoked), "lock_revoked");
   EXPECT_STREQ(trace::kind_name(trace::Kind::kWorkRecovered),
                "work_recovered");
+}
+
+// Every enum value in declaration order, paired with its wire name. A new
+// Kind must be added here (and below) or the round-trip tests fail.
+const std::pair<trace::Kind, const char*> kAllKinds[] = {
+    {trace::Kind::kState, "state"},
+    {trace::Kind::kStealOk, "steal_ok"},
+    {trace::Kind::kStealFail, "steal_fail"},
+    {trace::Kind::kRelease, "release"},
+    {trace::Kind::kServiceGrant, "service_grant"},
+    {trace::Kind::kServiceDeny, "service_deny"},
+    {trace::Kind::kStealTimeout, "steal_timeout"},
+    {trace::Kind::kRetransmit, "retransmit"},
+    {trace::Kind::kStall, "stall"},
+    {trace::Kind::kSpike, "spike"},
+    {trace::Kind::kMsgDrop, "msg_drop"},
+    {trace::Kind::kMsgDup, "msg_dup"},
+    {trace::Kind::kRankCrashed, "rank_crashed"},
+    {trace::Kind::kLockRevoked, "lock_revoked"},
+    {trace::Kind::kWorkRecovered, "work_recovered"},
+};
+
+TEST(TraceUnit, AllKindNamesDistinctAndStable) {
+  std::set<std::string> seen;
+  for (const auto& [kind, name] : kAllKinds) {
+    EXPECT_STREQ(trace::kind_name(kind), name);
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  // The table above must stay exhaustive: kWorkRecovered is the last
+  // enumerator, so its ordinal + 1 is the kind count.
+  EXPECT_EQ(std::size(kAllKinds),
+            static_cast<std::size_t>(trace::Kind::kWorkRecovered) + 1);
+}
+
+TEST(TraceUnit, AllKindsRoundTripThroughCsvAndChrome) {
+  trace::Trace t(1);
+  std::uint64_t ts = 100;
+  for (const auto& [kind, name] : kAllKinds)
+    t.record(0, {ts += 100, 0, kind, 7, 21});
+  ASSERT_EQ(t.merged().size(), std::size(kAllKinds));
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  const std::string s = csv.str();
+  std::ostringstream js;
+  t.write_chrome_json(js);
+  const std::string j = js.str();
+
+  ts = 100;
+  for (const auto& [kind, name] : kAllKinds) {
+    ts += 100;
+    EXPECT_NE(s.find(std::to_string(ts) + ",0," + name + ",7,21"),
+              std::string::npos)
+        << "CSV missing " << name;
+    if (kind == trace::Kind::kState) continue;  // rendered as intervals
+    EXPECT_NE(j.find("\"name\":\"" + std::string(name) + "\""),
+              std::string::npos)
+        << "Chrome JSON missing " << name;
+  }
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
 }
 
 TEST(TraceUnit, CrashEventsRoundTrip) {
