@@ -3,13 +3,21 @@
 // time is spent searching for work, stealing work, or in termination
 // detection."
 //
-// Reports, per rank count, the fraction of aggregate thread-time spent in
-// each Figure-1 state for upc-distmem and upc-sharedmem.
+// Since the telemetry subsystem landed, this bench goes one level deeper
+// than the paper's three-way split: each run attaches an obs::Observer and
+// the table is built from the idle-time autopsy (obs/autopsy.hpp), which
+// attributes every non-Working nanosecond to a concrete cause — victim-miss
+// search, steal latency, lock contention, termination wait. The bench FAILS
+// (exit 1) if the autopsy leaves more than 1% of any run's non-Working time
+// unattributed: the attribution must account for the whole overhead budget,
+// not just the parts that are easy to explain.
 #include <cstdio>
 #include <iostream>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/autopsy.hpp"
+#include "obs/observer.hpp"
 #include "pgas/sim_engine.hpp"
 #include "stats/table.hpp"
 #include "ws/driver.hpp"
@@ -31,39 +39,69 @@ int main(int argc, char** argv) {
   benchutil::print_banner(
       "bench_state_breakdown -- Sect. 6.2: time in Figure-1 states",
       "93% of thread-time in the working state at 1024 procs; remainder in "
-      "search/steal/termination",
+      "search/steal/termination, here attributed by the idle-time autopsy",
       std::string("mode=") + benchutil::mode_name(mode) +
           " tree=" + tree.describe() + " chunk=10 net=distributed");
 
   const ws::UtsProblem prob(tree);
   pgas::SimEngine eng;
 
-  stats::Table t({"procs", "label", "working%", "searching%", "stealing%",
-                  "termination%", "efficiency"});
+  stats::Table t({"procs", "label", "working%", "victim-miss%", "steal-lat%",
+                  "lock%", "term-wait%", "residual%", "efficiency"});
+  bool attribution_ok = true;
   for (int n : ranks) {
     for (ws::Algo a : {ws::Algo::kUpcDistMem, ws::Algo::kUpcSharedMem}) {
       pgas::RunConfig rcfg;
       rcfg.nranks = n;
       rcfg.net = pgas::NetModel::distributed();
       rcfg.seed = 9;
-      const auto r = ws::run_algo(eng, rcfg, a, prob, 10);
-      auto pct = [&](stats::State s) {
+      obs::Observer observer;
+      ws::WsConfig cfg = ws::WsConfig::for_algo(a, 10);
+      cfg.obs = &observer;
+      const auto r = ws::run_search(eng, rcfg, prob, cfg);
+      const obs::RunReport rep = obs::autopsy(observer);
+      // Causes as a fraction of TOTAL thread-time so the row sums (with
+      // working%) to ~100 and reads like the paper's Figure-1 split.
+      auto pct = [&](std::uint64_t ns) {
         return stats::Table::fmt(
-            100.0 * r.agg.state_frac[static_cast<int>(s)], 1);
+            rep.total_ns > 0 ? 100.0 * static_cast<double>(ns) /
+                                   static_cast<double>(rep.total_ns)
+                             : 0.0,
+            1);
+      };
+      auto cause = [&](obs::Cause c) {
+        return pct(rep.cause_ns[static_cast<int>(c)]);
       };
       t.add_row({stats::Table::fmt(n), ws::algo_label(a),
-                 pct(stats::State::kWorking), pct(stats::State::kSearching),
-                 pct(stats::State::kStealing),
-                 pct(stats::State::kTermination),
+                 stats::Table::fmt(100.0 * rep.working_frac, 1),
+                 cause(obs::Cause::kVictimMissSearch),
+                 cause(obs::Cause::kStealLatency),
+                 cause(obs::Cause::kLockContention),
+                 cause(obs::Cause::kTerminationWait), pct(rep.residual_ns),
                  stats::Table::fmt(r.agg.efficiency, 2)});
+      if (rep.attributed_frac < 0.99) {
+        attribution_ok = false;
+        std::printf(
+            "ATTRIBUTION FAILURE: procs=%d %s attributed only %.2f%% of "
+            "non-working time (residual %llu ns)\n",
+            n, ws::algo_label(a), 100.0 * rep.attributed_frac,
+            static_cast<unsigned long long>(rep.residual_ns));
+      }
       std::fflush(stdout);
     }
   }
-  std::printf("\nTime-in-state breakdown (paper Sect. 6.2):\n");
+  std::printf("\nTime-in-state breakdown (paper Sect. 6.2), causes from the "
+              "idle-time autopsy:\n");
   t.print(std::cout);
   std::printf(
       "\nExpected shape: working%% dominates at modest rank counts and "
       "shrinks as ranks grow relative to tree size; upc-distmem keeps a "
-      "higher working fraction than upc-sharedmem.\n");
+      "higher working fraction than upc-sharedmem, whose overhead shows up "
+      "as lock contention.\n");
+  if (!attribution_ok) {
+    std::printf("\nFAIL: autopsy attributed < 99%% of non-working time on at "
+                "least one run\n");
+    return 1;
+  }
   return 0;
 }

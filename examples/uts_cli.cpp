@@ -24,8 +24,21 @@
 //   -S SEED       run seed for probe order (default 1)
 //   -v            per-rank statistics table
 //   --trace FILE  write a Chrome/Perfetto trace of the run to FILE
-//                 (open at https://ui.perfetto.dev)
+//                 (open at https://ui.perfetto.dev); with telemetry on,
+//                 completed steal spans are stitched in as flow events
 //   --trace-csv FILE  write the raw event trace as CSV
+//   --trace-cap N bound each rank's trace buffer to N events (ring:
+//                 newest win; the overwrite count is reported)
+//
+// Run telemetry (see docs/observability.md):
+//   --metrics FILE  sample every rank's metric registry on a virtual-time
+//                 cadence and stream the time-series to FILE as JSONL;
+//                 also prints ASCII sparklines of each metric
+//   --report FILE   write the idle-time autopsy report (JSON) to FILE and
+//                 print the per-rank cause table
+//   --spans       print the steal-transaction span summary
+//   --obs-sample NS  telemetry sampling cadence in virtual ns
+//                 (default 100000)
 //   --csv         emit one machine-readable CSV result line (plus a header)
 //                 instead of the human-readable summary
 //   --replay FILE re-execute a schedule recorded by schedule_check (an
@@ -62,6 +75,8 @@
 #include <memory>
 
 #include "check/replay.hpp"
+#include "obs/autopsy.hpp"
+#include "obs/observer.hpp"
 #include "pgas/faults.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
@@ -140,6 +155,10 @@ int main(int argc, char** argv) {
   std::string engine_name = "sim";
   std::string net_name = "dist";
   std::string trace_json, trace_csv, replay_path;
+  std::string metrics_path, report_path;
+  bool spans = false;
+  std::uint64_t obs_sample_ns = 100'000;
+  std::size_t trace_cap = 0;
   std::uint64_t run_seed = 1;
   pgas::FaultPlan faults;
   pgas::CrashSpec::Where crash_where = pgas::CrashSpec::Where::kAnywhere;
@@ -186,6 +205,16 @@ int main(int argc, char** argv) {
       trace_json = next();
     else if (a == "--trace-csv")
       trace_csv = next();
+    else if (a == "--trace-cap")
+      trace_cap = static_cast<std::size_t>(std::atoll(next()));
+    else if (a == "--metrics")
+      metrics_path = next();
+    else if (a == "--report")
+      report_path = next();
+    else if (a == "--spans")
+      spans = true;
+    else if (a == "--obs-sample")
+      obs_sample_ns = static_cast<std::uint64_t>(std::atoll(next()));
     else if (a == "--csv")
       csv = true;
     else if (a == "--replay")
@@ -276,6 +305,13 @@ int main(int argc, char** argv) {
   if (!trace_json.empty() || !trace_csv.empty()) {
     tr = std::make_unique<trace::Trace>(nranks);
     cfg.trace = tr.get();
+    cfg.trace_cap = trace_cap;
+  }
+  std::unique_ptr<obs::Observer> observer;
+  if (!metrics_path.empty() || !report_path.empty() || spans) {
+    observer = std::make_unique<obs::Observer>();
+    cfg.obs = observer.get();
+    cfg.obs_sample_ns = obs_sample_ns;
   }
 
   if (!csv)
@@ -311,14 +347,61 @@ int main(int argc, char** argv) {
   if (tr) {
     if (!trace_json.empty()) {
       std::ofstream f(trace_json);
-      tr->write_chrome_json(f);
+      if (observer) {
+        // Stitch completed steal spans into the timeline as Perfetto flow
+        // events (arrows from the thief's request to its absorb).
+        tr->write_chrome_json(f, observer->spans().flow_events());
+      } else {
+        tr->write_chrome_json(f);
+      }
       std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
                   tr->total_events(), trace_json.c_str());
+      if (tr->dropped_events() > 0)
+        std::printf("trace ring overflow: %llu events dropped (oldest first; "
+                    "raise --trace-cap)\n",
+                    static_cast<unsigned long long>(tr->dropped_events()));
     }
     if (!trace_csv.empty()) {
       std::ofstream f(trace_csv);
       tr->write_csv(f);
       std::printf("wrote event CSV to %s\n", trace_csv.c_str());
+    }
+  }
+  if (observer) {
+    if (!metrics_path.empty()) {
+      std::ofstream f(metrics_path);
+      observer->write_metrics_jsonl(f);
+      std::printf("wrote %zu metric samples to %s\n",
+                  observer->samples().total_points(), metrics_path.c_str());
+      const std::string charts = observer->sparklines();
+      if (!charts.empty()) std::fputs(charts.c_str(), stdout);
+    }
+    if (spans) {
+      const std::vector<obs::Span> sp = observer->spans().assemble();
+      std::size_t completed = 0, denied = 0, abandoned = 0, incomplete = 0,
+                  salvaged = 0, timeouts = 0;
+      for (const obs::Span& s : sp) {
+        switch (s.outcome) {
+          case obs::Span::Outcome::kCompleted: ++completed; break;
+          case obs::Span::Outcome::kDenied: ++denied; break;
+          case obs::Span::Outcome::kAbandoned: ++abandoned; break;
+          case obs::Span::Outcome::kIncomplete: ++incomplete; break;
+        }
+        if (s.salvaged) ++salvaged;
+        timeouts += s.timeouts;
+      }
+      std::printf(
+          "steal spans: %zu total  %zu completed  %zu denied  %zu abandoned  "
+          "%zu incomplete  (%zu salvaged, %zu timeouts)\n",
+          sp.size(), completed, denied, abandoned, incomplete, salvaged,
+          timeouts);
+    }
+    if (!report_path.empty()) {
+      const obs::RunReport report = obs::autopsy(*observer, tr.get());
+      std::ofstream f(report_path);
+      report.write_json(f);
+      std::printf("%s", report.ascii_table().c_str());
+      std::printf("wrote idle-time autopsy to %s\n", report_path.c_str());
     }
   }
   if (csv) {

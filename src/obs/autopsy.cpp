@@ -1,0 +1,241 @@
+#include "obs/autopsy.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "trace/trace.hpp"
+
+namespace upcws::obs {
+
+const char* cause_name(Cause c) {
+  switch (c) {
+    case Cause::kVictimMissSearch: return "victim_miss_search";
+    case Cause::kStealLatency: return "steal_latency";
+    case Cause::kLockContention: return "lock_contention";
+    case Cause::kTerminationWait: return "termination_wait";
+    case Cause::kInjectedFault: return "injected_fault";
+    case Cause::kRecoveryReplay: return "recovery_replay";
+    case Cause::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+// A segment of one rank's timeline with its current cause attribution.
+struct Seg {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  Cause c = Cause::kVictimMissSearch;
+};
+
+// Paint [a, b) with cause `c` on top of `segs`, splitting segments at the
+// boundaries. Later paints win (callers apply causes lowest-priority
+// first).
+void paint(std::vector<Seg>& segs, std::uint64_t a, std::uint64_t b,
+           Cause c) {
+  if (b <= a) return;
+  std::vector<Seg> out;
+  out.reserve(segs.size() + 2);
+  for (const Seg& s : segs) {
+    if (s.b <= a || s.a >= b) {
+      out.push_back(s);
+      continue;
+    }
+    if (s.a < a) out.push_back({s.a, a, s.c});
+    out.push_back({std::max(s.a, a), std::min(s.b, b), c});
+    if (s.b > b) out.push_back({b, s.b, s.c});
+  }
+  segs = std::move(out);
+}
+
+Cause default_cause(stats::State s) {
+  switch (s) {
+    case stats::State::kSearching: return Cause::kVictimMissSearch;
+    case stats::State::kStealing: return Cause::kStealLatency;
+    case stats::State::kTermination: return Cause::kTerminationWait;
+    case stats::State::kWorking:
+    case stats::State::kCount: break;
+  }
+  return Cause::kVictimMissSearch;
+}
+
+std::string pct(std::uint64_t part, std::uint64_t whole) {
+  char buf[16];
+  const double p = whole > 0 ? 100.0 * static_cast<double>(part) /
+                                   static_cast<double>(whole)
+                             : 0.0;
+  std::snprintf(buf, sizeof buf, "%5.1f%%", p);
+  return buf;
+}
+
+}  // namespace
+
+RunReport autopsy(const Observer& obs, const trace::Trace* tr) {
+  RunReport rep;
+  rep.nranks = obs.nranks();
+  rep.sample_ns = obs.sample_ns();
+  rep.sample_points = obs.samples().total_points();
+  if (tr != nullptr) rep.dropped_trace_events = tr->dropped_events();
+
+  for (const Span& s : obs.spans().assemble()) {
+    ++rep.spans_total;
+    rep.span_timeouts += static_cast<std::uint64_t>(s.timeouts);
+    if (s.salvaged) ++rep.spans_salvaged;
+    switch (s.outcome) {
+      case Span::Outcome::kCompleted: ++rep.spans_completed; break;
+      case Span::Outcome::kDenied: ++rep.spans_denied; break;
+      case Span::Outcome::kAbandoned: ++rep.spans_abandoned; break;
+      case Span::Outcome::kIncomplete: ++rep.spans_incomplete; break;
+    }
+  }
+
+  for (int r = 0; r < rep.nranks; ++r) {
+    RankAutopsy ra;
+    ra.rank = r;
+    const std::vector<StateEvent>& st = obs.state_log(r);
+    if (!st.empty()) {
+      // Close the timeline at finish() time, falling back to the last
+      // transition (a crashed rank's clock stops where its log stops).
+      std::uint64_t end = obs.end_ns(r);
+      for (const StateEvent& e : st) end = std::max(end, e.t_ns);
+      const std::uint64_t begin = st.front().t_ns;
+      ra.total_ns = end - begin;
+
+      for (std::size_t i = 0; i < st.size(); ++i) {
+        const std::uint64_t a = st[i].t_ns;
+        const std::uint64_t b = i + 1 < st.size() ? st[i + 1].t_ns : end;
+        if (b <= a) continue;
+        if (st[i].state == stats::State::kWorking) {
+          ra.working_ns += b - a;
+          continue;
+        }
+        // Non-Working interval: state default, then overlay the cause
+        // intervals in increasing priority so the strongest cause wins.
+        std::vector<Seg> segs{{a, b, default_cause(st[i].state)}};
+        for (const Interval& iv : obs.recoveries(r))
+          paint(segs, std::max(iv.begin_ns, a), std::min(iv.end_ns, b),
+                Cause::kRecoveryReplay);
+        for (const Interval& iv : obs.lock_waits(r))
+          paint(segs, std::max(iv.begin_ns, a), std::min(iv.end_ns, b),
+                Cause::kLockContention);
+        for (const Interval& iv : obs.stalls(r))
+          paint(segs, std::max(iv.begin_ns, a), std::min(iv.end_ns, b),
+                Cause::kInjectedFault);
+        for (const Seg& s : segs)
+          ra.cause_ns[static_cast<int>(s.c)] += s.b - s.a;
+      }
+      std::uint64_t attributed = 0;
+      for (std::uint64_t v : ra.cause_ns) attributed += v;
+      ra.residual_ns = ra.nonworking_ns() > attributed
+                           ? ra.nonworking_ns() - attributed
+                           : 0;
+    }
+    rep.per_rank.push_back(ra);
+  }
+
+  for (const RankAutopsy& ra : rep.per_rank) {
+    rep.total_ns += ra.total_ns;
+    rep.working_ns += ra.working_ns;
+    rep.residual_ns += ra.residual_ns;
+    for (int c = 0; c < kCauseCount; ++c) rep.cause_ns[c] += ra.cause_ns[c];
+  }
+  rep.nonworking_ns = rep.total_ns - rep.working_ns;
+  rep.working_frac = rep.total_ns > 0
+                         ? static_cast<double>(rep.working_ns) /
+                               static_cast<double>(rep.total_ns)
+                         : 0.0;
+  rep.attributed_frac =
+      rep.nonworking_ns > 0
+          ? 1.0 - static_cast<double>(rep.residual_ns) /
+                      static_cast<double>(rep.nonworking_ns)
+          : 1.0;
+  return rep;
+}
+
+std::string RunReport::ascii_table() const {
+  std::ostringstream os;
+  os << "rank  working";
+  for (int c = 0; c < kCauseCount; ++c)
+    os << "  " << cause_name(static_cast<Cause>(c));
+  os << "  residual\n";
+  auto row = [&](const std::string& label, std::uint64_t total,
+                 std::uint64_t working,
+                 const std::array<std::uint64_t, kCauseCount>& cause,
+                 std::uint64_t residual) {
+    os << label << "  " << pct(working, total);
+    for (int c = 0; c < kCauseCount; ++c) {
+      const std::size_t w =
+          std::string(cause_name(static_cast<Cause>(c))).size();
+      std::string p = pct(cause[c], total);
+      os << "  " << std::string(w > p.size() ? w - p.size() : 0, ' ') << p;
+    }
+    os << "  " << pct(residual, total) << '\n';
+  };
+  for (const RankAutopsy& ra : per_rank) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%4d", ra.rank);
+    row(label, ra.total_ns, ra.working_ns, ra.cause_ns, ra.residual_ns);
+  }
+  row(" ALL", total_ns, working_ns, cause_ns, residual_ns);
+  char tail[160];
+  std::snprintf(tail, sizeof tail,
+                "attributed %.2f%% of non-working time (residual %llu ns)\n",
+                100.0 * attributed_frac,
+                static_cast<unsigned long long>(residual_ns));
+  os << tail;
+  return os.str();
+}
+
+void RunReport::write_json(std::ostream& os) const {
+  auto frac = [](std::uint64_t part, std::uint64_t whole) {
+    return whole > 0
+               ? static_cast<double>(part) / static_cast<double>(whole)
+               : 0.0;
+  };
+  os << "{\n";
+  os << "  \"schema\": \"upcws-run-report-v1\",\n";
+  os << "  \"nranks\": " << nranks << ",\n";
+  os << "  \"sample_ns\": " << sample_ns << ",\n";
+  os << "  \"sample_points\": " << sample_points << ",\n";
+  os << "  \"spans\": {\n";
+  os << "    \"total\": " << spans_total << ",\n";
+  os << "    \"completed\": " << spans_completed << ",\n";
+  os << "    \"denied\": " << spans_denied << ",\n";
+  os << "    \"abandoned\": " << spans_abandoned << ",\n";
+  os << "    \"incomplete\": " << spans_incomplete << ",\n";
+  os << "    \"salvaged\": " << spans_salvaged << ",\n";
+  os << "    \"timeouts\": " << span_timeouts << "\n";
+  os << "  },\n";
+  os << "  \"dropped_trace_events\": " << dropped_trace_events << ",\n";
+  os << "  \"total_ns\": " << total_ns << ",\n";
+  os << "  \"working_ns\": " << working_ns << ",\n";
+  os << "  \"nonworking_ns\": " << nonworking_ns << ",\n";
+  os << "  \"working_frac\": " << working_frac << ",\n";
+  os << "  \"attributed_frac\": " << attributed_frac << ",\n";
+  os << "  \"residual_ns\": " << residual_ns << ",\n";
+  os << "  \"residual_frac_of_nonworking\": "
+     << frac(residual_ns, nonworking_ns) << ",\n";
+  os << "  \"causes_ns\": {";
+  for (int c = 0; c < kCauseCount; ++c)
+    os << (c > 0 ? ", " : "") << '"' << cause_name(static_cast<Cause>(c))
+       << "\": " << cause_ns[c];
+  os << "},\n";
+  os << "  \"per_rank\": [\n";
+  for (std::size_t i = 0; i < per_rank.size(); ++i) {
+    const RankAutopsy& ra = per_rank[i];
+    os << "    {\"rank\": " << ra.rank << ", \"total_ns\": " << ra.total_ns
+       << ", \"working_ns\": " << ra.working_ns << ", \"causes_ns\": {";
+    for (int c = 0; c < kCauseCount; ++c)
+      os << (c > 0 ? ", " : "") << '"' << cause_name(static_cast<Cause>(c))
+         << "\": " << ra.cause_ns[c];
+    os << "}, \"residual_ns\": " << ra.residual_ns << "}"
+       << (i + 1 < per_rank.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace upcws::obs

@@ -1,0 +1,102 @@
+// Idle-time attribution ("autopsy"): fold the Observer's state log, span
+// log, and lock/stall/recovery intervals into a per-rank breakdown of ALL
+// non-Working virtual time into causes, so "efficiency was 81%" becomes
+// "7% victim-miss search, 6% lock contention, 4% termination wait, 2%
+// injected stalls" (docs/observability.md).
+//
+// The attribution is an interval overlay: each rank's timeline is first
+// partitioned by the Figure-1 state log (the default cause of every
+// non-Working interval follows from its state: Searching -> victim-miss
+// search, Stealing -> steal latency, Termination -> termination wait);
+// then cause intervals are painted on top in priority order
+//   injected stall > lock contention > recovery replay > state default
+// so e.g. a lock spin inside a Searching interval is re-attributed from
+// victim-miss search to lock contention. Because the state defaults cover
+// the whole timeline, every non-Working nanosecond receives a cause and
+// the residual is ~0 by construction; it is still computed and REPORTED
+// (never silently dropped) so any gap in the state log shows up as an
+// attribution failure rather than a phantom cause.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hpp"
+
+namespace upcws::trace {
+class Trace;
+}
+
+namespace upcws::obs {
+
+enum class Cause : int {
+  kVictimMissSearch = 0,  ///< probing victims that had no surplus
+  kStealLatency,          ///< executing the steal protocol round-trip
+  kLockContention,        ///< spinning on a contended lock
+  kTerminationWait,       ///< in a termination barrier / token protocol
+  kInjectedFault,         ///< frozen by an injected stall
+  kRecoveryReplay,        ///< salvaging dead ranks' work / replaying records
+  kCount,
+};
+
+inline constexpr int kCauseCount = static_cast<int>(Cause::kCount);
+
+const char* cause_name(Cause c);
+
+/// One rank's attribution.
+struct RankAutopsy {
+  int rank = 0;
+  std::uint64_t total_ns = 0;    ///< span of the rank's recorded timeline
+  std::uint64_t working_ns = 0;
+  std::array<std::uint64_t, kCauseCount> cause_ns{};
+  std::uint64_t residual_ns = 0;  ///< non-Working time no cause covers
+
+  std::uint64_t nonworking_ns() const { return total_ns - working_ns; }
+};
+
+/// Whole-run report (schema "upcws-run-report-v1" as JSON).
+struct RunReport {
+  int nranks = 0;
+  std::uint64_t sample_ns = 0;
+  std::size_t sample_points = 0;
+
+  // Steal-span outcome tallies.
+  std::uint64_t spans_total = 0;
+  std::uint64_t spans_completed = 0;
+  std::uint64_t spans_denied = 0;
+  std::uint64_t spans_abandoned = 0;
+  std::uint64_t spans_incomplete = 0;
+  std::uint64_t spans_salvaged = 0;
+  std::uint64_t span_timeouts = 0;
+
+  /// Events lost to the trace ring bound (0 without a bounded trace).
+  std::uint64_t dropped_trace_events = 0;
+
+  std::vector<RankAutopsy> per_rank;
+
+  // Aggregates over all ranks.
+  std::uint64_t total_ns = 0;
+  std::uint64_t working_ns = 0;
+  std::uint64_t nonworking_ns = 0;
+  std::array<std::uint64_t, kCauseCount> cause_ns{};
+  std::uint64_t residual_ns = 0;
+  double working_frac = 0.0;
+  /// Fraction of non-Working time attributed to a cause (target >= 0.99;
+  /// 1.0 when there is no non-Working time at all).
+  double attributed_frac = 1.0;
+
+  /// Render the per-rank + total breakdown as an ASCII table.
+  std::string ascii_table() const;
+
+  /// Write the report as JSON ({"schema":"upcws-run-report-v1", ...}).
+  void write_json(std::ostream& os) const;
+};
+
+/// Build the attribution from a finished run's Observer. `tr` (optional)
+/// contributes the dropped-event count of a ring-bounded trace.
+RunReport autopsy(const Observer& obs, const trace::Trace* tr = nullptr);
+
+}  // namespace upcws::obs

@@ -1,0 +1,97 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <set>
+
+namespace upcws::obs {
+
+std::map<std::string, std::uint64_t> merged_counters(
+    const std::vector<Registry*>& regs) {
+  std::map<std::string, std::uint64_t> out;
+  for (const Registry* r : regs)
+    for (const auto& [name, v] : r->counters()) out[name] += v;
+  return out;
+}
+
+std::map<std::string, stats::LogHistogram> merged_histograms(
+    const std::vector<Registry*>& regs) {
+  std::map<std::string, stats::LogHistogram> out;
+  for (const Registry* r : regs)
+    for (const auto& [name, h] : r->histograms()) out[name].merge(h);
+  return out;
+}
+
+void SampleStore::reset(int nranks) {
+  per_rank_.assign(static_cast<std::size_t>(nranks), {});
+}
+
+std::size_t SampleStore::total_points() const {
+  std::size_t n = 0;
+  for (const auto& v : per_rank_) n += v.size();
+  return n;
+}
+
+std::vector<SamplePoint> SampleStore::series(
+    int rank, const std::string& metric) const {
+  std::vector<SamplePoint> out;
+  for (const SamplePoint& p : points(rank))
+    if (p.metric == metric) out.push_back(p);
+  return out;
+}
+
+std::vector<std::string> SampleStore::metric_names() const {
+  std::set<std::string> names;
+  for (const auto& v : per_rank_)
+    for (const SamplePoint& p : v) names.insert(p.metric);
+  return {names.begin(), names.end()};
+}
+
+void SampleStore::write_jsonl(std::ostream& os) const {
+  for (const auto& v : per_rank_)
+    for (const SamplePoint& p : v)
+      os << "{\"t_ns\":" << p.t_ns << ",\"rank\":" << p.rank
+         << ",\"metric\":\"" << p.metric << "\",\"value\":" << p.value
+         << "}\n";
+}
+
+namespace {
+// Extract the token following `"key":` in `line`; returns empty on miss.
+std::string field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return {};
+  std::size_t b = at + needle.size();
+  std::size_t e = b;
+  if (b < line.size() && line[b] == '"') {
+    ++b;
+    e = line.find('"', b);
+    if (e == std::string::npos) return {};
+  } else {
+    while (e < line.size() && line[e] != ',' && line[e] != '}') ++e;
+  }
+  return line.substr(b, e - b);
+}
+}  // namespace
+
+std::vector<SamplePoint> read_jsonl(std::istream& is) {
+  std::vector<SamplePoint> out;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string t = field(line, "t_ns");
+    const std::string rank = field(line, "rank");
+    const std::string metric = field(line, "metric");
+    const std::string value = field(line, "value");
+    if (t.empty() || rank.empty() || metric.empty() || value.empty()) continue;
+    SamplePoint p;
+    p.t_ns = std::stoull(t);
+    p.rank = std::stoi(rank);
+    p.metric = metric;
+    p.value = std::stoll(value);
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace upcws::obs

@@ -1,0 +1,125 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace upcws::obs {
+
+const char* span_phase_name(SpanPhase p) {
+  switch (p) {
+    case SpanPhase::kRequest: return "request";
+    case SpanPhase::kService: return "service";
+    case SpanPhase::kTransfer: return "transfer";
+    case SpanPhase::kAbsorb: return "absorb";
+    case SpanPhase::kDeny: return "deny";
+    case SpanPhase::kTimeout: return "timeout";
+    case SpanPhase::kAbandon: return "abandon";
+    case SpanPhase::kSalvage: return "salvage";
+  }
+  return "?";
+}
+
+const char* span_outcome_name(Span::Outcome o) {
+  switch (o) {
+    case Span::Outcome::kCompleted: return "completed";
+    case Span::Outcome::kDenied: return "denied";
+    case Span::Outcome::kAbandoned: return "abandoned";
+    case Span::Outcome::kIncomplete: return "incomplete";
+  }
+  return "?";
+}
+
+void SpanLog::start_run(int nranks) {
+  bufs_.clear();
+  bufs_.resize(static_cast<std::size_t>(nranks));
+  active_ = std::vector<std::atomic<std::uint64_t>>(
+      static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks));
+  for (auto& a : active_) a.store(0, std::memory_order_relaxed);
+}
+
+std::size_t SpanLog::total_events() const {
+  std::size_t n = 0;
+  for (const Buf& b : bufs_) n += b.v.size();
+  return n;
+}
+
+std::vector<SpanEvent> SpanLog::events() const {
+  std::vector<SpanEvent> all;
+  all.reserve(total_events());
+  for (const Buf& b : bufs_) all.insert(all.end(), b.v.begin(), b.v.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.t_ns != b.t_ns ? a.t_ns < b.t_ns : a.id < b.id;
+                   });
+  return all;
+}
+
+std::vector<Span> SpanLog::assemble() const {
+  std::map<std::uint64_t, Span> by_id;
+  for (const SpanEvent& e : events()) {
+    Span& s = by_id[e.id];
+    if (s.id == 0) {
+      s.id = e.id;
+      s.thief = static_cast<int>((e.id >> 40) - 1);
+    }
+    s.t_end = std::max(s.t_end, e.t_ns);
+    switch (e.phase) {
+      case SpanPhase::kRequest:
+        s.t_request = e.t_ns;
+        s.victim = e.peer;
+        break;
+      case SpanPhase::kService:
+        s.t_service = e.t_ns;
+        if (s.victim < 0) s.victim = e.track;
+        if (e.nodes > 0) s.nodes = e.nodes;
+        break;
+      case SpanPhase::kTransfer:
+        s.t_transfer = e.t_ns;
+        if (e.nodes > 0) s.nodes = e.nodes;
+        break;
+      case SpanPhase::kAbsorb:
+        s.t_absorb = e.t_ns;
+        if (e.nodes > 0) s.nodes = e.nodes;
+        s.outcome = Span::Outcome::kCompleted;
+        break;
+      case SpanPhase::kDeny:
+        if (s.outcome != Span::Outcome::kCompleted)
+          s.outcome = Span::Outcome::kDenied;
+        break;
+      case SpanPhase::kTimeout:
+        ++s.timeouts;
+        break;
+      case SpanPhase::kAbandon:
+        if (s.outcome == Span::Outcome::kIncomplete)
+          s.outcome = Span::Outcome::kAbandoned;
+        break;
+      case SpanPhase::kSalvage:
+        s.salvaged = true;
+        break;
+    }
+  }
+  std::vector<Span> out;
+  out.reserve(by_id.size());
+  for (auto& [id, s] : by_id) out.push_back(s);
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.t_request != b.t_request ? a.t_request < b.t_request
+                                      : a.id < b.id;
+  });
+  return out;
+}
+
+std::vector<trace::FlowEvent> SpanLog::flow_events() const {
+  std::vector<trace::FlowEvent> out;
+  for (const Span& s : assemble()) {
+    if (!s.completed() || s.thief < 0) continue;
+    out.push_back({s.id, s.t_request, s.thief, 's'});
+    // The victim's service step is absent on salvage paths (the victim is
+    // dead); the flow then goes straight from request to absorb.
+    if (s.t_service != 0 && s.victim >= 0)
+      out.push_back({s.id, s.t_service, s.victim, 't'});
+    out.push_back({s.id, s.t_absorb, s.thief, 'f'});
+  }
+  return out;
+}
+
+}  // namespace upcws::obs

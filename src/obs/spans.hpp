@@ -1,0 +1,148 @@
+// Causal steal-transaction spans: every steal is tracked as one span with a
+// run-unique id, from the thief opening the transaction (kRequest) through
+// the victim deciding it (kService/kDeny) to the payload landing on the
+// thief's stack (kTransfer, kAbsorb) — including the hardened-protocol
+// failure paths (kTimeout, kAbandon) and crash salvage (kSalvage). Spans
+// export as Perfetto flow events stitched into the trace::Trace timelines,
+// so each steal renders as an arrow from the thief's request slice through
+// the victim's service slice and back (docs/observability.md).
+//
+// Recording discipline: every rank appends span events only to its OWN
+// buffer; the rank whose timeline a step belongs to is named by the event's
+// `track` field. The only cross-rank channel is the active-span table — an
+// atomic slot per (thief, victim) pair into which the thief publishes its
+// outstanding span id *before* the request becomes visible to the victim.
+// The protocols allow at most one outstanding request per pair and the id
+// travels on the protocol's own release/acquire edges (lock hand-off or
+// request CAS), so a plain atomic slot is sufficient: when the victim
+// services a request from rank T it reads active(T, me) and gets the right
+// id (or 0 when no observer published one, in which case it records
+// nothing).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace upcws::obs {
+
+enum class SpanPhase : std::uint8_t {
+  kRequest,   ///< thief opened the transaction (lock sought / request sent)
+  kService,   ///< victim claimed the request and reserved a grant
+  kTransfer,  ///< thief finished pulling the payload
+  kAbsorb,    ///< nodes pushed onto the thief's stack (terminal: success)
+  kDeny,      ///< victim had no surplus (terminal: failure)
+  kTimeout,   ///< thief's response deadline passed (withdraw/retransmit)
+  kAbandon,   ///< thief walked away — withdrawn, termination, or lost race
+  kSalvage,   ///< payload recovered from a dead peer's lineage record
+};
+
+const char* span_phase_name(SpanPhase p);
+
+/// One recorded step of a span.
+struct SpanEvent {
+  std::uint64_t id = 0;
+  std::uint64_t t_ns = 0;
+  SpanPhase phase = SpanPhase::kRequest;
+  std::int32_t track = 0;  ///< rank timeline this step belongs to
+  std::int32_t peer = -1;  ///< other side of the transaction (victim/thief)
+  std::int64_t nodes = 0;  ///< payload size where known
+};
+
+/// A steal transaction assembled from its events.
+struct Span {
+  std::uint64_t id = 0;
+  int thief = -1;
+  int victim = -1;
+  std::uint64_t t_request = 0;
+  std::uint64_t t_service = 0;   ///< 0 if the victim never recorded service
+  std::uint64_t t_transfer = 0;  ///< 0 if no payload was pulled
+  std::uint64_t t_absorb = 0;    ///< 0 unless completed
+  std::uint64_t t_end = 0;       ///< time of the span's last event
+  std::int64_t nodes = 0;
+  int timeouts = 0;              ///< kTimeout steps observed (non-terminal)
+  bool salvaged = false;         ///< payload came from crash recovery
+
+  enum class Outcome {
+    kCompleted,   ///< work absorbed by the thief
+    kDenied,      ///< victim refused (no surplus)
+    kAbandoned,   ///< thief withdrew / gave up
+    kIncomplete,  ///< run ended (or a rank died) mid-transaction
+  } outcome = Outcome::kIncomplete;
+
+  bool completed() const { return outcome == Outcome::kCompleted; }
+};
+
+const char* span_outcome_name(Span::Outcome o);
+
+/// Per-rank span-event buffers plus the active-span table.
+class SpanLog {
+ public:
+  /// Reset for a run of `nranks` ranks.
+  void start_run(int nranks);
+
+  int nranks() const { return static_cast<int>(bufs_.size()); }
+
+  /// Open a new span for a steal by `thief` from `victim`; returns its
+  /// run-unique id (rank+1 in the high bits, per-thief sequence below).
+  std::uint64_t begin(int thief, int victim) {
+    (void)victim;
+    Buf& b = bufs_[static_cast<std::size_t>(thief)];
+    return (static_cast<std::uint64_t>(thief) + 1) << 40 | ++b.seq;
+  }
+
+  /// Record one step of span `id` from `recorder`'s own context. `track`
+  /// names the rank timeline the step belongs to (under the locked
+  /// protocol the thief records the victim's service step itself, with
+  /// track = victim).
+  void event(int recorder, std::uint64_t id, SpanPhase phase, std::uint64_t t,
+             int track, int peer, std::int64_t nodes = 0) {
+    bufs_[static_cast<std::size_t>(recorder)].v.push_back(
+        {id, t, phase, track, peer, nodes});
+  }
+
+  /// Publish `id` as thief's outstanding request toward victim. Must
+  /// happen before the request is made visible to the victim.
+  void publish_active(int thief, int victim, std::uint64_t id) {
+    active_[slot(thief, victim)].store(id, std::memory_order_release);
+  }
+
+  /// The span id of thief's outstanding request toward victim (0 = none
+  /// published — the victim then skips span recording).
+  std::uint64_t active(int thief, int victim) const {
+    return active_[slot(thief, victim)].load(std::memory_order_acquire);
+  }
+
+  void clear_active(int thief, int victim) { publish_active(thief, victim, 0); }
+
+  std::size_t total_events() const;
+
+  /// All events of all ranks, sorted by (time, id).
+  std::vector<SpanEvent> events() const;
+
+  /// Group events by id into assembled spans, ordered by t_request.
+  std::vector<Span> assemble() const;
+
+  /// One Perfetto flow per completed span: 's' at the thief's request,
+  /// 't' at the victim's service (when recorded), 'f' at the thief's
+  /// absorb. Feed to trace::Trace::write_chrome_json.
+  std::vector<trace::FlowEvent> flow_events() const;
+
+ private:
+  std::size_t slot(int thief, int victim) const {
+    return static_cast<std::size_t>(thief) *
+               static_cast<std::size_t>(nranks()) +
+           static_cast<std::size_t>(victim);
+  }
+
+  struct Buf {
+    alignas(64) std::vector<SpanEvent> v;
+    std::uint64_t seq = 0;
+  };
+  std::vector<Buf> bufs_;
+  std::vector<std::atomic<std::uint64_t>> active_;
+};
+
+}  // namespace upcws::obs

@@ -78,6 +78,35 @@ struct Lock {
   }
 };
 
+/// Passive telemetry sink notified by the engines at interaction points
+/// (see src/obs). Every hook is pure observation: implementations must not
+/// charge time, block, or touch protocol state, and the engines call them
+/// *after* all cost accounting for the interaction — so a run with a sink
+/// attached is byte-identical (same clocks, same schedule) to one without.
+///
+/// Threading: hooks are invoked from the rank's own fiber (sim) or thread
+/// (threads), so per-rank sink state needs no synchronization as long as
+/// ranks never touch each other's slots.
+class ObsSink {
+ public:
+  virtual ~ObsSink() = default;
+
+  /// Interaction point on `rank` at local time `now_ns` (every yield and
+  /// every accumulated charge quantum). Sampling cadence is the sink's job.
+  virtual void on_tick(int rank, std::uint64_t now_ns) = 0;
+
+  /// A blocking lock() on `rank` was contended and finally acquired at
+  /// `now_ns` after `wait_ns` of spinning. Uncontended acquisitions are not
+  /// reported.
+  virtual void on_lock_wait(int rank, std::uint64_t now_ns,
+                            std::uint64_t wait_ns) = 0;
+
+  /// An injected fault stall of `stall_ns` was applied on `rank` starting
+  /// at local time `t_ns`.
+  virtual void on_stall(int rank, std::uint64_t t_ns,
+                        std::uint64_t stall_ns) = 0;
+};
+
 /// Per-rank execution context handed to the algorithm body.
 class Ctx {
  public:
@@ -296,6 +325,9 @@ class Ctx {
   /// fault enabled; otherwise stays null and every hook is skipped.
   FaultInjector* faults_ = nullptr;
 
+  /// Telemetry sink (RunConfig::obs); null disables every observation hook.
+  ObsSink* obs_ = nullptr;
+
   /// Crash-mode state; all null/zero (and every gate skipped) unless the
   /// plan injects crashes.
   Liveness* live_ = nullptr;
@@ -382,6 +414,10 @@ struct RunConfig {
   /// (also on abnormal exit — HangDetected / TimeLimitExceeded propagate
   /// *after* the trail is copied out, so the failing schedule is replayable).
   std::vector<sim::Decision>* decision_trail = nullptr;
+  /// Telemetry sink notified at interaction points (null = no telemetry;
+  /// zero cost and byte-identical timing either way). Not owned; must
+  /// outlive run(). See ObsSink and src/obs.
+  ObsSink* obs = nullptr;
 };
 
 struct RunResult {

@@ -12,7 +12,7 @@ class SimCtx final : public Ctx {
  public:
   SimCtx(sim::Scheduler& sched, int rank, int nranks, const NetModel& net,
          std::uint64_t seed, FaultInjector* faults, Liveness* live,
-         std::uint64_t lease_ns)
+         std::uint64_t lease_ns, ObsSink* obs)
       : sched_(sched),
         rank_(rank),
         nranks_(nranks),
@@ -21,6 +21,7 @@ class SimCtx final : public Ctx {
     faults_ = faults;
     live_ = live;
     lease_ns_ = lease_ns;
+    obs_ = obs;
   }
 
   int rank() const override { return rank_; }
@@ -41,6 +42,7 @@ class SimCtx final : public Ctx {
     if (acc_ >= kChargeQuantumNs) {
       acc_ = 0;
       maybe_stall();
+      if (obs_ != nullptr) obs_->on_tick(rank_, sched_.now(rank_));
       sched_.yield();
     }
   }
@@ -56,6 +58,7 @@ class SimCtx final : public Ctx {
     // loops cannot livelock the scheduler at a frozen clock.
     sched_.advance(net_.poll_ns > 0 ? net_.poll_ns : 1);
     acc_ = 0;
+    if (obs_ != nullptr) obs_->on_tick(rank_, sched_.now(rank_));
     sched_.yield();
   }
 
@@ -69,9 +72,15 @@ class SimCtx final : public Ctx {
     // not memory contention. Under crash injection the acquire attempt also
     // revokes a dead holder's expired lease, so a crashed lock holder stalls
     // contenders for at most detect latency + lease.
-    while (!lock_word_acquire(l)) {
+    if (lock_word_acquire(l)) return;
+    const std::uint64_t wait_from = sched_.now(rank_);
+    do {
       sched_.yield();
       charge_ref(l.owner);
+    } while (!lock_word_acquire(l));
+    if (obs_ != nullptr) {
+      const std::uint64_t now = sched_.now(rank_);
+      obs_->on_lock_wait(rank_, now, now - wait_from);
     }
   }
 
@@ -98,8 +107,12 @@ class SimCtx final : public Ctx {
 
   void maybe_stall() {
     if (faults_ == nullptr) return;
-    const std::uint64_t s = faults_->stall_due(sched_.now(rank_));
-    if (s > 0) sched_.advance(s);
+    const std::uint64_t t = sched_.now(rank_);
+    const std::uint64_t s = faults_->stall_due(t);
+    if (s > 0) {
+      sched_.advance(s);
+      if (obs_ != nullptr) obs_->on_stall(rank_, t, s);
+    }
   }
 
   sim::Scheduler& sched_;
@@ -148,7 +161,8 @@ RunResult SimEngine::run(const RunConfig& cfg,
   for (int r = 0; r < cfg.nranks; ++r) {
     sched.spawn([&, r] {
       SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed, injectors[r].get(),
-                 cfg.faults.crashes_enabled() ? live : nullptr, lease_ns);
+                 cfg.faults.crashes_enabled() ? live : nullptr, lease_ns,
+                 cfg.obs);
       try {
         body(ctx);
       } catch (const RankCrashed&) {

@@ -12,7 +12,8 @@ class ThreadCtx final : public Ctx {
  public:
   ThreadCtx(int rank, int nranks, const NetModel& net, std::uint64_t seed,
             double inject_scale, std::chrono::steady_clock::time_point epoch,
-            FaultInjector* faults, Liveness* live, std::uint64_t lease_ns)
+            FaultInjector* faults, Liveness* live, std::uint64_t lease_ns,
+            ObsSink* obs)
       : rank_(rank),
         nranks_(nranks),
         net_(net),
@@ -22,6 +23,7 @@ class ThreadCtx final : public Ctx {
     faults_ = faults;
     live_ = live;
     lease_ns_ = lease_ns;
+    obs_ = obs;
   }
 
   int rank() const override { return rank_; }
@@ -51,15 +53,28 @@ class ThreadCtx final : public Ctx {
     // under genuine preemption. Stall durations are wall ns here (no
     // virtual clock), so plans for ThreadEngine should use small values.
     if (faults_ != nullptr) {
-      const std::uint64_t s = faults_->stall_due(now_ns());
-      if (s > 0) busy_wait(s);
+      const std::uint64_t t = now_ns();
+      const std::uint64_t s = faults_->stall_due(t);
+      if (s > 0) {
+        busy_wait(s);
+        if (obs_ != nullptr) obs_->on_stall(rank_, t, s);
+      }
     }
+    if (obs_ != nullptr) obs_->on_tick(rank_, now_ns());
     std::this_thread::yield();
   }
 
   void lock(Lock& l) override {
     charge_ref(l.owner);
-    while (!lock_word_acquire(l)) std::this_thread::yield();
+    if (lock_word_acquire(l)) return;
+    const std::uint64_t wait_from = now_ns();
+    do {
+      std::this_thread::yield();
+    } while (!lock_word_acquire(l));
+    if (obs_ != nullptr) {
+      const std::uint64_t now = now_ns();
+      obs_->on_lock_wait(rank_, now, now - wait_from);
+    }
   }
 
   bool try_lock(Lock& l) override {
@@ -122,7 +137,8 @@ RunResult ThreadEngine::run(const RunConfig& cfg,
     threads.emplace_back([&, r] {
       ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0,
                     injectors[r].get(),
-                    cfg.faults.crashes_enabled() ? live : nullptr, lease_ns);
+                    cfg.faults.crashes_enabled() ? live : nullptr, lease_ns,
+                    cfg.obs);
       // Crude start-line barrier so ranks begin together.
       ready.fetch_add(1, std::memory_order_acq_rel);
       while (ready.load(std::memory_order_acquire) < cfg.nranks)

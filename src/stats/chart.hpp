@@ -24,4 +24,10 @@ std::string ascii_chart(const std::vector<double>& xs,
 std::string ascii_bars(const std::vector<std::pair<std::string, double>>& rows,
                        int width = 48);
 
+/// Render one series as a single-line density sparkline (" .:-=+*#%@"
+/// ramp, min..max normalized). Series longer than `width` are resampled by
+/// per-cell maximum so short spikes stay visible. Used by the telemetry
+/// subsystem (docs/observability.md) to print metric time-series.
+std::string sparkline(const std::vector<double>& ys, int width = 60);
+
 }  // namespace upcws::stats

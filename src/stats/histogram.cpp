@@ -7,9 +7,15 @@ namespace upcws::stats {
 
 std::uint64_t LogHistogram::percentile(double p) const {
   if (count_ == 0) return 0;
+  // p >= 1 is exactly the observed maximum, not a bucket upper bound.
+  if (p >= 1.0) return max_;
   p = std::clamp(p, 0.0, 1.0);
-  const auto target = static_cast<std::uint64_t>(
+  // Round to the nearest sample rank, but never below the first sample: a
+  // target of 0 would "cross" in bucket 0 and report its upper bound even
+  // when every sample is far larger.
+  auto target = static_cast<std::uint64_t>(
       p * static_cast<double>(count_) + 0.5);
+  if (target == 0) target = 1;
   std::uint64_t cum = 0;
   for (int b = 0; b < kBuckets; ++b) {
     cum += buckets_[b];
@@ -17,7 +23,7 @@ std::uint64_t LogHistogram::percentile(double p) const {
       // Upper bound of bucket b, clamped into the observed range.
       const std::uint64_t hi =
           b >= 63 ? max_ : ((std::uint64_t{1} << (b + 1)) - 1);
-      return std::min(hi, max_);
+      return std::clamp(hi, min_, max_);
     }
   }
   return max_;

@@ -34,10 +34,29 @@ std::size_t Trace::total_events() const {
   return n;
 }
 
+std::uint64_t Trace::dropped_events() const {
+  std::uint64_t n = 0;
+  for (const Buf& b : bufs_) n += b.dropped;
+  return n;
+}
+
+std::vector<Event> Trace::ordered(int rank) const {
+  const Buf& b = bufs_[rank];
+  std::vector<Event> out;
+  out.reserve(b.v.size());
+  // head is the oldest retained event once the ring wrapped (0 otherwise).
+  for (std::size_t i = 0; i < b.v.size(); ++i)
+    out.push_back(b.v[(b.head + i) % b.v.size()]);
+  return out;
+}
+
 std::vector<Event> Trace::merged() const {
   std::vector<Event> all;
   all.reserve(total_events());
-  for (const Buf& b : bufs_) all.insert(all.end(), b.v.begin(), b.v.end());
+  for (int r = 0; r < nranks(); ++r) {
+    const std::vector<Event> v = ordered(r);
+    all.insert(all.end(), v.begin(), v.end());
+  }
   std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
     return a.t_ns != b.t_ns ? a.t_ns < b.t_ns : a.rank < b.rank;
   });
@@ -52,6 +71,11 @@ void Trace::write_csv(std::ostream& os) const {
 }
 
 void Trace::write_chrome_json(std::ostream& os) const {
+  write_chrome_json(os, {});
+}
+
+void Trace::write_chrome_json(std::ostream& os,
+                              const std::vector<FlowEvent>& flows) const {
   os << "[\n";
   bool first = true;
   auto emit = [&](const std::string& line) {
@@ -62,7 +86,7 @@ void Trace::write_chrome_json(std::ostream& os) const {
   auto us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
 
   for (int r = 0; r < nranks(); ++r) {
-    const auto& v = bufs_[r].v;
+    const std::vector<Event> v = ordered(r);
     // State intervals.
     const Event* prev = nullptr;
     for (const Event& e : v) {
@@ -94,6 +118,20 @@ void Trace::write_chrome_json(std::ostream& os) const {
            ",\"args\":{\"peer\":" + std::to_string(e.arg0) +
            ",\"nodes\":" + std::to_string(e.arg1) + "}}");
     }
+  }
+  // Flow steps ("s"/"t"/"f" sharing an id) bind to the enclosing duration
+  // slice on their (pid, tid, ts); Perfetto then draws the steal arrows
+  // across the rank timelines. bp:"e" on the finish binds to the enclosing
+  // slice rather than the next one.
+  for (const FlowEvent& f : flows) {
+    std::string line = "{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"";
+    line += f.ph;
+    line += "\",\"id\":" + std::to_string(f.id) +
+            ",\"ts\":" + std::to_string(us(f.t_ns)) +
+            ",\"pid\":0,\"tid\":" + std::to_string(f.tid);
+    if (f.ph == 'f') line += ",\"bp\":\"e\"";
+    line += "}";
+    emit(line);
   }
   os << "\n]\n";
 }

@@ -48,15 +48,51 @@ struct Event {
   std::int64_t arg1 = 0;
 };
 
+/// One step of a Chrome/Perfetto *flow* — an arrow stitched across the
+/// per-rank timeline slices. A flow is a sequence of steps sharing an `id`:
+/// exactly one 's' (start), any number of 't' (step), one 'f' (finish).
+/// The steal-span exporter (obs::SpanLog::flow_events) produces one flow
+/// per completed steal transaction, linking the thief's request slice to
+/// the victim's service slice and back to the thief's absorb.
+struct FlowEvent {
+  std::uint64_t id = 0;    ///< flow identity (steal-span id)
+  std::uint64_t t_ns = 0;  ///< Ctx time of this step
+  std::int32_t tid = 0;    ///< timeline row (rank) the step attaches to
+  char ph = 's';           ///< 's' | 't' | 'f'
+};
+
 /// Per-rank event buffers; each rank appends only to its own buffer, so no
 /// synchronization is needed under either engine.
+///
+/// Buffers are unbounded by default. set_ring_capacity(cap) turns each
+/// rank's buffer into a ring of `cap` events: the newest events win, the
+/// oldest are overwritten, and every overwrite is tallied in
+/// dropped_events() — so a million-node traced run keeps bounded memory and
+/// the run report can state exactly how much history was lost.
 class Trace {
  public:
   explicit Trace(int nranks);
 
   int nranks() const { return static_cast<int>(bufs_.size()); }
 
-  void record(int rank, Event e) { bufs_[rank].v.push_back(e); }
+  /// Bound every rank's buffer to `cap` events (0 = unbounded, the
+  /// default). Must be called before any events are recorded.
+  void set_ring_capacity(std::size_t cap) { cap_ = cap; }
+  std::size_t ring_capacity() const { return cap_; }
+
+  /// Events overwritten across all ranks because of the ring bound.
+  std::uint64_t dropped_events() const;
+
+  void record(int rank, Event e) {
+    Buf& b = bufs_[rank];
+    if (cap_ == 0 || b.v.size() < cap_) {
+      b.v.push_back(e);
+      return;
+    }
+    b.v[b.head] = e;
+    b.head = (b.head + 1) % cap_;
+    ++b.dropped;
+  }
 
   void state(int rank, std::uint64_t t, stats::State s) {
     record(rank, {t, rank, Kind::kState, static_cast<std::int32_t>(s), 0});
@@ -100,6 +136,9 @@ class Trace {
 
   std::size_t total_events() const;
 
+  /// One rank's retained events in record order (unrolls the ring).
+  std::vector<Event> ordered(int rank) const;
+
   /// All events of all ranks, sorted by (time, rank).
   std::vector<Event> merged() const;
 
@@ -110,12 +149,21 @@ class Trace {
   /// duration events, steals/services as instant events.
   void write_chrome_json(std::ostream& os) const;
 
+  /// Same, with flow events (steal-span arrows) stitched into the
+  /// timelines. Open at https://ui.perfetto.dev; enable "Flow events" to
+  /// see each steal's request->service->absorb arrow.
+  void write_chrome_json(std::ostream& os,
+                         const std::vector<FlowEvent>& flows) const;
+
  private:
   struct Buf {
     alignas(64) std::vector<Event> v;
+    std::size_t head = 0;        ///< ring start once the buffer wrapped
+    std::uint64_t dropped = 0;   ///< events overwritten by the ring
   };
   std::vector<Buf> bufs_;
   std::vector<std::uint64_t> ends_;
+  std::size_t cap_ = 0;
 };
 
 }  // namespace upcws::trace

@@ -1,5 +1,6 @@
 #include "ws/algo_mpi.hpp"
 
+#include "obs/observer.hpp"
 #include "trace/trace.hpp"
 
 #include <algorithm>
@@ -53,9 +54,31 @@ class MpiWorker final : public NodeSink {
         hardened_(cfg.hardened()),
         board_(board),
         crash_mode_(board != nullptr && ctx.liveness() != nullptr &&
-                    cfg.hardened()) {
+                    cfg.hardened()),
+        obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     if (hardened_) cache_.resize(n_);
+    if (obs_ != nullptr) {
+      obs::Registry& reg = obs_->registry(me_);
+      m_steals_ = &reg.counter("steals");
+      m_probes_ = &reg.counter("probes");
+      m_releases_ = &reg.counter("releases");
+      m_services_ = &reg.counter("requests_serviced");
+      reg.gauge("queue_depth",
+                [this] { return static_cast<std::int64_t>(my_.depth()); });
+      if (crash_mode_)
+        reg.gauge("recovery_backlog", [this] {
+          // Raw atomic scan — orphan_pending(ctx) would charge Ctx time.
+          std::int64_t pending = 0;
+          for (int w = 0; w < n_; ++w)
+            for (int p = 0; p < n_; ++p)
+              if (w != p && board_->rec(w, p).state.load(
+                                std::memory_order_relaxed) ==
+                                TransferRec::kPending)
+                ++pending;
+          return pending;
+        });
+    }
     // Rank 0 starts holding a token so it can initiate the first probe
     // round once it goes idle. Under crash injection leadership is dynamic
     // (lowest live rank); leading_ tracks whether we currently run the
@@ -71,6 +94,7 @@ class MpiWorker final : public NodeSink {
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (obs_ != nullptr) obs_->state(me_, ctx_.now_ns(), State::kWorking);
     if (me_ == 0) {
       prob_.root(nodebuf_.data());
       my_.push(nodebuf_.data());
@@ -89,6 +113,7 @@ class MpiWorker final : public NodeSink {
     }
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    if (obs_ != nullptr) obs_->finish(me_, ctx_.now_ns());
     return st_;
   }
 
@@ -99,6 +124,7 @@ class MpiWorker final : public NodeSink {
     const std::uint64_t t = ctx_.now_ns();
     st_.timer.transition(s, t);
     if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+    if (obs_ != nullptr) obs_->state(me_, t, s);
   }
 
   void do_work() {
@@ -144,15 +170,18 @@ class MpiWorker final : public NodeSink {
         color_ = kBlack;  // we re-activated someone: current round invalid
         ++outstanding_acks_;
         ++st_.c.requests_serviced;
-        ++st_.c.releases;
+        if (m_services_ != nullptr) ++*m_services_;
+        if (m_releases_ != nullptr) ++*m_releases_;
         if (cfg_.trace != nullptr)
           cfg_.trace->service(me_, ctx_.now_ns(), m.src,
                               static_cast<std::int64_t>(k_), true);
+        span_service(m.src, static_cast<std::int64_t>(k_), true);
       } else {
         comm_.send(ctx_, m.src, kTagNone);
         ++st_.c.requests_denied;
         if (cfg_.trace != nullptr)
           cfg_.trace->service(me_, ctx_.now_ns(), m.src, 0, false);
+        span_service(m.src, 0, false);
       }
     }
     if (hardened_) drain_stray_replies();
@@ -226,6 +255,7 @@ class MpiWorker final : public NodeSink {
       }
       comm_.send(ctx_, m.src, kTagNone);
       ++st_.c.requests_denied;
+      span_service(m.src, 0, false);
     }
     if (hardened_ && wait_victim_ < 0) drain_stray_replies();
     drain_acks_and_token();
@@ -389,10 +419,12 @@ class MpiWorker final : public NodeSink {
       color_ = kBlack;
       ++outstanding_acks_;
       ++st_.c.requests_serviced;
-      ++st_.c.releases;
+      if (m_services_ != nullptr) ++*m_services_;
+      if (m_releases_ != nullptr) ++*m_releases_;
       if (cfg_.trace != nullptr)
         cfg_.trace->service(me_, ctx_.now_ns(), src,
                             static_cast<std::int64_t>(k_), true);
+      span_service(src, static_cast<std::int64_t>(k_), true);
     } else {
       gc.is_work = false;
       gc.acked = true;
@@ -402,7 +434,21 @@ class MpiWorker final : public NodeSink {
       ++st_.c.requests_denied;
       if (trace_denial && cfg_.trace != nullptr)
         cfg_.trace->service(me_, ctx_.now_ns(), src, 0, false);
+      span_service(src, 0, false);
     }
+  }
+
+  /// Victim-side span step for a request from `thief`: look up the span id
+  /// the thief published before sending and record the grant/deny on our
+  /// timeline (0 id = no observer span; record nothing).
+  void span_service(int thief, std::int64_t nodes, bool granted) {
+    if (obs_ == nullptr) return;
+    const std::uint64_t sid = obs_->spans().active(thief, me_);
+    if (sid == 0) return;
+    obs_->spans().event(me_, sid,
+                        granted ? obs::SpanPhase::kService
+                                : obs::SpanPhase::kDeny,
+                        ctx_.now_ns(), me_, thief, nodes);
   }
 
   void resend_cached(int src, GrantCache& gc) {
@@ -485,12 +531,14 @@ class MpiWorker final : public NodeSink {
         continue;
       }
       ++st_.c.probes;
+      if (m_probes_ != nullptr) ++*m_probes_;
       ++st_.c.steal_attempts;
       bool got;
       if (hardened_) {
         set_state(State::kStealing);
         got = await_steal_hardened(v);
       } else {
+        begin_span(v);
         comm_.send(ctx_, v, kTagRequest);
         set_state(State::kStealing);
         got = await_steal(v);
@@ -515,15 +563,43 @@ class MpiWorker final : public NodeSink {
         return true;
       }
       if (comm_.try_recv(ctx_, v, kTagNone, m)) {
+        drop_span(v);  // the victim recorded the terminal kDeny
         ++st_.c.failed_steals;
         return false;
       }
       if (idle_comm()) {
+        abandon_span(v);
         term_seen_ = true;
         return false;
       }
       ctx_.yield();
     }
+  }
+
+  // ---- thief-side span bookkeeping (no-ops without an observer) ----------
+
+  /// Open a steal span toward `v` and publish its id before the request is
+  /// sent, so the victim's service step lands under the same id.
+  void begin_span(int v) {
+    if (obs_ == nullptr) return;
+    span_ = obs_->spans().begin(me_, v);
+    obs_->spans().publish_active(me_, v, span_);
+    obs_->spans().event(me_, span_, obs::SpanPhase::kRequest, ctx_.now_ns(),
+                        me_, v);
+  }
+
+  void abandon_span(int v) {
+    if (span_ == 0) return;
+    obs_->spans().event(me_, span_, obs::SpanPhase::kAbandon, ctx_.now_ns(),
+                        me_, v);
+    obs_->spans().clear_active(me_, v);
+    span_ = 0;
+  }
+
+  void drop_span(int v) {
+    if (span_ == 0) return;
+    obs_->spans().clear_active(me_, v);
+    span_ = 0;
   }
 
   /// Hardened steal round-trip: the request carries a fresh sequence
@@ -536,6 +612,7 @@ class MpiWorker final : public NodeSink {
   bool await_steal_hardened(int v) {
     ++req_seq_;
     wait_victim_ = v;
+    begin_span(v);
     std::uint8_t req[4];
     put_u32(req, req_seq_);
     comm_.send(ctx_, v, kTagRequest, req, sizeof req);
@@ -563,6 +640,7 @@ class MpiWorker final : public NodeSink {
       }
       if (denied) {
         wait_victim_ = -1;
+        drop_span(v);  // the victim recorded the terminal kDeny
         ++st_.c.failed_steals;
         return false;
       }
@@ -578,19 +656,32 @@ class MpiWorker final : public NodeSink {
             my_.push(rec.payload.data() + i * nb_);
           ctx_.charge(ctx_.net().bulk_ns(me_, v, take * nb_));
           ++st_.c.steals;
+          if (m_steals_ != nullptr) ++*m_steals_;
           st_.steal_sizes.add(take);
           st_.c.chunks_stolen += take / k_;
           st_.c.nodes_stolen += take;
           if (cfg_.trace != nullptr)
             cfg_.trace->steal(me_, ctx_.now_ns(), v,
                               static_cast<std::int64_t>(take), true);
+          if (span_ != 0) {
+            obs_->spans().event(me_, span_, obs::SpanPhase::kSalvage,
+                                ctx_.now_ns(), me_, v,
+                                static_cast<std::int64_t>(take));
+            obs_->spans().event(me_, span_, obs::SpanPhase::kAbsorb,
+                                ctx_.now_ns(), me_, v,
+                                static_cast<std::int64_t>(take));
+            obs_->spans().clear_active(me_, v);
+            span_ = 0;
+          }
           return true;
         }
+        abandon_span(v);
         ++st_.c.failed_steals;
         return false;
       }
       if (idle_comm()) {
         wait_victim_ = -1;
+        abandon_span(v);
         term_seen_ = true;
         return false;
       }
@@ -599,6 +690,9 @@ class MpiWorker final : public NodeSink {
         ++st_.c.retransmits;
         if (cfg_.trace != nullptr)
           cfg_.trace->retransmit(me_, ctx_.now_ns(), v);
+        if (span_ != 0)
+          obs_->spans().event(me_, span_, obs::SpanPhase::kTimeout,
+                              ctx_.now_ns(), me_, v);
         rto = std::min(rto * 2, cfg_.steal_timeout_ns * 8);
         deadline = ctx_.now_ns() + rto;
       }
@@ -621,6 +715,7 @@ class MpiWorker final : public NodeSink {
           send_ack(m.src, get_u32(m.payload, 0));
         else
           comm_.send(ctx_, m.src, kTagAck);
+        abandon_span(m.src);  // the chunk was replayed by a survivor
         return;
       }
     }
@@ -632,10 +727,19 @@ class MpiWorker final : public NodeSink {
     else
       comm_.send(ctx_, m.src, kTagAck);
     ++st_.c.steals;
+    if (m_steals_ != nullptr) ++*m_steals_;
     st_.steal_sizes.add(take);
     if (cfg_.trace != nullptr)
       cfg_.trace->steal(me_, ctx_.now_ns(), m.src,
                         static_cast<std::int64_t>(take), true);
+    if (span_ != 0) {
+      obs_->spans().event(me_, span_, obs::SpanPhase::kTransfer, ctx_.now_ns(),
+                          me_, m.src, static_cast<std::int64_t>(take));
+      obs_->spans().event(me_, span_, obs::SpanPhase::kAbsorb, ctx_.now_ns(),
+                          me_, m.src, static_cast<std::int64_t>(take));
+      obs_->spans().clear_active(me_, m.src);
+      span_ = 0;
+    }
     st_.c.chunks_stolen += take / k_;
     st_.c.nodes_stolen += take;
   }
@@ -652,7 +756,9 @@ class MpiWorker final : public NodeSink {
     bool got = false;
     for (int r = 0; r < n_; ++r) {
       if (r == me_ || !ctx_.rank_dead(r) || board_->salvage_done(r)) continue;
+      const std::uint64_t rb = ctx_.now_ns();
       if (salvage_stack(r)) got = true;
+      if (obs_ != nullptr) obs_->recovery_interval(me_, rb, ctx_.now_ns());
     }
     for (int w = 0; w < n_; ++w) {
       for (int p = 0; p < n_; ++p) {
@@ -663,7 +769,9 @@ class MpiWorker final : public NodeSink {
         const bool victim_dead = rec.victim >= 0 && ctx_.rank_dead(rec.victim);
         const bool thief_dead = rec.thief >= 0 && ctx_.rank_dead(rec.thief);
         if (!victim_dead && !thief_dead) continue;
+        const std::uint64_t rb = ctx_.now_ns();
         if (replay_record(rec)) got = true;
+        if (obs_ != nullptr) obs_->recovery_interval(me_, rb, ctx_.now_ns());
       }
     }
     return got;
@@ -775,6 +883,15 @@ class MpiWorker final : public NodeSink {
   std::uint32_t max_round_seen_ = 0;  ///< others: newest round accepted
   std::uint32_t token_round_ = 0;     ///< round carried by the held token
   std::uint64_t token_sent_ns_ = 0;   ///< rank 0: when the round's token left
+
+  /// Telemetry (all null/0 when no observer is attached).
+  obs::Observer* obs_;
+  std::uint64_t* m_steals_ = nullptr;
+  std::uint64_t* m_probes_ = nullptr;
+  std::uint64_t* m_releases_ = nullptr;
+  std::uint64_t* m_services_ = nullptr;
+  /// Id of this thief's outstanding steal span (0 = none).
+  std::uint64_t span_ = 0;
 };
 
 }  // namespace

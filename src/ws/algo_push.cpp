@@ -1,5 +1,6 @@
 #include "ws/algo_push.hpp"
 
+#include "obs/observer.hpp"
 #include "trace/trace.hpp"
 
 #include <algorithm>
@@ -31,11 +32,19 @@ class PushWorker final : public NodeSink {
         n_(ctx.nranks()),
         k_(static_cast<std::size_t>(cfg.chunk_size)),
         nb_(prob.node_bytes()),
-        my_(stack) {
+        my_(stack),
+        obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     if (me_ == 0) {
       has_token_ = true;
       token_color_ = kWhite;
+    }
+    if (obs_ != nullptr) {
+      obs::Registry& reg = obs_->registry(me_);
+      m_pushes_ = &reg.counter("releases");
+      m_received_ = &reg.counter("steals");  // transfers received
+      reg.gauge("queue_depth",
+                [this] { return static_cast<std::int64_t>(my_.depth()); });
     }
   }
 
@@ -43,6 +52,7 @@ class PushWorker final : public NodeSink {
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (obs_ != nullptr) obs_->state(me_, ctx_.now_ns(), State::kWorking);
     if (me_ == 0) {
       prob_.root(nodebuf_.data());
       my_.push(nodebuf_.data());
@@ -53,6 +63,7 @@ class PushWorker final : public NodeSink {
     }
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    if (obs_ != nullptr) obs_->finish(me_, ctx_.now_ns());
     return st_;
   }
 
@@ -63,6 +74,7 @@ class PushWorker final : public NodeSink {
     const std::uint64_t t = ctx_.now_ns();
     st_.timer.transition(s, t);
     if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+    if (obs_ != nullptr) obs_->state(me_, t, s);
   }
 
   void do_work() {
@@ -106,6 +118,7 @@ class PushWorker final : public NodeSink {
     color_ = kBlack;
     ++outstanding_acks_;
     ++st_.c.releases;
+    if (m_pushes_ != nullptr) ++*m_pushes_;
     if (cfg_.trace != nullptr)
       cfg_.trace->release(me_, ctx_.now_ns(), static_cast<std::int64_t>(k_));
   }
@@ -121,7 +134,8 @@ class PushWorker final : public NodeSink {
                  i * nb_);
       comm_.send(ctx_, m.src, kTagAck);
       ++st_.c.steals;
-    st_.steal_sizes.add(take);  // counted as received transfers
+      if (m_received_ != nullptr) ++*m_received_;
+      st_.steal_sizes.add(take);  // counted as received transfers
       st_.c.nodes_stolen += take;
       st_.c.chunks_stolen += take / k_;
     }
@@ -189,6 +203,11 @@ class PushWorker final : public NodeSink {
   bool has_token_ = false;
   bool round_started_ = false;
   int outstanding_acks_ = 0;
+
+  /// Telemetry (null when no observer is attached).
+  obs::Observer* obs_;
+  std::uint64_t* m_pushes_ = nullptr;
+  std::uint64_t* m_received_ = nullptr;
 };
 
 }  // namespace

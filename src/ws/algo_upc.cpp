@@ -1,5 +1,6 @@
 #include "ws/algo_upc.hpp"
 
+#include "obs/observer.hpp"
 #include "trace/trace.hpp"
 #include "ws/recovery.hpp"
 
@@ -28,9 +29,36 @@ class UpcWorker final : public NodeSink {
         nb_(prob.node_bytes()),
         my_(g.stacks[me_]),
         board_(g.recovery),
-        crash_mode_(ctx.liveness() != nullptr && g.recovery != nullptr) {
+        crash_mode_(ctx.liveness() != nullptr && g.recovery != nullptr),
+        obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     backoff_ns_ = cfg.steal_backoff_ns;
+    if (obs_ != nullptr) {
+      obs::Registry& reg = obs_->registry(me_);
+      m_steals_ = &reg.counter("steals");
+      m_probes_ = &reg.counter("probes");
+      m_releases_ = &reg.counter("releases");
+      m_services_ = &reg.counter("requests_serviced");
+      // Gauges are polled from this rank's own fiber/thread at sample
+      // boundaries, so owner-only reads are safe; they must not charge.
+      reg.gauge("queue_depth",
+                [this] { return static_cast<std::int64_t>(my_.depth()); });
+      reg.gauge("release_region", [this] {
+        return static_cast<std::int64_t>(my_.shared_size());
+      });
+      if (crash_mode_)
+        reg.gauge("recovery_backlog", [this] {
+          // Raw atomic scan — orphan_pending(ctx) would charge Ctx time.
+          std::int64_t pending = 0;
+          for (int w = 0; w < n_; ++w)
+            for (int p = 0; p < n_; ++p)
+              if (w != p && board_->rec(w, p).state.load(
+                                std::memory_order_relaxed) ==
+                                TransferRec::kPending)
+                ++pending;
+          return pending;
+        });
+    }
     perm_.resize(n_ > 1 ? n_ - 1 : 0);
     int v = 0;
     for (int i = 0; i < n_; ++i)
@@ -41,6 +69,7 @@ class UpcWorker final : public NodeSink {
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
+    if (obs_ != nullptr) obs_->state(me_, ctx_.now_ns(), State::kWorking);
     if (me_ == 0) {
       prob_.root(nodebuf_.data());
       my_.push(nodebuf_.data());
@@ -63,6 +92,7 @@ class UpcWorker final : public NodeSink {
     }
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
+    if (obs_ != nullptr) obs_->finish(me_, ctx_.now_ns());
     return st_;
   }
 
@@ -74,6 +104,7 @@ class UpcWorker final : public NodeSink {
     const std::uint64_t t = ctx_.now_ns();
     st_.timer.transition(s, t);
     if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
+    if (obs_ != nullptr) obs_->state(me_, t, s);
   }
 
   bool lockless() const {
@@ -162,6 +193,7 @@ class UpcWorker final : public NodeSink {
       my_.maybe_compact();
     }
     ++st_.c.releases;
+    if (m_releases_ != nullptr) ++*m_releases_;
     if (cfg_.trace != nullptr)
       cfg_.trace->release(me_, ctx_.now_ns(),
                           static_cast<std::int64_t>(k_));
@@ -221,12 +253,20 @@ class UpcWorker final : public NodeSink {
               expect, kServicing, std::memory_order_acq_rel))
         return;  // thief gave up first
     }
+    // The thief published its span id before the request CAS, so this read
+    // is ordered by the protocol's own acquire of steal_request (0 when no
+    // observer is attached or the thief predates this run's spans).
+    const std::uint64_t sid =
+        obs_ != nullptr ? obs_->spans().active(req, me_) : 0;
     const std::int64_t chunks =
         static_cast<std::int64_t>(my_.shared_size() / k_);
     if (chunks < 1) {
       ++st_.c.requests_denied;
       if (cfg_.trace != nullptr)
         cfg_.trace->service(me_, ctx_.now_ns(), req, 0, false);
+      if (sid != 0)
+        obs_->spans().event(me_, sid, obs::SpanPhase::kDeny, ctx_.now_ns(),
+                            me_, req);
       // One remote write tells the thief it was denied.
       ctx_.put(g_.slots[req].resp_amount, req, std::int64_t{0});
     } else {
@@ -247,9 +287,13 @@ class UpcWorker final : public NodeSink {
       ctx_.charge(ctx_.net().local_ref_ns);  // local staging copy
       my_.maybe_compact();
       ++st_.c.requests_serviced;
+      if (m_services_ != nullptr) ++*m_services_;
       if (cfg_.trace != nullptr)
         cfg_.trace->service(me_, ctx_.now_ns(), req,
                             static_cast<std::int64_t>(take), true);
+      if (sid != 0)
+        obs_->spans().event(me_, sid, obs::SpanPhase::kService, ctx_.now_ns(),
+                            me_, req, static_cast<std::int64_t>(take));
       // Two remote writes: the amount granted and the work's location.
       ctx_.put(g_.slots[req].resp_amount, req,
                static_cast<std::int64_t>(take));
@@ -263,6 +307,7 @@ class UpcWorker final : public NodeSink {
 
   std::int64_t probe(int v) {
     ++st_.c.probes;
+    if (m_probes_ != nullptr) ++*m_probes_;
     return ctx_.get(g_.stacks[v].work_avail(), v);
   }
 
@@ -281,6 +326,14 @@ class UpcWorker final : public NodeSink {
   /// transfer outside the critical section with a one-sided get.
   bool steal_locked(int v) {
     StealStack& vs = g_.stacks[v];
+    // Under the locked protocol the victim never executes steal code, so
+    // the thief records the whole span itself — the service step lands on
+    // the victim's timeline via the event's track field.
+    if (obs_ != nullptr) {
+      span_ = obs_->spans().begin(me_, v);
+      obs_->spans().event(me_, span_, obs::SpanPhase::kRequest, ctx_.now_ns(),
+                          me_, v);
+    }
     std::size_t take = 0, begin = 0;
     {
       pgas::LockGuard guard(ctx_, vs.lock());
@@ -302,13 +355,27 @@ class UpcWorker final : public NodeSink {
         ctx_.put(vs.work_avail(), v, left);
         note_avail(vs, left);
         vs.begin_transfer();
+        if (span_ != 0)
+          obs_->spans().event(me_, span_, obs::SpanPhase::kService,
+                              ctx_.now_ns(), v, me_,
+                              static_cast<std::int64_t>(take));
       }
     }
-    if (take == 0) return false;
+    if (take == 0) {
+      if (span_ != 0) {
+        obs_->spans().event(me_, span_, obs::SpanPhase::kDeny, ctx_.now_ns(),
+                            v, me_);
+        span_ = 0;
+      }
+      return false;
+    }
     xfer_.resize(take * nb_);
     ctx_.bulk_get(xfer_.data(), vs.slot(begin), take * nb_, v);
     vs.end_transfer();
     ctx_.charge_ref(v);  // remote completion notice for the in-flight count
+    if (span_ != 0)
+      obs_->spans().event(me_, span_, obs::SpanPhase::kTransfer, ctx_.now_ns(),
+                          me_, v, static_cast<std::int64_t>(take));
     absorb(take, crash_mode_ ? &board_->rec(me_, v) : nullptr);
     return true;
   }
@@ -327,9 +394,19 @@ class UpcWorker final : public NodeSink {
     auto& mine = g_.slots[me_];
     ctx_.charge(ctx_.net().local_ref_ns);
     mine.resp_amount.store(kRespPending, std::memory_order_release);
+    // Publish the span id before the request CAS makes it visible: the
+    // victim reads it when servicing and records its side under this id.
+    if (obs_ != nullptr) {
+      span_ = obs_->spans().begin(me_, v);
+      obs_->spans().publish_active(me_, v, span_);
+      obs_->spans().event(me_, span_, obs::SpanPhase::kRequest, ctx_.now_ns(),
+                          me_, v);
+    }
     int expect = kNoRequest;
-    if (!ctx_.cas(g_.slots[v].steal_request, v, expect, me_))
+    if (!ctx_.cas(g_.slots[v].steal_request, v, expect, me_)) {
+      abandon_span(v);
       return false;  // another thief got there first; move on
+    }
     const bool hardened = cfg_.hardened();
     const std::uint64_t deadline =
         hardened ? ctx_.now_ns() + cfg_.steal_timeout_ns : 0;
@@ -338,6 +415,8 @@ class UpcWorker final : public NodeSink {
       ctx_.charge_poll();
       const std::int64_t a = mine.resp_amount.load(std::memory_order_acquire);
       if (a == 0) {
+        // Denied; the victim recorded the span's kDeny when it answered.
+        drop_span(v);
         backoff_ns_ = cfg_.steal_backoff_ns;  // the victim answered in time
         return false;                         // denied
       }
@@ -346,7 +425,12 @@ class UpcWorker final : public NodeSink {
         xfer_.resize(take * nb_);
         ctx_.bulk_get(xfer_.data(), g_.slots[v].outbox[me_].data(), take * nb_,
                       v);
+        if (span_ != 0)
+          obs_->spans().event(me_, span_, obs::SpanPhase::kTransfer,
+                              ctx_.now_ns(), me_, v,
+                              static_cast<std::int64_t>(take));
         absorb(take, crash_mode_ ? &board_->rec(v, me_) : nullptr);
+        if (obs_ != nullptr) obs_->spans().clear_active(me_, v);
         backoff_ns_ = cfg_.steal_backoff_ns;
         return true;
       }
@@ -360,10 +444,16 @@ class UpcWorker final : public NodeSink {
         if (board_->retire(ctx_, rec)) {
           const std::size_t take = rec.nnodes;
           xfer_.assign(rec.payload.begin(), rec.payload.end());
+          if (span_ != 0)
+            obs_->spans().event(me_, span_, obs::SpanPhase::kSalvage,
+                                ctx_.now_ns(), me_, v,
+                                static_cast<std::int64_t>(take));
           absorb(take);
+          if (obs_ != nullptr) obs_->spans().clear_active(me_, v);
           backoff_ns_ = cfg_.steal_backoff_ns;
           return true;
         }
+        abandon_span(v);
         return false;
       }
       if (cancelable && ctx_.now_ns() >= deadline) {
@@ -373,12 +463,19 @@ class UpcWorker final : public NodeSink {
           ++st_.c.steal_timeouts;
           if (cfg_.trace != nullptr)
             cfg_.trace->timeout(me_, ctx_.now_ns(), v);
+          if (span_ != 0)
+            obs_->spans().event(me_, span_, obs::SpanPhase::kTimeout,
+                                ctx_.now_ns(), me_, v);
+          abandon_span(v);
           ctx_.charge(backoff_ns_);
           backoff_ns_ = std::min(backoff_ns_ * 2, cfg_.steal_backoff_max_ns);
           return false;
         }
         // The victim already claimed (kServicing) or answered: a response
         // is committed, so stop trying to cancel and wait it out.
+        if (span_ != 0)
+          obs_->spans().event(me_, span_, obs::SpanPhase::kTimeout,
+                              ctx_.now_ns(), me_, v);
         cancelable = false;
       }
       // Pending. Keep global liveness while we wait: deny steal requests
@@ -386,10 +483,29 @@ class UpcWorker final : public NodeSink {
       // (the victim may have exited without seeing our request).
       if (lockless()) service_requests();
       if (probe_term() &&
-          g_.slots[me_].term_flag.load(std::memory_order_acquire))
+          g_.slots[me_].term_flag.load(std::memory_order_acquire)) {
+        abandon_span(v);
         return false;  // caller re-checks the flag and exits
+      }
       ctx_.yield();
     }
+  }
+
+  /// Close the outstanding steal span as abandoned (thief walked away).
+  void abandon_span(int v) {
+    if (span_ == 0) return;
+    obs_->spans().event(me_, span_, obs::SpanPhase::kAbandon, ctx_.now_ns(),
+                        me_, v);
+    obs_->spans().clear_active(me_, v);
+    span_ = 0;
+  }
+
+  /// Forget the outstanding span without a terminal event of our own (the
+  /// victim recorded the terminal kDeny).
+  void drop_span(int v) {
+    if (span_ == 0) return;
+    obs_->spans().clear_active(me_, v);
+    span_ = 0;
   }
 
   void absorb(std::size_t take, TransferRec* rec = nullptr) {
@@ -400,6 +516,11 @@ class UpcWorker final : public NodeSink {
     // is on the replayer's stack and we must not apply it a second time.
     if (rec != nullptr) {
       if (!board_->retire(ctx_, *rec)) {
+        if (span_ != 0) {
+          obs_->spans().event(me_, span_, obs::SpanPhase::kAbandon,
+                              ctx_.now_ns(), me_, -1);
+          span_ = 0;
+        }
         publish_avail();
         return;
       }
@@ -408,8 +529,14 @@ class UpcWorker final : public NodeSink {
     st_.steal_sizes.add(take);
     for (std::size_t i = 0; i < take; ++i) my_.push(xfer_.data() + i * nb_);
     ++st_.c.steals;
+    if (m_steals_ != nullptr) ++*m_steals_;
     st_.c.chunks_stolen += take / k_;
     st_.c.nodes_stolen += take;
+    if (span_ != 0) {
+      obs_->spans().event(me_, span_, obs::SpanPhase::kAbsorb, ctx_.now_ns(),
+                          me_, -1, static_cast<std::int64_t>(take));
+      span_ = 0;
+    }
     publish_avail();  // we are working again; shared region is empty
   }
 
@@ -439,7 +566,9 @@ class UpcWorker final : public NodeSink {
     bool got = false;
     for (int r = 0; r < n_; ++r) {
       if (r == me_ || !ctx_.rank_dead(r) || board_->salvage_done(r)) continue;
+      const std::uint64_t rb = ctx_.now_ns();
       if (salvage_stack(r)) got = true;
+      if (obs_ != nullptr) obs_->recovery_interval(me_, rb, ctx_.now_ns());
     }
     for (int w = 0; w < n_; ++w) {
       for (int p = 0; p < n_; ++p) {
@@ -450,7 +579,9 @@ class UpcWorker final : public NodeSink {
         const bool victim_dead = rec.victim >= 0 && ctx_.rank_dead(rec.victim);
         const bool thief_dead = rec.thief >= 0 && ctx_.rank_dead(rec.thief);
         if (!victim_dead && !thief_dead) continue;
+        const std::uint64_t rb = ctx_.now_ns();
         if (replay_record(rec)) got = true;
+        if (obs_ != nullptr) obs_->recovery_interval(me_, rb, ctx_.now_ns());
       }
     }
     return got;
@@ -864,6 +995,14 @@ class UpcWorker final : public NodeSink {
   const bool crash_mode_;
   /// nodebuf_ holds a popped-but-uncounted node (see visit()).
   bool visiting_ = false;
+  /// Telemetry (all null/0 when no observer is attached).
+  obs::Observer* obs_;
+  std::uint64_t* m_steals_ = nullptr;
+  std::uint64_t* m_probes_ = nullptr;
+  std::uint64_t* m_releases_ = nullptr;
+  std::uint64_t* m_services_ = nullptr;
+  /// Id of this thief's outstanding steal span (0 = none).
+  std::uint64_t span_ = 0;
 };
 
 }  // namespace

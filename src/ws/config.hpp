@@ -24,6 +24,10 @@ namespace upcws::trace {
 class Trace;
 }
 
+namespace upcws::obs {
+class Observer;
+}
+
 namespace upcws::ws {
 
 struct SharedState;
@@ -120,6 +124,24 @@ struct WsConfig {
   /// Optional execution trace sink (state changes + load-balancing events);
   /// see trace/trace.hpp. Not owned; must outlive the run.
   trace::Trace* trace = nullptr;
+
+  /// If > 0 and a trace is attached, bound each rank's trace buffer to this
+  /// many events (ring semantics: newest win, overwrites are tallied in
+  /// Trace::dropped_events and surfaced in the run report).
+  std::size_t trace_cap = 0;
+
+  // --- run telemetry (src/obs; off by default) ---------------------------
+
+  /// Optional telemetry observer: metric registries sampled on a
+  /// virtual-time cadence, causal steal-transaction spans, and the
+  /// state/lock/stall/recovery streams the idle-time autopsy consumes
+  /// (docs/observability.md). run_search calls obs->start_run() before the
+  /// engine starts. Pure observation: attaching an observer never changes
+  /// a run's schedule or results. Not owned; must outlive the run.
+  obs::Observer* obs = nullptr;
+
+  /// Sampling cadence (Ctx-time ns) for the observer's metric time-series.
+  std::uint64_t obs_sample_ns = 100'000;
 
   // --- schedule-checking instrumentation (src/check; off by default) -----
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "mp/comm.hpp"
+#include "obs/observer.hpp"
 #include "trace/trace.hpp"
 #include "ws/algo_mpi.hpp"
 #include "ws/algo_push.hpp"
@@ -97,6 +98,13 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
   result.per_thread.resize(rcfg.nranks);
   std::vector<stats::ThreadStats>& per_thread = result.per_thread;
   pgas::RunConfig rc = rcfg;  // may gain a default hang reporter below
+
+  if (cfg.trace != nullptr && cfg.trace_cap > 0)
+    cfg.trace->set_ring_capacity(cfg.trace_cap);
+  if (cfg.obs != nullptr) {
+    cfg.obs->start_run(rcfg.nranks, cfg.obs_sample_ns);
+    rc.obs = cfg.obs;  // engines call the sampler / lock-wait / stall hooks
+  }
 
   // Crash-mode plumbing. The liveness board is created here (not inside the
   // engine) so hang reporters and post-run code can read it; the recovery

@@ -8,6 +8,7 @@ namespace {
 using upcws::stats::ascii_bars;
 using upcws::stats::ascii_chart;
 using upcws::stats::Series;
+using upcws::stats::sparkline;
 
 TEST(Chart, ContainsMarkersAndLegend) {
   const std::vector<double> xs{1, 2, 4, 8};
@@ -62,6 +63,31 @@ TEST(Bars, ScaledToMax) {
 TEST(Bars, HandlesZeroValues) {
   const std::string s = ascii_bars({{"z", 0.0}}, 10);
   EXPECT_NE(s.find("z |"), std::string::npos);
+}
+
+TEST(Sparkline, MapsMinToBlankAndMaxToDensest) {
+  const std::string s = sparkline({0, 5, 10}, 3);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.front(), ' ');
+  EXPECT_EQ(s.back(), '@');
+}
+
+TEST(Sparkline, ResamplesByCellMaximum) {
+  // 100 points, one spike: the spike survives resampling to 10 cells.
+  std::vector<double> ys(100, 0.0);
+  ys[37] = 42.0;
+  const std::string s = sparkline(ys, 10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_NE(s.find('@'), std::string::npos);
+}
+
+TEST(Sparkline, FlatAndEmptySeriesSafe) {
+  EXPECT_EQ(sparkline({}, 10), "(empty series)");
+  const std::string flat = sparkline({7, 7, 7}, 3);
+  ASSERT_EQ(flat.size(), 3u);
+  // A flat series renders uniformly (no divide-by-zero artifacts).
+  EXPECT_EQ(flat[0], flat[1]);
+  EXPECT_EQ(flat[1], flat[2]);
 }
 
 }  // namespace

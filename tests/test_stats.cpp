@@ -144,6 +144,36 @@ TEST(RunStatsTest, SummaryIncludesCrashBlockOnlyWhenCrashed) {
   EXPECT_NE(s.find("recovered=9"), std::string::npos);
 }
 
+TEST(LogHistogramTest, PercentileEdgeCases) {
+  LogHistogram h;
+  // Empty histogram: every percentile is 0, not garbage.
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+
+  h.add(8);
+  h.add(9);
+  // p at/above 1.0 returns the exact maximum, not a bucket upper bound.
+  EXPECT_EQ(h.percentile(1.0), 9u);
+  // A tiny p rounds its rank UP to 1 (never 0, which used to report the
+  // bucket-0 bound below the minimum) and stays within [min, max].
+  EXPECT_GE(h.percentile(0.1), 8u);
+  EXPECT_LE(h.percentile(0.1), 9u);
+
+  LogHistogram one;
+  one.add(1000);
+  EXPECT_EQ(one.percentile(0.001), 1000u);
+  EXPECT_EQ(one.percentile(0.5), 1000u);
+  EXPECT_EQ(one.percentile(1.0), 1000u);
+
+  // Results never fall outside [min, max] even though buckets are coarse.
+  LogHistogram spread;
+  for (std::uint64_t v : {3u, 5u, 100u, 1000u, 70000u}) spread.add(v);
+  for (double p : {0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_GE(spread.percentile(p), 3u) << "p=" << p;
+    EXPECT_LE(spread.percentile(p), 70000u) << "p=" << p;
+  }
+}
+
 TEST(RunStatsTest, SummaryMentionsKeyFigures) {
   std::vector<ThreadStats> per(1);
   per[0].c.nodes = 12345;

@@ -44,6 +44,50 @@ TEST(TraceUnit, CsvFormat) {
   EXPECT_NE(s.find("9,0,release,0,16"), std::string::npos);
 }
 
+TEST(TraceUnit, RingCapacityBoundsBuffersAndCountsDrops) {
+  trace::Trace t(2);
+  t.set_ring_capacity(4);
+  EXPECT_EQ(t.ring_capacity(), 4u);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    t.release(0, 100 * (i + 1), static_cast<std::int64_t>(i));
+  t.state(1, 5, stats::State::kWorking);  // under capacity: nothing dropped
+  EXPECT_EQ(t.total_events(), 5u);
+  EXPECT_EQ(t.dropped_events(), 6u);
+  // The ring keeps the NEWEST events, unrolled oldest-first.
+  const auto kept = t.ordered(0);
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].arg1, static_cast<std::int64_t>(6 + i));
+    if (i > 0) EXPECT_LT(kept[i - 1].t_ns, kept[i].t_ns);
+  }
+  // merged() sees the same retained set, still time-sorted.
+  const auto all = t.merged();
+  ASSERT_EQ(all.size(), 5u);
+  for (std::size_t i = 1; i < all.size(); ++i)
+    EXPECT_LE(all[i - 1].t_ns, all[i].t_ns);
+}
+
+TEST(TraceUnit, ChromeJsonEmitsFlowEvents) {
+  trace::Trace t(2);
+  t.state(0, 0, stats::State::kWorking);
+  t.state(1, 0, stats::State::kWorking);
+  t.finish(0, 500);
+  t.finish(1, 500);
+  const std::vector<trace::FlowEvent> flows = {
+      {77, 100, 0, 's'}, {77, 200, 1, 't'}, {77, 300, 0, 'f'}};
+  std::ostringstream os;
+  t.write_chrome_json(os, flows);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(s.find("\"cat\":\"steal\""), std::string::npos);
+  EXPECT_NE(s.find("\"id\":77"), std::string::npos);
+  // Binding point "enclosing slice" on the finish step only.
+  EXPECT_NE(s.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_EQ(s.find("\"bp\":\"e\""), s.rfind("\"bp\":\"e\""));
+}
+
 TEST(TraceUnit, ChromeJsonWellFormedBrackets) {
   trace::Trace t(2);
   t.state(0, 0, stats::State::kWorking);

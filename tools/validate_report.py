@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate a run-telemetry report (uts_cli --report) against its schema.
+
+Checks upcws-run-report-v1 structurally and semantically:
+  * required keys present with sane types,
+  * per-rank entries cover every rank exactly once,
+  * causes + residual exactly account for the non-working time,
+  * the idle-time autopsy attributed >= 99% of non-working time
+    (residual_frac_of_nonworking <= 0.01) -- the PR's acceptance bar.
+
+Stdlib only. Exit 0 on success, 1 with a message on any violation.
+"""
+import json
+import sys
+
+SCHEMA = "upcws-run-report-v1"
+CAUSES = [
+    "victim_miss_search",
+    "steal_latency",
+    "lock_contention",
+    "termination_wait",
+    "injected_fault",
+    "recovery_replay",
+]
+TOP_KEYS = {
+    "schema": str,
+    "nranks": int,
+    "sample_ns": int,
+    "sample_points": int,
+    "spans": dict,
+    "dropped_trace_events": int,
+    "total_ns": int,
+    "working_ns": int,
+    "nonworking_ns": int,
+    "working_frac": float,
+    "attributed_frac": float,
+    "residual_ns": int,
+    "residual_frac_of_nonworking": float,
+    "causes_ns": dict,
+    "per_rank": list,
+}
+SPAN_KEYS = ["total", "completed", "denied", "abandoned", "incomplete",
+             "salvaged", "timeouts"]
+
+
+def fail(msg):
+    print(f"validate_report: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_causes(obj, where):
+    if sorted(obj) != sorted(CAUSES):
+        fail(f"{where}: causes_ns keys {sorted(obj)} != {sorted(CAUSES)}")
+    for k, v in obj.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: causes_ns[{k}] = {v!r} is not a non-negative int")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: validate_report.py report.json")
+    try:
+        with open(sys.argv[1]) as f:
+            rep = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    for key, typ in TOP_KEYS.items():
+        if key not in rep:
+            fail(f"missing key {key!r}")
+        val = rep[key]
+        if typ is float and isinstance(val, int):
+            val = float(val)  # JSON integers are valid doubles
+        if not isinstance(val, typ):
+            fail(f"key {key!r} has type {type(rep[key]).__name__}, "
+                 f"want {typ.__name__}")
+    if rep["schema"] != SCHEMA:
+        fail(f"schema {rep['schema']!r} != {SCHEMA!r}")
+    if rep["nranks"] < 1:
+        fail(f"nranks = {rep['nranks']}")
+
+    spans = rep["spans"]
+    for k in SPAN_KEYS:
+        if k not in spans or not isinstance(spans[k], int) or spans[k] < 0:
+            fail(f"spans.{k} missing or not a non-negative int")
+    accounted = (spans["completed"] + spans["denied"] + spans["abandoned"]
+                 + spans["incomplete"])
+    if accounted != spans["total"]:
+        fail(f"span outcomes sum to {accounted}, total says {spans['total']}")
+
+    check_causes(rep["causes_ns"], "aggregate")
+    if rep["working_ns"] + rep["nonworking_ns"] != rep["total_ns"]:
+        fail("working_ns + nonworking_ns != total_ns")
+    cause_sum = sum(rep["causes_ns"].values()) + rep["residual_ns"]
+    if cause_sum != rep["nonworking_ns"]:
+        fail(f"causes + residual = {cause_sum} != "
+             f"nonworking_ns {rep['nonworking_ns']}")
+
+    per_rank = rep["per_rank"]
+    if len(per_rank) != rep["nranks"]:
+        fail(f"per_rank has {len(per_rank)} entries for {rep['nranks']} ranks")
+    seen = set()
+    for entry in per_rank:
+        for k in ("rank", "total_ns", "working_ns", "causes_ns",
+                  "residual_ns"):
+            if k not in entry:
+                fail(f"per_rank entry missing {k!r}")
+        r = entry["rank"]
+        if r in seen or not 0 <= r < rep["nranks"]:
+            fail(f"bad or duplicate rank id {r}")
+        seen.add(r)
+        check_causes(entry["causes_ns"], f"rank {r}")
+        nonworking = entry["total_ns"] - entry["working_ns"]
+        rank_sum = sum(entry["causes_ns"].values()) + entry["residual_ns"]
+        if rank_sum != nonworking:
+            fail(f"rank {r}: causes + residual = {rank_sum} != "
+                 f"non-working {nonworking}")
+
+    # The acceptance bar: >= 99% of non-working time carries a cause. The
+    # residual is allowed to exist (it must be REPORTED), just not to grow.
+    if rep["nonworking_ns"] > 0:
+        frac = rep["residual_ns"] / rep["nonworking_ns"]
+        if frac > 0.01:
+            fail(f"residual is {100 * frac:.2f}% of non-working time "
+                 "(bar: 1%)")
+        if abs(frac - rep["residual_frac_of_nonworking"]) > 1e-6:
+            fail("residual_frac_of_nonworking disagrees with residual_ns")
+    if rep["attributed_frac"] < 0.99:
+        fail(f"attributed_frac = {rep['attributed_frac']:.4f} < 0.99")
+
+    print(f"validate_report: OK: {sys.argv[1]} -- {rep['nranks']} ranks, "
+          f"{rep['sample_points']} samples, {spans['total']} spans, "
+          f"attributed {100 * rep['attributed_frac']:.2f}% of "
+          f"non-working time")
+
+
+if __name__ == "__main__":
+    main()
