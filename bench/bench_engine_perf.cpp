@@ -1,0 +1,148 @@
+// Engine hot-path throughput: the guarded perf baseline.
+//
+// Times full work-stealing searches (wall clock, not virtual time) across
+// engines x protocols and emits a schema-versioned BENCH_engine.json that
+// tools/compare_bench.py diffs against the checked-in baseline
+// (bench/BENCH_engine.baseline.json). The headline row is
+// "sim/upc-distmem/T3": real nodes/sec of the discrete-event simulator on a
+// T3-class binomial tree -- the figure every paper-reproduction experiment
+// is bottlenecked on.
+//
+// Flags (besides the standard --quick/--full):
+//   --smoke      tiny matrix for CI: finishes in a couple of seconds
+//   --out FILE   where to write the JSON (default BENCH_engine.json)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pgas/sim_engine.hpp"
+#include "pgas/thread_engine.hpp"
+#include "stats/table.hpp"
+#include "uts/params.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+using namespace upcws;
+using benchutil::Mode;
+
+namespace {
+
+struct Case {
+  const char* engine;     // "sim" | "threads"
+  ws::Algo algo;
+  const char* tree_name;  // short key used in the result name
+  uts::Params tree;
+  int nranks;
+  int chunk;
+};
+
+struct Measured {
+  double wall_s = 0;
+  ws::SearchResult res;
+};
+
+Measured run_case(const Case& c) {
+  pgas::RunConfig rcfg;
+  rcfg.nranks = c.nranks;
+  rcfg.net = pgas::NetModel::distributed();
+  const ws::UtsProblem prob(c.tree);
+  const ws::WsConfig cfg = ws::WsConfig::for_algo(c.algo, c.chunk);
+
+  Measured m;
+  benchutil::Stopwatch sw;
+  if (std::strcmp(c.engine, "sim") == 0) {
+    pgas::SimEngine eng;
+    m.res = ws::run_search(eng, rcfg, prob, cfg);
+  } else {
+    pgas::ThreadEngine eng;
+    m.res = ws::run_search(eng, rcfg, prob, cfg);
+  }
+  m.wall_s = sw.seconds();
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Mode mode = benchutil::mode_from_args(argc, argv);
+  bool smoke = false;
+  std::string out = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
+  }
+
+  // T3-class binomial tree (big root fan-out, ~520k nodes) is the headline;
+  // the small trees keep per-protocol coverage cheap enough for CI.
+  const uts::Params t3 = uts::scaled_bench(5);
+  const uts::Params small = uts::test_small(1);
+  const uts::Params geo = uts::geo_test(1);  // root_seed 2: ~6.4k nodes
+
+  std::vector<Case> cases;
+  cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
+  cases.push_back({"sim", ws::Algo::kUpcDistMem, "small", small, 8, 4});
+  cases.push_back({"sim", ws::Algo::kMpiWs, "geo", geo, 8, 4});
+  if (!smoke) {
+    cases.push_back({"sim", ws::Algo::kUpcSharedMem, "T3", t3, 16, 10});
+    cases.push_back({"sim", ws::Algo::kMpiWs, "T3", t3, 16, 10});
+    cases.push_back({"threads", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
+  }
+  if (mode == Mode::kFull) {
+    cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3L",
+                     uts::scaled_medium(1), 64, 10});
+    cases.push_back({"threads", ws::Algo::kMpiWs, "T3", t3, 16, 10});
+  }
+
+  benchutil::print_banner(
+      "bench_engine_perf -- engine hot-path throughput (wall clock)",
+      "perf-regression guard; no paper figure. Headline: real nodes/s of "
+      "the simulator on a T3-class tree",
+      std::string("mode=") + benchutil::mode_name(mode) +
+          (smoke ? " (smoke)" : "") + " out=" + out);
+
+  benchutil::BenchReporter rep("engine_perf", mode);
+  stats::Table table({"case", "nodes", "wall s", "M nodes/s", "ns/node",
+                      "switches", "M switch/s"});
+
+  const int reps = smoke ? 1 : 2;  // best-of-2 smooths scheduler noise
+  for (const Case& c : cases) {
+    Measured best;
+    for (int r = 0; r < reps; ++r) {
+      Measured m = run_case(c);
+      if (r == 0 || m.wall_s < best.wall_s) best = m;
+    }
+    const double nodes = static_cast<double>(best.res.total_nodes());
+    const double switches = static_cast<double>(best.res.run.switches);
+    const double nps = nodes / best.wall_s;
+    const double sps = switches / best.wall_s;
+
+    const std::string name = std::string(c.engine) + "/" +
+                             ws::algo_label(c.algo) + "/" + c.tree_name;
+    rep.result(name)
+        .metric("nodes", nodes)
+        .metric("wall_s", best.wall_s)
+        .metric("nodes_per_sec", nps)
+        .metric("ns_per_node", 1e9 / nps)
+        .metric("switches", switches)
+        .metric("switches_per_sec", sps)
+        .metric("ns_per_switch", switches > 0 ? 1e9 / sps : 0)
+        .metric("virtual_elapsed_s", best.res.run.elapsed_s)
+        .note("tree", c.tree.describe())
+        .note("nranks", benchutil::fmt(c.nranks, 0))
+        .note("chunk", benchutil::fmt(c.chunk, 0));
+
+    table.add_row({name, stats::Table::fmt(best.res.total_nodes()),
+                   stats::Table::fmt(best.wall_s, 3),
+                   stats::Table::fmt(nps / 1e6, 3),
+                   stats::Table::fmt(1e9 / nps, 0),
+                   stats::Table::fmt(best.res.run.switches),
+                   stats::Table::fmt(sps / 1e6, 3)});
+  }
+
+  std::printf("\n");
+  table.print(std::cout);
+  return rep.write_json_file(out) ? 0 : 1;
+}

@@ -6,7 +6,6 @@
 // This bench measures (a) raw SHA-1 throughput, (b) the real sequential UTS
 // rate on this machine, and (c) the virtual-time rate the simulator's cost
 // model is calibrated to.
-#include <chrono>
 #include <cstdio>
 #include <iostream>
 
@@ -23,21 +22,17 @@ namespace {
 
 double sha1_mbps(std::size_t block, double seconds_budget) {
   std::vector<std::uint8_t> buf(block, 0xAB);
-  const auto t0 = std::chrono::steady_clock::now();
+  benchutil::Stopwatch sw;
   std::uint64_t bytes = 0;
   sha1::Digest d{};
-  while (std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-             .count() < seconds_budget) {
+  while (sw.seconds() < seconds_budget) {
     for (int i = 0; i < 64; ++i) {
       d = sha1::hash(buf.data(), buf.size());
       buf[0] = d[0];  // defeat dead-code elimination
       bytes += buf.size();
     }
   }
-  const double secs =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return static_cast<double>(bytes) / secs / 1e6;
+  return static_cast<double>(bytes) / sw.seconds() / 1e6;
 }
 
 }  // namespace
@@ -55,12 +50,17 @@ int main(int argc, char** argv) {
       std::string("mode=") + benchutil::mode_name(mode) +
           " tree=" + tree.describe());
 
+  benchutil::BenchReporter rep("bench_seq_perf", mode);
+
   stats::Table sha({"SHA-1 block bytes", "MB/s", "hashes/s"});
   for (std::size_t block : {24u, 64u, 256u, 4096u}) {
     const double mbps = sha1_mbps(block, 0.2);
     sha.add_row({stats::Table::fmt(static_cast<std::uint64_t>(block)),
                  stats::Table::fmt(mbps, 1),
                  stats::Table::fmt(mbps * 1e6 / block, 0)});
+    rep.result("sha1_block" + std::to_string(block))
+        .metric("mb_per_sec", mbps)
+        .metric("hashes_per_sec", mbps * 1e6 / static_cast<double>(block));
   }
   std::printf("\nSHA-1 throughput (this machine):\n");
   sha.print(std::cout);
@@ -86,5 +86,14 @@ int main(int argc, char** argv) {
   t.add_row({"paper Kitty Hawk M nodes/s", "2.39"});
   std::printf("\nSequential UTS traversal:\n");
   t.print(std::cout);
+
+  rep.result("seq_uts")
+      .metric("nodes", static_cast<double>(r->nodes))
+      .metric("wall_s", r->seconds)
+      .metric("nodes_per_sec", r->nodes_per_sec())
+      .note("tree", tree.describe());
+  if (!rep.write_json_file("BENCH_seq.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_seq.json\n");
+  std::printf("\nwrote BENCH_seq.json\n");
   return 0;
 }

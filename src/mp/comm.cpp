@@ -19,10 +19,7 @@ void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
   Message m;
   m.src = c.rank();
   m.tag = tag;
-  if (bytes > 0) {
-    m.payload.resize(bytes);
-    std::memcpy(m.payload.data(), data, bytes);
-  }
+  if (bytes > 0) m.payload.assign(data, bytes);
   // Wire time: latency plus payload serialization (with modeled jitter).
   const std::uint64_t wire = c.jittered(net.bulk_ns(c.rank(), dst, bytes));
   m.arrival_ns = c.now_ns() + wire;

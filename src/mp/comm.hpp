@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "mp/small_buf.hpp"
 #include "pgas/engine.hpp"
 
 namespace upcws::mp {
@@ -29,7 +30,7 @@ inline constexpr int kAny = -1;
 struct Message {
   int src = 0;
   int tag = 0;
-  std::vector<std::uint8_t> payload;
+  SmallBuf payload;
   /// Ctx-time at which the message is visible to the receiver.
   std::uint64_t arrival_ns = 0;
 };

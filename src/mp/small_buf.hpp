@@ -1,0 +1,107 @@
+// Small-buffer byte payload for mp::Message.
+//
+// Every message on the steal/release fast path is tiny: control messages
+// are 0-8 bytes and a WORK grant is a 4-byte sequence number plus one chunk
+// of nodes (chunk 10 x 24-byte UTS nodes = 244 bytes). Storing the payload
+// in a std::vector meant one heap allocation per send and another per
+// duplicate/copy — pure overhead on the hot path. SmallBuf keeps payloads
+// up to kInline bytes inside the Message object itself and spills to the
+// heap only for oversized transfers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace upcws::mp {
+
+class SmallBuf {
+ public:
+  /// Inline capacity: covers every control message and a default-sized
+  /// work chunk; larger payloads fall back to a heap block.
+  static constexpr std::size_t kInline = 256;
+
+  SmallBuf() = default;
+  ~SmallBuf() = default;
+
+  SmallBuf(const SmallBuf& o) { assign(o.data(), o.size_); }
+  SmallBuf& operator=(const SmallBuf& o) {
+    if (this != &o) assign(o.data(), o.size_);
+    return *this;
+  }
+
+  SmallBuf(SmallBuf&& o) noexcept
+      : heap_(std::move(o.heap_)), cap_(o.cap_), size_(o.size_) {
+    if (heap_ == nullptr && size_ > 0)
+      std::memcpy(inline_, o.inline_, size_);
+    o.cap_ = 0;
+    o.size_ = 0;
+  }
+  SmallBuf& operator=(SmallBuf&& o) noexcept {
+    if (this != &o) {
+      heap_ = std::move(o.heap_);
+      cap_ = o.cap_;
+      size_ = o.size_;
+      if (heap_ == nullptr && size_ > 0)
+        std::memcpy(inline_, o.inline_, size_);
+      o.cap_ = 0;
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  std::uint8_t* data() { return heap_ != nullptr ? heap_.get() : inline_; }
+  const std::uint8_t* data() const {
+    return heap_ != nullptr ? heap_.get() : inline_;
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return heap_ != nullptr ? cap_ : kInline; }
+
+  std::uint8_t& operator[](std::size_t i) { return data()[i]; }
+  std::uint8_t operator[](std::size_t i) const { return data()[i]; }
+
+  std::uint8_t at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SmallBuf::at");
+    return data()[i];
+  }
+
+  std::uint8_t* begin() { return data(); }
+  std::uint8_t* end() { return data() + size_; }
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + size_; }
+
+  void clear() { size_ = 0; }
+
+  /// Grow-capacity without changing contents (existing bytes preserved).
+  void reserve(std::size_t n) {
+    if (n <= capacity()) return;
+    auto h = std::make_unique<std::uint8_t[]>(n);
+    if (size_ > 0) std::memcpy(h.get(), data(), size_);
+    heap_ = std::move(h);
+    cap_ = n;
+  }
+
+  /// vector-compatible resize: newly exposed bytes are zero.
+  void resize(std::size_t n) {
+    reserve(n);
+    if (n > size_) std::memset(data() + size_, 0, n - size_);
+    size_ = n;
+  }
+
+  void assign(const void* src, std::size_t n) {
+    reserve(n);
+    if (n > 0) std::memcpy(data(), src, n);
+    size_ = n;
+  }
+
+ private:
+  std::unique_ptr<std::uint8_t[]> heap_;  // null while inline
+  std::size_t cap_ = 0;                   // heap capacity (valid iff heap_)
+  std::size_t size_ = 0;
+  std::uint8_t inline_[kInline];
+};
+
+}  // namespace upcws::mp

@@ -31,6 +31,11 @@ class SimCtx final : public Ctx {
 
   void charge(std::uint64_t ns) override {
     if (dead_) return;  // a crashed rank's clock is frozen at its death
+    // Zero-latency local ops (the free/shared-memory cost models return 0
+    // for local references) change neither the clock nor the accumulated
+    // quantum; skip the whole interaction bookkeeping. Only sound without
+    // a fault plan: maybe_crash() below may owe a crash at this instant.
+    if (ns == 0 && faults_ == nullptr) return;
     maybe_crash();
     sched_.advance(ns);
     // Causality bound: a fiber that charges a lot of virtual time without

@@ -26,23 +26,18 @@ inline void store_be64(std::uint8_t* p, std::uint64_t v) {
   store_be32(p + 4, static_cast<std::uint32_t>(v));
 }
 
-}  // namespace
-
-void Hasher::reset() {
-  state_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
-  total_bytes_ = 0;
-  buffered_ = 0;
-}
-
-void Hasher::process_block(const std::uint8_t* block) {
+/// The SHA-1 compression function: fold one 64-byte block into `state`.
+/// Shared by the incremental Hasher and the single-block fast path.
+void compress(std::array<std::uint32_t, 5>& state,
+              const std::uint8_t* block) {
   // Message schedule. RFC 3174 method 1, with the usual rolling expansion.
   std::uint32_t w[80];
   for (int t = 0; t < 16; ++t) w[t] = load_be32(block + 4 * t);
   for (int t = 16; t < 80; ++t)
     w[t] = rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
-                e = state_[4];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4];
 
   auto round = [&](std::uint32_t f, std::uint32_t k, std::uint32_t wt) {
     std::uint32_t tmp = rotl(a, 5) + f + e + k + wt;
@@ -59,11 +54,26 @@ void Hasher::process_block(const std::uint8_t* block) {
     round((b & c) | (b & d) | (c & d), 0x8F1BBCDCu, w[t]);
   for (int t = 60; t < 80; ++t) round(b ^ c ^ d, 0xCA62C1D6u, w[t]);
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+
+constexpr std::array<std::uint32_t, 5> kIv = {
+    0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+
+}  // namespace
+
+void Hasher::reset() {
+  state_ = kIv;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Hasher::process_block(const std::uint8_t* block) {
+  compress(state_, block);
 }
 
 void Hasher::update(const void* data, std::size_t len) {
@@ -117,6 +127,14 @@ Digest hash(const void* data, std::size_t len) {
   Hasher h;
   h.update(data, len);
   return h.finish();
+}
+
+Digest compress_block(const std::uint8_t* block64) {
+  std::array<std::uint32_t, 5> state = kIv;
+  compress(state, block64);
+  Digest out;
+  for (int i = 0; i < 5; ++i) store_be32(out.data() + 4 * i, state[i]);
+  return out;
 }
 
 std::string to_hex(const Digest& d) {

@@ -62,6 +62,15 @@ class Hasher {
 /// One-shot convenience: digest of a single contiguous buffer.
 Digest hash(const void* data, std::size_t len);
 
+/// Digest of a single pre-padded 64-byte block, compressed straight from
+/// the SHA-1 IV. The caller owns the padding (0x80, zeros, 64-bit
+/// big-endian bit length) — equivalent to hash() of the unpadded message
+/// whenever that message fits one block (<= 55 bytes). For fixed-shape
+/// short messages (UTS spawn: 24 bytes) a caller can keep a padded block
+/// template and patch only the bytes that change between calls, skipping
+/// all incremental-hasher bookkeeping.
+Digest compress_block(const std::uint8_t* block64);
+
 /// One-shot convenience for string-like input.
 inline Digest hash(std::string_view sv) { return hash(sv.data(), sv.size()); }
 

@@ -1,16 +1,41 @@
 #include "sim/fiber.hpp"
 
-#include <ucontext.h>
-
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
-// Built with -fsanitize=address (UPCWS_SANITIZE=address), ASan must be told
-// about every stack switch or it reports false stack-buffer overflows and
-// corrupts its fake-stack bookkeeping across swapcontext.
+// Two context-switch backends:
+//
+//  * UPCWS_FAST_FIBER (x86-64, no sanitizers): a ~20-instruction assembly
+//    switch that saves the callee-saved registers on the suspending stack
+//    and swaps %rsp. POSIX swapcontext makes an rt_sigprocmask syscall on
+//    every switch (it must preserve the signal mask); at the simulator's
+//    switch rates that syscall dominates the entire engine, and fibers
+//    never touch the signal mask, so the engine skips it. The fibers also
+//    never change the FP control/MXCSR modes, so those are not saved
+//    either.
+//
+//  * ucontext fallback everywhere else. Under ASan the switch must be
+//    announced via __sanitizer_*_switch_fiber or fake-stack bookkeeping
+//    corrupts; TSan has no idea a raw %rsp swap happened and would report
+//    phantom races. Sanitizer builds therefore always take this path.
+#if defined(__x86_64__) && !defined(UPCWS_ASAN_FIBERS) &&      \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define UPCWS_FAST_FIBER 1
+#endif
+#else
+#define UPCWS_FAST_FIBER 1
+#endif
+#endif
+
+#ifndef UPCWS_FAST_FIBER
+#include <ucontext.h>
 #ifdef UPCWS_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
+#endif
 #endif
 
 namespace upcws::sim {
@@ -20,7 +45,185 @@ namespace {
 // context). thread_local so independent schedulers may run on different
 // OS threads concurrently.
 thread_local Fiber* g_current_fiber = nullptr;
+
+// Stack pool: schedule checking and the benches construct thousands of
+// short-lived Schedulers with identically sized fiber stacks; recycling
+// the buffers through a small thread-local free list turns per-run stack
+// allocation (and first-touch faulting) into a pointer swap.
+class StackPool {
+ public:
+  std::vector<std::uint8_t> acquire(std::size_t bytes) {
+    for (std::size_t i = free_.size(); i-- > 0;) {
+      if (free_[i].size() == bytes) {
+        std::vector<std::uint8_t> buf = std::move(free_[i]);
+        free_[i] = std::move(free_.back());
+        free_.pop_back();
+        cached_bytes_ -= bytes;
+        return buf;
+      }
+    }
+    return std::vector<std::uint8_t>(bytes);
+  }
+
+  void release(std::vector<std::uint8_t>&& buf) {
+    if (cached_bytes_ + buf.size() > kMaxCachedBytes) return;  // drop it
+    cached_bytes_ += buf.size();
+    free_.push_back(std::move(buf));
+  }
+
+ private:
+  // Enough for several hundred default-size (256 KiB) stacks; a bound so
+  // an unusual mix of stack sizes cannot pin memory forever.
+  static constexpr std::size_t kMaxCachedBytes = 128u << 20;
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t cached_bytes_ = 0;
+};
+
+thread_local StackPool g_stack_pool;
 }  // namespace
+
+#ifdef UPCWS_FAST_FIBER
+
+// upcws_fiber_switch(void** save_sp, void* restore_sp):
+// push callee-saved registers, publish %rsp through save_sp, adopt
+// restore_sp, pop, return "into" the restored context.
+asm(R"(
+.text
+.align 16
+.globl upcws_fiber_switch
+.hidden upcws_fiber_switch
+.type upcws_fiber_switch, @function
+upcws_fiber_switch:
+  pushq %rbp
+  pushq %rbx
+  pushq %r12
+  pushq %r13
+  pushq %r14
+  pushq %r15
+  movq %rsp, (%rdi)
+  movq %rsi, %rsp
+  popq %r15
+  popq %r14
+  popq %r13
+  popq %r12
+  popq %rbx
+  popq %rbp
+  ret
+.size upcws_fiber_switch, .-upcws_fiber_switch
+)");
+
+extern "C" {
+void upcws_fiber_switch(void** save_sp, void* restore_sp);
+
+// First activation target: the prepared frame parks the Fiber* in the %r12
+// slot, and a tiny thunk moves it into %rdi for the C++ entry below.
+asm(R"(
+.text
+.align 16
+.globl upcws_fiber_entry_thunk
+.hidden upcws_fiber_entry_thunk
+.type upcws_fiber_entry_thunk, @function
+upcws_fiber_entry_thunk:
+  movq %r12, %rdi
+  xorl %ebp, %ebp
+  call upcws_fiber_entry
+.size upcws_fiber_entry_thunk, .-upcws_fiber_entry_thunk
+)");
+void upcws_fiber_entry_thunk();
+void upcws_fiber_entry(void* fiber);
+}
+
+struct Fiber::Impl {
+  void* self_sp = nullptr;     // fiber's saved %rsp while suspended
+  void* resumer_sp = nullptr;  // resumer's saved %rsp while fiber runs
+  std::vector<std::uint8_t> stack;
+
+  /// Build the initial frame so the first switch "returns" into the entry
+  /// thunk with `f` in %r12 and the ABI-required stack alignment (%rsp
+  /// ≡ 0 mod 16 at the thunk, hence ≡ 8 at upcws_fiber_entry's entry).
+  void prepare(Fiber* f) {
+    auto top_addr =
+        reinterpret_cast<std::uintptr_t>(stack.data() + stack.size());
+    top_addr &= ~std::uintptr_t{15};
+    auto* top = reinterpret_cast<void**>(top_addr);
+    top[-1] = reinterpret_cast<void*>(&upcws_fiber_entry_thunk);  // ret addr
+    top[-2] = nullptr;                     // rbp
+    top[-3] = nullptr;                     // rbx
+    top[-4] = reinterpret_cast<void*>(f);  // r12
+    top[-5] = nullptr;                     // r13
+    top[-6] = nullptr;                     // r14
+    top[-7] = nullptr;                     // r15
+    self_sp = &top[-7];
+  }
+};
+
+}  // namespace upcws::sim
+
+// Global scope: must be the same declaration the header befriended
+// (::upcws_fiber_entry), not a namespace-qualified twin.
+extern "C" void upcws_fiber_entry(void* fiber) {
+  auto* f = static_cast<upcws::sim::Fiber*>(fiber);
+  f->entry();
+  // entry() switches away for good and never comes back here.
+  std::abort();
+}
+
+namespace upcws::sim {
+
+/// Body of the first activation (shared shape with the ucontext
+/// trampoline): run the task, mark finished, switch to the resumer.
+void Fiber::entry() {
+  try {
+    fn_();
+  } catch (const Cancelled&) {
+    // cancel() unwound the fiber stack; destructors have run.
+  }
+  finished_ = true;
+  g_current_fiber = nullptr;
+  void* dead_sp = nullptr;  // this context is never re-entered
+  upcws_fiber_switch(&dead_sp, impl_->resumer_sp);
+}
+
+Fiber::Fiber(Fn fn, std::size_t stack_bytes)
+    : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
+  impl_->stack = g_stack_pool.acquire(stack_bytes);
+}
+
+Fiber::~Fiber() {
+  // Destroying a suspended (started, unfinished) fiber would leak whatever
+  // is on its stack; the scheduler cancel()s unfinished fibers before
+  // destroying them (abnormal teardown after TimeLimitExceeded or
+  // HangDetected), so destructors on fiber stacks always run.
+  g_stack_pool.release(std::move(impl_->stack));
+}
+
+void Fiber::resume() {
+  if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  if (!started_) {
+    started_ = true;
+    impl_->prepare(this);
+  }
+  upcws_fiber_switch(&impl_->resumer_sp, impl_->self_sp);
+  g_current_fiber = prev;
+}
+
+void Fiber::yield_current() {
+  Fiber* f = g_current_fiber;
+  if (f == nullptr)
+    throw std::logic_error("Fiber::yield_current outside fiber context");
+  if (f->unwinding_) return;  // mid-cancel: destructors must not suspend
+  g_current_fiber = nullptr;
+  upcws_fiber_switch(&f->impl_->self_sp, f->impl_->resumer_sp);
+  g_current_fiber = f;
+  if (f->cancel_) {
+    f->unwinding_ = true;
+    throw Cancelled{};
+  }
+}
+
+#else  // !UPCWS_FAST_FIBER — ucontext backend (sanitizers, other arches)
 
 struct Fiber::Impl {
   ucontext_t self{};     // context of the fiber
@@ -40,33 +243,37 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   __sanitizer_finish_switch_fiber(nullptr, &f->impl_->sched_bottom,
                                   &f->impl_->sched_size);
 #endif
+  f->entry();
+}
+
+/// Shared finishing shape with the fast backend: run the task, mark
+/// finished, switch to the resumer. Do NOT fall off the end: the linked
+/// uc_link is unset, so returning would terminate the process.
+void Fiber::entry() {
   try {
-    f->fn_();
+    fn_();
   } catch (const Cancelled&) {
     // cancel() unwound the fiber stack; destructors have run.
   }
-  f->finished_ = true;
-  // Return to the resumer. Do NOT fall off the end of the trampoline: the
-  // linked uc_link is unset, so returning would terminate the process.
+  finished_ = true;
   g_current_fiber = nullptr;
 #ifdef UPCWS_ASAN_FIBERS
   // nullptr fake-stack save: this fiber's fake stack is destroyed.
-  __sanitizer_start_switch_fiber(nullptr, f->impl_->sched_bottom,
-                                 f->impl_->sched_size);
+  __sanitizer_start_switch_fiber(nullptr, impl_->sched_bottom,
+                                 impl_->sched_size);
 #endif
-  swapcontext(&f->impl_->self, &f->impl_->resumer);
+  swapcontext(&impl_->self, &impl_->resumer);
 }
 
 Fiber::Fiber(Fn fn, std::size_t stack_bytes)
     : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
-  impl_->stack.resize(stack_bytes);
+  impl_->stack = g_stack_pool.acquire(stack_bytes);
 }
 
 Fiber::~Fiber() {
-  // Destroying a suspended (started, unfinished) fiber would leak whatever
-  // is on its stack; the scheduler cancel()s unfinished fibers before
-  // destroying them (abnormal teardown after TimeLimitExceeded or
-  // HangDetected), so destructors on fiber stacks always run.
+  // See the fast-backend note: unfinished fibers are cancel()ed by the
+  // scheduler before destruction, so their stacks are clean by now.
+  g_stack_pool.release(std::move(impl_->stack));
 }
 
 void Fiber::resume() {
@@ -96,15 +303,6 @@ void Fiber::resume() {
   g_current_fiber = prev;
 }
 
-void Fiber::cancel() {
-  if (!started_ || finished_) return;
-  cancel_ = true;
-  // One resume normally suffices: the fiber wakes at its suspended yield,
-  // throws Cancelled, and unwinds to the trampoline. Loop regardless in
-  // case a destructor on the unwinding stack suspends again.
-  while (!finished_) resume();
-}
-
 void Fiber::yield_current() {
   Fiber* f = g_current_fiber;
   if (f == nullptr)
@@ -125,6 +323,17 @@ void Fiber::yield_current() {
     f->unwinding_ = true;
     throw Cancelled{};
   }
+}
+
+#endif  // UPCWS_FAST_FIBER
+
+void Fiber::cancel() {
+  if (!started_ || finished_) return;
+  cancel_ = true;
+  // One resume normally suffices: the fiber wakes at its suspended yield,
+  // throws Cancelled, and unwinds to the trampoline. Loop regardless in
+  // case a destructor on the unwinding stack suspends again.
+  while (!finished_) resume();
 }
 
 }  // namespace upcws::sim

@@ -15,6 +15,10 @@
 #include <functional>
 #include <memory>
 
+// First-activation entry point of the fast (assembly) switch backend;
+// declared here so it can be befriended below.
+extern "C" void upcws_fiber_entry(void* fiber);
+
 namespace upcws::sim {
 
 /// A single cooperative fiber. Not thread-safe: a Fiber and its owning
@@ -60,6 +64,11 @@ class Fiber {
   struct Impl;
   struct Cancelled {};  // unwinding token thrown by cancel(); never escapes
   static void trampoline(unsigned hi, unsigned lo);
+  friend void ::upcws_fiber_entry(void* fiber);
+
+  /// Body of the first activation (both backends): run fn_, mark
+  /// finished, switch back to the resumer for good.
+  void entry();
 
   std::unique_ptr<Impl> impl_;
   Fn fn_;

@@ -46,7 +46,7 @@ int Scheduler::spawn(std::function<void()> body) {
   const int id = static_cast<int>(fibers_.size());
   fibers_.push_back(std::make_unique<Fiber>(std::move(body), cfg_.stack_bytes));
   clocks_.push_back(0);
-  rq_.push({0, id});
+  rq_.push(0, id);
   return id;
 }
 
@@ -56,7 +56,35 @@ Scheduler& Scheduler::current() {
   return *g_current_scheduler;
 }
 
-void Scheduler::yield() { Fiber::yield_current(); }
+bool Scheduler::fast_yield_ok() const {
+  // Only the default min-vt loop may shortcut: a policy must see every
+  // interaction point as a scheduling decision, and outside run() (e.g.
+  // cancel-unwind teardown) Fiber::yield_current owns the semantics.
+  if (!running_ || cfg_.policy != nullptr || current_ < 0) return false;
+  const std::uint64_t vt = clocks_[current_];
+  // The run() loop is the only place allowed to throw TimeLimitExceeded /
+  // HangDetected (they must come from scheduler context, not from inside a
+  // fiber); take the physical switch whenever either guard could fire.
+  if (vt > cfg_.vt_limit_ns) return false;
+  if (cfg_.watchdog_ns > 0 && vt > progress_ns_ &&
+      vt - progress_ns_ > cfg_.watchdog_ns)
+    return false;
+  if (rq_.empty()) return true;  // sole runnable task
+  const ReadyQueue::Entry e = rq_.top();
+  return vt != e.vt ? vt < e.vt : current_ < e.task;
+}
+
+void Scheduler::yield() {
+  // Fast path: the yielding task still holds the minimum (vt, id) key, so
+  // the run() loop would immediately resume it. Skip the two context
+  // switches but account the scheduling step exactly as the slow path
+  // would — switch counts are part of the engine's deterministic output.
+  if (fast_yield_ok()) {
+    ++switches_;
+    return;
+  }
+  Fiber::yield_current();
+}
 
 void Scheduler::run() {
   running_ = true;
@@ -71,8 +99,7 @@ void Scheduler::run() {
       return;
     }
     while (!rq_.empty()) {
-      const QEntry e = rq_.top();
-      rq_.pop();
+      const ReadyQueue::Entry e = rq_.pop();
       // The head of the queue holds the global minimum virtual time: if even
       // the least-advanced task is past the progress window, every task has
       // spun without real work for watchdog_ns — a hang, not slowness.
@@ -85,7 +112,7 @@ void Scheduler::run() {
       fibers_[e.task]->resume();
       if (clocks_[e.task] > cfg_.vt_limit_ns)
         throw TimeLimitExceeded(e.task, clocks_[e.task], cfg_.vt_limit_ns);
-      if (!fibers_[e.task]->finished()) rq_.push({clocks_[e.task], e.task});
+      if (!fibers_[e.task]->finished()) rq_.push(clocks_[e.task], e.task);
     }
   } catch (...) {
     g_current_scheduler = prev;
@@ -102,16 +129,13 @@ void Scheduler::run_policy() {
   // Exploration mode: the runnable set lives in a plain vector so the policy
   // can be offered every eligible task, not just the min-vt head. Drain the
   // spawn-time priority queue first (spawn() feeds rq_ in both modes).
-  std::vector<QEntry> runnable;
-  while (!rq_.empty()) {
-    runnable.push_back(rq_.top());
-    rq_.pop();
-  }
+  std::vector<ReadyQueue::Entry> runnable;
+  while (!rq_.empty()) runnable.push_back(rq_.pop());
   decisions_.clear();
   std::vector<Candidate> cand;
   while (!runnable.empty()) {
     std::uint64_t min_vt = UINT64_MAX;
-    for (const QEntry& e : runnable) min_vt = std::min(min_vt, e.vt);
+    for (const ReadyQueue::Entry& e : runnable) min_vt = std::min(min_vt, e.vt);
     // Same watchdog semantics as the default loop: the minimum virtual time
     // is the least-advanced task, so if even it is past the progress window
     // the whole system has spun without real work.
@@ -119,7 +143,7 @@ void Scheduler::run_policy() {
         min_vt - progress_ns_ > cfg_.watchdog_ns)
       throw_hang(min_vt);
     cand.clear();
-    for (const QEntry& e : runnable)
+    for (const ReadyQueue::Entry& e : runnable)
       if (cfg_.policy_window_ns == 0 || e.vt - min_vt <= cfg_.policy_window_ns)
         cand.push_back({e.vt, e.task});
     std::sort(cand.begin(), cand.end(), [](const Candidate& a,

@@ -18,12 +18,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "sim/fiber.hpp"
+#include "sim/ready_queue.hpp"
 #include "sim/schedule_policy.hpp"
 
 namespace upcws::sim {
@@ -134,15 +134,12 @@ class Scheduler {
   const std::vector<Decision>& decisions() const { return decisions_; }
 
  private:
-  struct QEntry {
-    std::uint64_t vt;
-    int task;
-    bool operator>(const QEntry& o) const {
-      return vt != o.vt ? vt > o.vt : task > o.task;
-    }
-  };
-
   [[noreturn]] void throw_hang(std::uint64_t stuck_at_ns) const;
+
+  /// True when the current task may continue past a yield without a
+  /// physical context switch: it still holds the scheduling minimum and
+  /// neither the vt limit nor the watchdog needs the run() loop to fire.
+  bool fast_yield_ok() const;
 
   /// Policy-driven variant of the run loop (Config::policy != nullptr).
   void run_policy();
@@ -154,7 +151,7 @@ class Scheduler {
   Config cfg_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::vector<std::uint64_t> clocks_;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> rq_;
+  ReadyQueue rq_;
   int current_ = -1;
   bool running_ = false;
   std::uint64_t switches_ = 0;

@@ -82,7 +82,15 @@ Node make_child(const Node& parent, int index) {
 
 int expand(const Node& n, const Params& p, std::vector<Node>& out) {
   const int nc = num_children(n, p);
-  for (int i = 0; i < nc; ++i) out.push_back(make_child(n, i));
+  if (nc <= 0) return nc;
+  rng::Spawner spawner(n.state);
+  out.reserve(out.size() + static_cast<std::size_t>(nc));
+  Node c;
+  c.height = n.height + 1;
+  for (int i = 0; i < nc; ++i) {
+    c.state = spawner.child(static_cast<std::uint32_t>(i));
+    out.push_back(c);
+  }
   return nc;
 }
 

@@ -28,7 +28,7 @@ enum Color : std::uint8_t { kWhite = 0, kBlack = 1 };
 /// color byte followed by a u32 round number. The legacy (unhardened)
 /// format — empty control payloads, raw WORK, 1-byte token — is preserved
 /// bit-for-bit when WsConfig::steal_timeout_ns == 0.
-std::uint32_t get_u32(const std::vector<std::uint8_t>& p, std::size_t off) {
+std::uint32_t get_u32(const mp::SmallBuf& p, std::size_t off) {
   std::uint32_t v = 0;
   std::memcpy(&v, p.data() + off, sizeof v);
   return v;
@@ -118,6 +118,10 @@ class MpiWorker final : public NodeSink {
   }
 
   void push(const std::byte* node) override { my_.push(node); }
+  void push_n(const std::byte* nodes, std::size_t count,
+              std::size_t /*node_bytes*/) override {
+    my_.push_n(nodes, count);
+  }
 
  private:
   void set_state(State s) {
@@ -652,8 +656,7 @@ class MpiWorker final : public NodeSink {
         TransferRec& rec = board_->rec(v, me_);
         if (board_->retire(ctx_, rec)) {
           const std::size_t take = rec.nnodes;
-          for (std::size_t i = 0; i < take; ++i)
-            my_.push(rec.payload.data() + i * nb_);
+          my_.push_n(rec.payload.data(), take);
           ctx_.charge(ctx_.net().bulk_ns(me_, v, take * nb_));
           ++st_.c.steals;
           if (m_steals_ != nullptr) ++*m_steals_;
@@ -719,9 +722,8 @@ class MpiWorker final : public NodeSink {
         return;
       }
     }
-    for (std::size_t i = 0; i < take; ++i)
-      my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) + off +
-               i * nb_);
+    my_.push_n(reinterpret_cast<const std::byte*>(m.payload.data()) + off,
+               take);
     if (hardened_)
       send_ack(m.src, get_u32(m.payload, 0));
     else
@@ -786,7 +788,7 @@ class MpiWorker final : public NodeSink {
     const std::size_t b = ds.salvage_begin();
     const std::size_t e = ds.salvage_end();
     const std::size_t taken = e > b ? e - b : 0;
-    for (std::size_t i = 0; i < taken; ++i) my_.push(ds.slot(b + i));
+    if (taken > 0) my_.push_n(ds.slot(b), taken);
     ds.clear_after_salvage();
     board_->finish_salvage(r);
     // Post-pay: the nodes are already safe on our stack, so a crash in

@@ -68,6 +68,10 @@ class PushWorker final : public NodeSink {
   }
 
   void push(const std::byte* node) override { my_.push(node); }
+  void push_n(const std::byte* nodes, std::size_t count,
+              std::size_t /*node_bytes*/) override {
+    my_.push_n(nodes, count);
+  }
 
  private:
   void set_state(State s) {
@@ -129,9 +133,7 @@ class PushWorker final : public NodeSink {
     mp::Message m;
     while (comm_.try_recv(ctx_, mp::kAny, kTagWork, m)) {
       const std::size_t take = m.payload.size() / nb_;
-      for (std::size_t i = 0; i < take; ++i)
-        my_.push(reinterpret_cast<const std::byte*>(m.payload.data()) +
-                 i * nb_);
+      my_.push_n(reinterpret_cast<const std::byte*>(m.payload.data()), take);
       comm_.send(ctx_, m.src, kTagAck);
       ++st_.c.steals;
       if (m_received_ != nullptr) ++*m_received_;

@@ -98,6 +98,10 @@ class UpcWorker final : public NodeSink {
 
   // NodeSink: children of the node being visited land on the local region.
   void push(const std::byte* node) override { my_.push(node); }
+  void push_n(const std::byte* nodes, std::size_t count,
+              std::size_t /*node_bytes*/) override {
+    my_.push_n(nodes, count);
+  }
 
  private:
   void set_state(State s) {
@@ -527,7 +531,7 @@ class UpcWorker final : public NodeSink {
     }
     last_take_ = take;
     st_.steal_sizes.add(take);
-    for (std::size_t i = 0; i < take; ++i) my_.push(xfer_.data() + i * nb_);
+    my_.push_n(xfer_.data(), take);
     ++st_.c.steals;
     if (m_steals_ != nullptr) ++*m_steals_;
     st_.c.chunks_stolen += take / k_;
@@ -602,7 +606,7 @@ class UpcWorker final : public NodeSink {
     const std::size_t b = ds.salvage_begin();
     const std::size_t e = ds.salvage_end();
     const std::size_t taken = e > b ? e - b : 0;
-    for (std::size_t i = 0; i < taken; ++i) my_.push(ds.slot(b + i));
+    if (taken > 0) my_.push_n(ds.slot(b), taken);
     ds.clear_after_salvage();
     const std::int64_t idle = probe_term() ? kNoWorkAtAll : 0;
     ds.work_avail().store(idle, std::memory_order_release);

@@ -22,6 +22,16 @@ class NodeSink {
   virtual ~NodeSink() = default;
   /// Append one child node (exactly node_bytes() bytes).
   virtual void push(const std::byte* node) = 0;
+
+  /// Append `count` consecutive nodes from a packed buffer of
+  /// `count * node_bytes` bytes, in order. The default forwards to push()
+  /// one node at a time, so sinks that inspect or filter individual nodes
+  /// (static partitioning, counting shims) keep their semantics; hot sinks
+  /// override this with a single bulk copy.
+  virtual void push_n(const std::byte* nodes, std::size_t count,
+                      std::size_t node_bytes) {
+    for (std::size_t i = 0; i < count; ++i) push(nodes + i * node_bytes);
+  }
 };
 
 /// A depth-first enumeration problem over trivially copyable nodes.

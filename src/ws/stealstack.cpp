@@ -29,6 +29,14 @@ void StealStack::push(const std::byte* node) {
   peak_ = std::max<std::uint64_t>(peak_, depth());
 }
 
+void StealStack::push_n(const std::byte* nodes, std::size_t count) {
+  if (count == 0) return;
+  ensure_capacity(top_ + count);
+  std::memcpy(buf_.data() + top_ * node_bytes_, nodes, count * node_bytes_);
+  top_ += count;
+  peak_ = std::max<std::uint64_t>(peak_, depth());
+}
+
 bool StealStack::pop(std::byte* out) {
   if (top_ == local_) return false;
   --top_;

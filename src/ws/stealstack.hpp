@@ -49,6 +49,11 @@ class StealStack {
   /// Push one node onto the local region (grows storage on demand).
   void push(const std::byte* node);
 
+  /// Push `count` packed nodes (count * node_bytes() bytes) onto the local
+  /// region in order, with one capacity check and one copy — the bulk
+  /// fast path for expand batches, chunk absorbs, and stack salvage.
+  void push_n(const std::byte* nodes, std::size_t count);
+
   /// Pop one node from the local region. False if the local region is empty.
   bool pop(std::byte* out);
 

@@ -1,0 +1,95 @@
+#!/usr/bin/env sh
+# Golden determinism harness.
+#
+# Runs uts_cli on a fixed case matrix and byte-compares its stdout (and, for
+# the sim engine, the raw event-trace CSV) against files captured from the
+# pre-optimization engine. Any engine "optimization" that changes scheduling
+# order, virtual timestamps, steal counts, or tree contents shows up here as
+# a diff.
+#
+#   run_golden.sh check   <uts_cli> <golden-dir> <case> <work-dir>
+#   run_golden.sh capture <uts_cli> <golden-dir> <case> <work-dir>
+#
+# `check` is what ctest runs; `capture` refreshes the committed golden files
+# (only do this deliberately, after convincing yourself the behaviour change
+# is intended — see docs/simulator.md).
+#
+# The threads engine reports wall-clock elapsed/rate figures, which are not
+# reproducible; those lines (result:/states:) are filtered out before the
+# compare, so threads cases still pin the header, fault banner, and the
+# sequential-verification verdict.
+set -eu
+
+if [ $# -ne 5 ]; then
+  echo "usage: $0 <check|capture> <uts_cli> <golden-dir> <case> <work-dir>" >&2
+  exit 2
+fi
+mode=$1
+cli=$2
+golden=$3
+name=$4
+work=$5
+
+tree_a="-t 1 -b 64 -q 0.45 -m 2 -r 1 -n 8 -c 4 -A upc-distmem"
+tree_b="-t 0 -b 4 -g 8 -r 2 -n 8 -c 4 -A mpi-ws"
+fault="--stall 2000:20000"
+crash_a="--crash 1@30000 --crash-detect 2000"
+crash_b="--crash 2@100000 --crash-detect 2000"
+
+case "$name" in
+  binA_sim_plain)      engine=sim;     flags="$tree_a" ;;
+  binA_sim_fault)      engine=sim;     flags="$tree_a $fault" ;;
+  binA_sim_crash)      engine=sim;     flags="$tree_a $crash_a" ;;
+  binA_threads_plain)  engine=threads; flags="$tree_a" ;;
+  binA_threads_fault)  engine=threads; flags="$tree_a $fault" ;;
+  binA_threads_crash)  engine=threads; flags="$tree_a $crash_a" ;;
+  geoB_sim_plain)      engine=sim;     flags="$tree_b" ;;
+  geoB_sim_fault)      engine=sim;     flags="$tree_b $fault" ;;
+  geoB_sim_crash)      engine=sim;     flags="$tree_b $crash_b" ;;
+  geoB_threads_plain)  engine=threads; flags="$tree_b" ;;
+  geoB_threads_fault)  engine=threads; flags="$tree_b $fault" ;;
+  geoB_threads_crash)  engine=threads; flags="$tree_b $crash_b" ;;
+  *) echo "run_golden.sh: unknown case '$name'" >&2; exit 2 ;;
+esac
+
+mkdir -p "$work"
+cd "$work"
+
+# Trace output is written under a fixed relative name so the path echoed in
+# stdout is identical between capture and check runs.
+trace_args=""
+if [ "$engine" = sim ]; then
+  trace_args="--trace-csv trace.csv"
+fi
+
+# shellcheck disable=SC2086  # flags is a word list by construction
+"$cli" $flags -e "$engine" $trace_args >stdout.raw 2>stderr.txt
+
+if [ "$engine" = threads ]; then
+  grep -v -e '^result: ' -e '^states: ' stdout.raw >stdout.txt
+else
+  cp stdout.raw stdout.txt
+fi
+
+if [ "$mode" = capture ]; then
+  cp stdout.txt "$golden/$name.stdout"
+  if [ "$engine" = sim ]; then
+    cp trace.csv "$golden/$name.trace.csv"
+  fi
+  echo "captured $name"
+  exit 0
+fi
+
+status=0
+if ! diff -u "$golden/$name.stdout" stdout.txt; then
+  echo "GOLDEN MISMATCH: stdout for case $name" >&2
+  status=1
+fi
+if [ "$engine" = sim ] && ! diff -u "$golden/$name.trace.csv" trace.csv; then
+  echo "GOLDEN MISMATCH: trace for case $name" >&2
+  status=1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "golden OK: $name"
+fi
+exit "$status"

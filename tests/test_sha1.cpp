@@ -2,8 +2,11 @@
 // hashing and boundary-condition behaviour.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "sha1/sha1.hpp"
 
@@ -11,6 +14,7 @@ namespace {
 
 using upcws::sha1::Digest;
 using upcws::sha1::Hasher;
+using upcws::sha1::compress_block;
 using upcws::sha1::hash;
 using upcws::sha1::to_hex;
 
@@ -41,6 +45,54 @@ TEST(Sha1, Rfc3174Repeated) {
   Hasher h;
   for (int i = 0; i < 80; ++i) h.update("01234567");
   EXPECT_EQ(to_hex(h.finish()), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
+TEST(Sha1, TwoBlock896Bit) {
+  // FIPS 180-2 appendix vector: 896-bit (112-byte) message.
+  EXPECT_EQ(to_hex(hash("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghi"
+                        "jklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrs"
+                        "tnopqrstu")),
+            "a49b2446a02c645bf419f995b67091253a04a259");
+}
+
+TEST(Sha1, CompressBlockMatchesHasher) {
+  // compress_block is the engine's fast path for messages that fit one
+  // padded block (len <= 55). It must agree with the incremental Hasher for
+  // every such length, with the caller doing the FIPS padding by hand.
+  std::mt19937_64 rng(2026);
+  for (std::size_t len = 0; len <= 55; ++len) {
+    std::uint8_t msg[56];
+    for (std::size_t i = 0; i < len; ++i)
+      msg[i] = static_cast<std::uint8_t>(rng());
+    std::uint8_t block[64] = {};
+    std::memcpy(block, msg, len);
+    block[len] = 0x80;
+    const std::uint64_t bits = static_cast<std::uint64_t>(len) * 8;
+    for (int i = 0; i < 8; ++i)
+      block[56 + i] = static_cast<std::uint8_t>(bits >> (56 - 8 * i));
+    EXPECT_EQ(compress_block(block), hash(msg, len)) << "len " << len;
+  }
+}
+
+TEST(Sha1, RandomSplitsMatchOneShot) {
+  // Incremental hashing over random messages with random split points must
+  // equal the one-shot digest regardless of how updates fall against the
+  // 64-byte block boundary.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t len = 1 + rng() % 512;
+    std::string msg(len, '\0');
+    for (char& c : msg) c = static_cast<char>(rng());
+    const Digest ref = hash(msg);
+    Hasher h;
+    std::size_t off = 0;
+    while (off < len) {
+      const std::size_t take = 1 + rng() % (len - off);
+      h.update(msg.data() + off, take);
+      off += take;
+    }
+    EXPECT_EQ(h.finish(), ref) << "trial " << trial << " len " << len;
+  }
 }
 
 TEST(Sha1, IncrementalMatchesOneShot) {

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <vector>
 
+#include "sha1/sha1.hpp"
 #include "uts/params.hpp"
 #include "uts/rng.hpp"
 #include "uts/sequential.hpp"
@@ -26,6 +28,30 @@ TEST(UtsRng, SpawnDependsOnParentAndIndex) {
   EXPECT_NE(rng::spawn(root, 0), rng::spawn(root, 1));
   const auto other = rng::init(43);
   EXPECT_NE(rng::spawn(root, 0), rng::spawn(other, 0));
+}
+
+TEST(UtsRng, SpawnerMatchesSpawnAndReference) {
+  // The batched Spawner (one padded block reused across children) must
+  // produce exactly what spawn() does, which in turn must equal a from-
+  // scratch incremental SHA-1 over parent-state || be32(index).
+  const auto parent = rng::init(99);
+  rng::Spawner spawner(parent);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto fast = spawner.child(i);
+    EXPECT_EQ(fast, rng::spawn(parent, i)) << "index " << i;
+    upcws::sha1::Hasher h;
+    h.update(parent.data(), parent.size());
+    const std::uint8_t be[4] = {static_cast<std::uint8_t>(i >> 24),
+                                static_cast<std::uint8_t>(i >> 16),
+                                static_cast<std::uint8_t>(i >> 8),
+                                static_cast<std::uint8_t>(i)};
+    h.update(be, sizeof be);
+    EXPECT_EQ(fast, h.finish()) << "index " << i;
+  }
+  // Out-of-order and repeated use of one Spawner must not corrupt state.
+  EXPECT_EQ(spawner.child(3), rng::spawn(parent, 3));
+  EXPECT_EQ(spawner.child(0), rng::spawn(parent, 0));
+  EXPECT_EQ(spawner.child(3), rng::spawn(parent, 3));
 }
 
 TEST(UtsRng, ToProbInUnitInterval) {

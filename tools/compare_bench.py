@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate and diff upcws-bench-v1 JSON files.
+
+Usage:
+  compare_bench.py --check-only CURRENT.json
+      Validate the schema only (CI gate for a freshly generated file).
+
+  compare_bench.py CURRENT.json BASELINE.json [--threshold 0.15]
+      Per-result, per-metric comparison against a checked-in baseline.
+      Prints a delta table and WARNS (exit 0) on any regression beyond the
+      threshold; pass --fail-on-regression to turn warnings into exit 1.
+
+Regression direction is inferred from the metric name: *_per_sec and plain
+counters are better-higher; ns_per_* and *_s (durations) are better-lower.
+Metrics that are neither (e.g. `nodes`, `switches`) are checked for drift in
+either direction -- a change there means the workload itself changed, which
+invalidates the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "upcws-bench-v1"
+
+# Metrics that describe the workload, not its speed: any change is suspect.
+INVARIANT = {"nodes", "switches", "virtual_elapsed_s"}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"compare_bench: cannot read {path}: {e}")
+
+
+def validate(doc, path):
+    errors = []
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("missing/empty 'bench' name")
+    if doc.get("mode") not in ("quick", "default", "full"):
+        errors.append(f"bad mode {doc.get('mode')!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append("'results' must be a non-empty list")
+        results = []
+    seen = set()
+    for i, r in enumerate(results):
+        name = r.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"results[{i}]: missing name")
+            continue
+        if name in seen:
+            errors.append(f"duplicate result name {name!r}")
+        seen.add(name)
+        metrics = r.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append(f"{name}: 'metrics' must be a non-empty object")
+            continue
+        for k, v in metrics.items():
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                errors.append(f"{name}: metric {k!r} is not a number")
+        notes = r.get("notes", {})
+        if not isinstance(notes, dict):
+            errors.append(f"{name}: 'notes' must be an object")
+    for e in errors:
+        print(f"compare_bench: {path}: {e}", file=sys.stderr)
+    return not errors
+
+
+def direction(metric):
+    """+1 higher-is-better, -1 lower-is-better, 0 invariant."""
+    if metric in INVARIANT:
+        return 0
+    if metric.endswith("_per_sec") or metric.endswith("_per_s"):
+        return +1
+    if metric.startswith("ns_per_") or metric.endswith("_s"):
+        return -1
+    return +1
+
+
+def compare(cur, base, threshold, fail_on_regression):
+    cur_by = {r["name"]: r for r in cur["results"]}
+    base_by = {r["name"]: r for r in base["results"]}
+    regressions = []
+    drift = []
+
+    print(f"{'result':<28} {'metric':<20} {'baseline':>12} {'current':>12} "
+          f"{'delta':>8}")
+    for name, br in base_by.items():
+        cr = cur_by.get(name)
+        if cr is None:
+            print(f"{name:<28} (missing from current run)")
+            continue
+        for metric, bv in br["metrics"].items():
+            cv = cr["metrics"].get(metric)
+            if cv is None or bv == 0:
+                continue
+            ratio = cv / bv
+            delta = ratio - 1.0
+            d = direction(metric)
+            flag = ""
+            if d == 0 and abs(delta) > 1e-9:
+                flag = "  WORKLOAD CHANGED"
+                drift.append((name, metric, bv, cv))
+            elif d * delta < -threshold:
+                flag = "  REGRESSION"
+                regressions.append((name, metric, bv, cv, delta))
+            elif d * delta > threshold:
+                flag = "  improved"
+            print(f"{name:<28} {metric:<20} {bv:>12.4g} {cv:>12.4g} "
+                  f"{delta:>+7.1%}{flag}")
+    for name in cur_by:
+        if name not in base_by:
+            print(f"{name:<28} (new result, no baseline)")
+
+    if drift:
+        print(f"\ncompare_bench: WARNING: {len(drift)} workload-invariant "
+              "metric(s) changed -- the bench is not measuring the same work "
+              "as the baseline:", file=sys.stderr)
+        for name, metric, bv, cv in drift:
+            print(f"  {name} {metric}: {bv:g} -> {cv:g}", file=sys.stderr)
+    if regressions:
+        print(f"\ncompare_bench: WARNING: {len(regressions)} metric(s) "
+              f"regressed more than {threshold:.0%} vs baseline:",
+              file=sys.stderr)
+        for name, metric, bv, cv, delta in regressions:
+            print(f"  {name} {metric}: {bv:g} -> {cv:g} ({delta:+.1%})",
+                  file=sys.stderr)
+        if fail_on_regression:
+            return 1
+        print("(warning only; re-run on a quiet machine or refresh the "
+              "baseline if the change is intended)", file=sys.stderr)
+    else:
+        print("\ncompare_bench: no regressions beyond "
+              f"{threshold:.0%} threshold")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current", help="freshly generated BENCH_*.json")
+    ap.add_argument("baseline", nargs="?",
+                    help="checked-in baseline to diff against")
+    ap.add_argument("--check-only", action="store_true",
+                    help="validate the schema of CURRENT and exit")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="relative regression threshold (default 0.15)")
+    ap.add_argument("--fail-on-regression", action="store_true",
+                    help="exit 1 instead of warning on regressions")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    if not validate(cur, args.current):
+        return 1
+    if args.check_only:
+        n = len(cur["results"])
+        print(f"compare_bench: {args.current}: valid {SCHEMA} "
+              f"({n} results)")
+        return 0
+    if not args.baseline:
+        sys.exit("compare_bench: need BASELINE (or --check-only)")
+    base = load(args.baseline)
+    if not validate(base, args.baseline):
+        return 1
+    return compare(cur, base, args.threshold, args.fail_on_regression)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
