@@ -295,7 +295,15 @@ int main(int argc, char** argv) {
                   "decisions\n",
                   replay_path.c_str(), ws::algo_label(rf.spec.algo),
                   rf.spec.nranks, rf.oracle.c_str(), rf.trail.size());
-      const check::RunOutcome o = check::run_replay(rf);
+      trace::Trace tr(rf.spec.nranks);
+      const check::RunOutcome o =
+          check::run_replay(rf, trace_path.empty() ? nullptr : &tr);
+      if (!trace_path.empty()) {
+        std::ofstream f(trace_path);
+        tr.write_chrome_json(f);
+        std::printf("trace of the replayed schedule: %s\n",
+                    trace_path.c_str());
+      }
       if (o.violated)
         std::printf("outcome: VIOLATION %s\n  %s\n", o.oracle.c_str(),
                     o.message.c_str());

@@ -65,6 +65,18 @@
 //   --crash-mid-steal  make every --crash land inside a steal transfer
 //   --crash-detect NS  failure-detection latency: survivors see a death
 //                 only NS ns (of their own clock) after it happened
+//
+// Elastic membership / partitions (docs/fault_injection.md):
+//   --drain R@NS[,R@NS...]  graceful leave: rank R drains at ~NS of its own
+//                 virtual time — stops stealing at a safe point, hands its
+//                 remaining chunks off through the recovery machinery, and
+//                 exits the termination membership cleanly
+//   --join R@NS[,R@NS...]   late join: rank R starts outside the membership
+//                 and enters at ~NS (rank 0 seeds the root and cannot join)
+//   --partition MASK:START:HEAL[,...]  correlated network partition: ranks
+//                 with their bit set in MASK are cut off from the rest for
+//                 virtual ns [START, HEAL); cross-cut traffic is delayed
+//                 until the heal, never lost
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -97,29 +109,61 @@ namespace {
 }
 
 ws::Algo parse_algo(const std::string& s) {
-  for (ws::Algo a : ws::kAllAlgos)
+  for (ws::Algo a : ws::kAllAlgosExtended)
     if (s == ws::algo_label(a)) return a;
   usage("unknown algorithm label");
 }
 
-/// "RANK@NS[,RANK@NS...]" -> fail-stop specs appended to the plan.
-void parse_crashes(const std::string& spec, pgas::FaultPlan& plan) {
+/// "RANK@NS[,RANK@NS...]" -> (rank, at_ns) pairs handed to `add`.
+template <typename F>
+void parse_rank_at_list(const std::string& spec, const char* flag, F add) {
+  const std::string want =
+      std::string("bad ") + flag + " spec (want RANK@NS[,RANK@NS...])";
   const char* p = spec.c_str();
   while (*p != '\0') {
     int rank = -1;
     unsigned long long at = 0;
     int consumed = 0;
-    if (std::sscanf(p, "%d@%llu%n", &rank, &at, &consumed) < 2 || rank < 0)
-      usage("bad --crash spec (want RANK@NS[,RANK@NS...])");
-    pgas::CrashSpec c;
-    c.rank = rank;
-    c.at_ns = at;
-    plan.crashes.push_back(c);
+    if (std::sscanf(p, "%d@%llu%n", &rank, &at, &consumed) < 2)
+      usage(want.c_str());
+    add(rank, static_cast<std::uint64_t>(at));
     p += consumed;
     if (*p == ',')
       ++p;
     else if (*p != '\0')
-      usage("bad --crash spec (want RANK@NS[,RANK@NS...])");
+      usage(want.c_str());
+  }
+}
+
+/// "RANK@NS[,RANK@NS...]" -> fail-stop specs appended to the plan.
+void parse_crashes(const std::string& spec, pgas::FaultPlan& plan) {
+  parse_rank_at_list(spec, "--crash", [&](int rank, std::uint64_t at) {
+    pgas::CrashSpec c;
+    c.rank = rank;
+    c.at_ns = at;
+    plan.crashes.push_back(c);
+  });
+}
+
+/// "MASK:START:HEAL[,...]" -> partition specs appended to the plan.
+void parse_partitions(const std::string& spec, pgas::FaultPlan& plan) {
+  const char* p = spec.c_str();
+  while (*p != '\0') {
+    unsigned long long mask = 0, start = 0, heal = 0;
+    int consumed = 0;
+    if (std::sscanf(p, "%llu:%llu:%llu%n", &mask, &start, &heal, &consumed) <
+        3)
+      usage("bad --partition spec (want MASK:START:HEAL[,...])");
+    pgas::PartitionSpec ps;
+    ps.group_mask = mask;
+    ps.start_ns = start;
+    ps.heal_ns = heal;
+    plan.partitions.push_back(ps);
+    p += consumed;
+    if (*p == ',')
+      ++p;
+    else if (*p != '\0')
+      usage("bad --partition spec (want MASK:START:HEAL[,...])");
   }
 }
 
@@ -240,6 +284,16 @@ int main(int argc, char** argv) {
     else if (a == "--crash-detect")
       faults.crash_detect_ns =
           static_cast<std::uint64_t>(std::atoll(next()));
+    else if (a == "--drain")
+      parse_rank_at_list(next(), "--drain", [&](int rank, std::uint64_t at) {
+        faults.drains.push_back(pgas::DrainSpec{rank, at});
+      });
+    else if (a == "--join")
+      parse_rank_at_list(next(), "--join", [&](int rank, std::uint64_t at) {
+        faults.joins.push_back(pgas::JoinSpec{rank, at});
+      });
+    else if (a == "--partition")
+      parse_partitions(next(), faults);
     else
       usage(("unknown flag " + a).c_str());
   }
@@ -269,6 +323,38 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Validate the fault plan against the run shape before any work happens:
+  // a nonsensical plan dies with one clear line instead of hanging, crashing
+  // deep in the runtime, or silently injecting nothing.
+  auto fault_error = [](const std::string& msg) {
+    std::fprintf(stderr, "uts_cli: %s\n", msg.c_str());
+    std::exit(2);
+  };
+  if (nranks < 1) fault_error("-n wants at least 1 rank");
+  if (watchdog_ms < 0.0) fault_error("--watchdog-ms must be >= 0");
+  if (faults.drop_prob < 0.0 || faults.drop_prob > 1.0)
+    fault_error("--drop-prob must be a probability in [0,1]");
+  if (faults.dup_prob < 0.0 || faults.dup_prob > 1.0)
+    fault_error("--dup-prob must be a probability in [0,1]");
+  for (const pgas::CrashSpec& c : faults.crashes)
+    if (c.rank < 0 || c.rank >= nranks)
+      fault_error("--crash rank " + std::to_string(c.rank) +
+                  " out of range [0," + std::to_string(nranks) + ")");
+  for (const pgas::DrainSpec& d : faults.drains)
+    if (d.rank < 0 || d.rank >= nranks)
+      fault_error("--drain rank " + std::to_string(d.rank) +
+                  " out of range [0," + std::to_string(nranks) + ")");
+  for (const pgas::JoinSpec& j : faults.joins) {
+    if (j.rank < 0 || j.rank >= nranks)
+      fault_error("--join rank " + std::to_string(j.rank) +
+                  " out of range [0," + std::to_string(nranks) + ")");
+    if (j.rank == 0)
+      fault_error("--join rank 0 is invalid (rank 0 seeds the root)");
+  }
+  for (const pgas::PartitionSpec& ps : faults.partitions)
+    if (ps.heal_ns <= ps.start_ns)
+      fault_error("--partition heal time must be after its start time");
 
   pgas::RunConfig rcfg;
   rcfg.nranks = nranks;

@@ -123,11 +123,20 @@ RunOutcome run_schedule(const CheckSpec& spec, sim::SchedulePolicy* policy,
   rc.seed = spec.run_seed;
   rc.vt_limit_ns = spec.vt_limit_ns;
   rc.watchdog_ns = spec.watchdog_ns;
+  rc.faults.stall_ns = spec.stall_ns;
+  rc.faults.stall_period_ns = spec.stall_period_ns;
+  rc.faults.stall_rank = spec.stall_rank;
+  rc.faults.drop_prob = spec.drop_prob;
+  rc.faults.dup_prob = spec.dup_prob;
   rc.faults.crashes = spec.crashes;
   rc.faults.crash_detect_ns = spec.crash_detect_ns;
+  rc.faults.drains = spec.drains;
+  rc.faults.joins = spec.joins;
+  rc.faults.partitions = spec.partitions;
   std::optional<pgas::Liveness> live;
-  if (!spec.crashes.empty()) {
+  if (rc.faults.crashes_enabled() || rc.faults.membership_enabled()) {
     live.emplace(spec.nranks, spec.crash_detect_ns);
+    if (rc.faults.joins_enabled()) live->apply_join_plan(rc.faults);
     rc.liveness = &*live;
   }
 
@@ -160,7 +169,12 @@ RunOutcome run_schedule(const CheckSpec& spec, sim::SchedulePolicy* policy,
       ep.trace = tr;
       ep.expected_nodes = expected_nodes(spec);
       ep.chunk = spec.chunk;
-      ep.crash_mode = !spec.crashes.empty();
+      // Drains exercise the same salvage/replay accounting as crashes, so
+      // they relax the strict stolen==granted bookkeeping too.
+      ep.crash_mode = !spec.crashes.empty() || !spec.drains.empty();
+      ep.planned_drains = static_cast<int>(spec.drains.size());
+      ep.planned_joins = static_cast<int>(spec.joins.size());
+      ep.planned_partitions = static_cast<int>(spec.partitions.size());
       ep.request_response =
           cfg.protocol == ws::StackProtocol::kRequestResponse &&
           cfg.termination != ws::Termination::kToken;

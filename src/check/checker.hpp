@@ -36,6 +36,18 @@ struct CheckSpec {
   std::uint64_t vt_limit_ns = 0;
   std::vector<pgas::CrashSpec> crashes;
   std::uint64_t crash_detect_ns = 5'000;
+  /// Transient faults, threaded verbatim into the run's FaultPlan (all off
+  /// by default; replay files record them only when non-default).
+  std::uint64_t stall_ns = 0;
+  std::uint64_t stall_period_ns = 0;
+  int stall_rank = -1;
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  /// Elastic membership: graceful leaves, mid-run joins, and correlated
+  /// network partitions (see pgas/faults.hpp).
+  std::vector<pgas::DrainSpec> drains;
+  std::vector<pgas::JoinSpec> joins;
+  std::vector<pgas::PartitionSpec> partitions;
   /// Seeded-bug switch: weakened claim-CAS arbitration (see recovery.hpp).
   bool bug_weak_claim = false;
 };

@@ -48,7 +48,6 @@ void LockEpochOracle::on_step(const StepProbe& p) {
       for (auto& s : p.shared->stacks) locks_.push_back(&s.lock());
       locks_.push_back(&p.shared->cb_lock);
     }
-    if (p.board != nullptr) locks_.push_back(&p.board->dedup_lock);
     if (locks_.empty()) return;
     last_.reserve(locks_.size());
     for (pgas::Lock* l : locks_)
@@ -156,18 +155,68 @@ void StealConservationOracle::on_end(const EndProbe& p) {
       recovered += static_cast<std::uint64_t>(e.arg1);
     }
   }
-  const std::uint64_t drops = p.result->agg.total_dedup_drops;
   if (!p.crash_mode && p.request_response && stolen != granted) {
     std::ostringstream os;
     os << "crash-free run granted " << granted << " nodes but thieves "
        << "absorbed " << stolen;
     fail(os.str());
   }
-  if (p.crash_mode && granted > stolen + recovered + drops) {
+  if (p.crash_mode && granted > stolen + recovered) {
     std::ostringstream os;
     os << "granted nodes (" << granted << ") exceed absorbed (" << stolen
-       << ") + recovered (" << recovered << ") + dedup-dropped (" << drops
+       << ") + recovered (" << recovered
        << ") — a committed grant vanished";
+    fail(os.str());
+  }
+}
+
+void MembershipSafetyOracle::on_step(const StepProbe& p) {
+  if (p.board == nullptr) return;
+  for (int r = 0; r < p.nranks; ++r) {
+    const int s = p.board->salvage_state(r);
+    if (s != 0 && !rank_crashed(p.liveness, r)) {
+      std::ostringstream os;
+      os << "salvage word of rank " << r << " is " << s
+         << " but the rank never left the membership — salvaging a live "
+            "rank's stack double-executes its work";
+      fail(os.str());
+    }
+  }
+  if (declared_ || p.shared == nullptr) return;
+  const bool term =
+      p.shared->term_root.load(std::memory_order_relaxed) != -1 ||
+      p.shared->cb_done.load(std::memory_order_relaxed) != 0;
+  if (!term) return;
+  declared_ = true;
+  for (int r = 0; r < p.nranks; ++r) {
+    if (p.board->salvage_state(r) != 1) continue;
+    std::ostringstream os;
+    os << "termination declared while the salvage of rank " << r
+       << " is claimed but unfinished — its recovered nodes are in no "
+          "stack, so the barrier completed over invisible work";
+    fail(os.str());
+  }
+}
+
+void MembershipSafetyOracle::on_end(const EndProbe& p) {
+  const auto& agg = p.result->agg;
+  if (agg.total_faults_drains >
+      static_cast<std::uint64_t>(p.planned_drains)) {
+    std::ostringstream os;
+    os << agg.total_faults_drains << " drains fired but only "
+       << p.planned_drains << " were planned (a DrainSpec fired twice)";
+    fail(os.str());
+  }
+  if (agg.total_faults_joins > static_cast<std::uint64_t>(p.planned_joins)) {
+    std::ostringstream os;
+    os << agg.total_faults_joins << " joins fired but only "
+       << p.planned_joins << " were planned (a JoinSpec fired twice)";
+    fail(os.str());
+  }
+  if (p.planned_partitions == 0 && agg.total_partition_delays > 0) {
+    std::ostringstream os;
+    os << agg.total_partition_delays
+       << " cross-cut ops were partition-delayed with no partition planned";
     fail(os.str());
   }
 }
@@ -178,6 +227,7 @@ std::vector<std::unique_ptr<Oracle>> default_oracles() {
   os.push_back(std::make_unique<LockEpochOracle>());
   os.push_back(std::make_unique<BarrierWorkOracle>());
   os.push_back(std::make_unique<StealConservationOracle>());
+  os.push_back(std::make_unique<MembershipSafetyOracle>());
   return os;
 }
 

@@ -57,8 +57,11 @@ struct EndProbe {
   const trace::Trace* trace = nullptr;
   std::uint64_t expected_nodes = 0;  ///< sequential-reference node count
   int chunk = 1;                     ///< chunk size k of the run
-  bool crash_mode = false;           ///< fault plan injected crashes
+  bool crash_mode = false;           ///< fault plan injected crashes/drains
   bool request_response = false;     ///< protocol emits service grants
+  int planned_drains = 0;            ///< DrainSpecs in the fault plan
+  int planned_joins = 0;             ///< JoinSpecs in the fault plan
+  int planned_partitions = 0;        ///< PartitionSpecs in the fault plan
 };
 
 class Oracle {
@@ -118,12 +121,32 @@ class BarrierWorkOracle final : public Oracle {
 /// positive multiple of k), every in-flight transfer is resolved by the end
 /// of the run (no lineage record left pending), and granted nodes are
 /// accounted for — exactly by steals in crash-free request/response runs,
-/// and by steals + replays/salvages + dedup drops under crashes.
+/// and by steals + replays/salvages under crashes.
 class StealConservationOracle final : public Oracle {
  public:
   const char* name() const override { return "steal-conservation"; }
   void on_detach(const StepProbe& p) override;
   void on_end(const EndProbe& p) override;
+};
+
+/// Elastic-membership and partition safety. Per step: the salvage word of
+/// a rank may only ever leave 0 if that rank actually left the membership
+/// (salvaging a live rank's stack would double-execute its work), and at
+/// the instant termination is declared no salvage may be mid-flight
+/// (claimed but unfinished: the recovered nodes are in no stack, so the
+/// barrier would complete over invisible work — the false-termination
+/// hazard a healed partition or late drain could open). At the end: each
+/// planned drain/join fires at most once, and partition delays occur only
+/// when a partition was planned.
+class MembershipSafetyOracle final : public Oracle {
+ public:
+  const char* name() const override { return "membership-safety"; }
+  void on_step(const StepProbe& p) override;
+  void on_end(const EndProbe& p) override;
+  void reset() override { declared_ = false; }
+
+ private:
+  bool declared_ = false;
 };
 
 /// The default oracle battery (all of the above, in that order).

@@ -47,6 +47,15 @@ pgas::CrashSpec::Where where_from(const std::string& s) {
   throw std::invalid_argument("replay: " + what);
 }
 
+/// Parse a "<rank>@<at_ns>" operand (shared by crash/drain/join lines).
+void parse_rank_at(const std::string& at, const char* key, int* rank,
+                   std::uint64_t* at_ns) {
+  const std::size_t sep = at.find('@');
+  if (sep == std::string::npos) bad(std::string(key) + " wants <rank>@<at_ns>");
+  *rank = std::stoi(at.substr(0, sep));
+  *at_ns = std::stoull(at.substr(sep + 1));
+}
+
 }  // namespace
 
 void write_replay(std::ostream& os, const ReplayFile& rf) {
@@ -71,6 +80,20 @@ void write_replay(std::ostream& os, const ReplayFile& rf) {
     os << "crash " << c.rank << "@" << c.at_ns << " " << where_name(c.where)
        << "\n";
   os << "crash-detect-ns " << s.crash_detect_ns << "\n";
+  // Fault and membership keys are written only when non-default, so files
+  // recorded before they existed stay valid and byte-stable.
+  if (s.stall_ns > 0 || s.stall_period_ns > 0)
+    os << "stall " << s.stall_ns << " " << s.stall_period_ns << " "
+       << s.stall_rank << "\n";
+  if (s.drop_prob > 0.0) os << "drop-prob " << s.drop_prob << "\n";
+  if (s.dup_prob > 0.0) os << "dup-prob " << s.dup_prob << "\n";
+  for (const pgas::DrainSpec& d : s.drains)
+    os << "drain " << d.rank << "@" << d.at_ns << "\n";
+  for (const pgas::JoinSpec& j : s.joins)
+    os << "join " << j.rank << "@" << j.at_ns << "\n";
+  for (const pgas::PartitionSpec& p : s.partitions)
+    os << "partition " << p.group_mask << " " << p.start_ns << " "
+       << p.heal_ns << "\n";
   if (s.bug_weak_claim) os << "bug weak-claim\n";
   os << "window-ns " << rf.window_ns << "\n";
   os << "oracle " << (rf.oracle.empty() ? "none" : rf.oracle) << "\n";
@@ -88,6 +111,9 @@ void save_replay(const std::string& path, const ReplayFile& rf) {
 ReplayFile read_replay(std::istream& is) {
   ReplayFile rf;
   rf.spec.crashes.clear();
+  rf.spec.drains.clear();
+  rf.spec.joins.clear();
+  rf.spec.partitions.clear();
   std::string line;
   if (!std::getline(is, line) || line != "upcws-replay v1")
     bad("missing 'upcws-replay v1' header");
@@ -136,6 +162,30 @@ ReplayFile read_replay(std::istream& is) {
       rf.spec.crashes.push_back(c);
     } else if (key == "crash-detect-ns") {
       ls >> rf.spec.crash_detect_ns;
+    } else if (key == "stall") {
+      ls >> rf.spec.stall_ns >> rf.spec.stall_period_ns >> rf.spec.stall_rank;
+    } else if (key == "drop-prob") {
+      ls >> rf.spec.drop_prob;
+    } else if (key == "dup-prob") {
+      ls >> rf.spec.dup_prob;
+    } else if (key == "drain") {
+      std::string at;
+      ls >> at;
+      pgas::DrainSpec d;
+      parse_rank_at(at, "drain", &d.rank, &d.at_ns);
+      rf.spec.drains.push_back(d);
+    } else if (key == "join") {
+      std::string at;
+      ls >> at;
+      pgas::JoinSpec j;
+      parse_rank_at(at, "join", &j.rank, &j.at_ns);
+      rf.spec.joins.push_back(j);
+    } else if (key == "partition") {
+      pgas::PartitionSpec p;
+      ls >> p.group_mask >> p.start_ns >> p.heal_ns;
+      if (!ls.fail() && p.heal_ns <= p.start_ns)
+        bad("partition heal_ns must be > start_ns");
+      rf.spec.partitions.push_back(p);
     } else if (key == "bug") {
       std::string v;
       ls >> v;

@@ -18,6 +18,12 @@
 //   vt-limit-ns 0
 //   crash <rank>@<at_ns> anywhere|in-lock|mid-steal      (repeatable)
 //   crash-detect-ns 5000
+//   stall <stall_ns> <period_ns> <rank|-1>                (optional)
+//   drop-prob 0.02                                        (optional)
+//   dup-prob 0.02                                         (optional)
+//   drain <rank>@<at_ns>                                  (repeatable)
+//   join <rank>@<at_ns>                                   (repeatable)
+//   partition <group_mask> <start_ns> <heal_ns>           (repeatable)
 //   bug weak-claim                                        (optional)
 //   window-ns 100000
 //   oracle node-conservation                              ("none" if clean)

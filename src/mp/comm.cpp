@@ -25,6 +25,10 @@ void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
   m.arrival_ns = c.now_ns() + wire;
   sends_.fetch_add(1, std::memory_order_relaxed);
   pgas::FaultInjector* fi = c.faults();
+  // A network partition delays (never drops) cross-cut messages: delivery
+  // is deferred until the heal instant, as if the fabric buffered them.
+  if (fi != nullptr)
+    m.arrival_ns += fi->partition_extra_ns(dst, c.now_ns());
   if (fi != nullptr && fi->drop_message(c.now_ns()))
     return;  // lost on the wire; the sender already paid injection cost
   std::uint64_t dup_delay =

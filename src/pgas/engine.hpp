@@ -165,6 +165,31 @@ class Ctx {
     return live_ != nullptr && live_->dead(r, now_ns());
   }
 
+  /// Is rank `r` currently outside the membership — dead (as this rank sees
+  /// it) or not yet joined? Use for victim selection, barrier targets, and
+  /// push targets; use rank_dead() where the distinction matters (a
+  /// not-yet-joined rank still reads its mailbox eventually, a dead one
+  /// never will — and only truly dead ranks may be salvaged).
+  bool rank_absent(int r) {
+    return live_ != nullptr && live_->absent(r, now_ns());
+  }
+
+  /// Graceful drain: publish this rank's departure on the liveness board
+  /// without killing the Ctx (unlike a crash, the worker exits its loop in
+  /// an orderly way and its remaining work is handed off by the survivors
+  /// through the recovery board). No-op without a liveness board.
+  void leave() {
+    if (live_ != nullptr) live_->mark_dead(rank(), now_ns());
+  }
+
+  /// Join protocol, called once by a joining rank when its join time
+  /// arrives and before its first protocol action: raises the liveness
+  /// board's joined flag and stamps the join in the fault log.
+  void note_joined() {
+    if (live_ != nullptr) live_->mark_joined(rank());
+    if (faults_ != nullptr) faults_->note_joined(now_ns());
+  }
+
   /// Mark entry/exit of a steal transfer so CrashSpec::Where::kMidSteal can
   /// target it (see StealScope).
   void set_steal_scope(bool on) { in_steal_ = on; }
@@ -199,8 +224,13 @@ class Ctx {
   }
 
   /// Charge one small shared-variable reference to data owned by `owner`.
+  /// An active partition separating this rank from `owner` stalls the op
+  /// until the partition heals (the extra charge jumps the clock to heal
+  /// time, so the access completes after it).
   void charge_ref(int owner) {
-    charge(jittered(net().ref_ns(rank(), owner)));
+    std::uint64_t c = jittered(net().ref_ns(rank(), owner));
+    if (faults_ != nullptr) c += faults_->partition_extra_ns(owner, now_ns());
+    charge(c);
   }
 
   /// Charge one local poll-loop iteration.

@@ -1,5 +1,7 @@
 #include "pgas/faults.hpp"
 
+#include <algorithm>
+
 namespace upcws::pgas {
 
 namespace {
@@ -13,6 +15,7 @@ constexpr std::uint64_t kSeedMix = 0xD1B54A32D192ED03ull;
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t run_seed,
                              int rank)
     : plan_(plan),
+      rank_(rank),
       stall_here_(plan.stalls_enabled() &&
                   (plan.stall_rank < 0 || plan.stall_rank == rank)),
       rng_(run_seed * kSeedMix + 0x9E3779B97F4A7C15ull *
@@ -27,6 +30,20 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t run_seed,
       break;  // at most one crash per rank; the first spec wins
     }
   }
+  for (const DrainSpec& ds : plan_.drains) {
+    if (ds.rank == rank) {
+      drain_here_ = true;
+      drain_at_ns_ = ds.at_ns;
+      break;  // at most one drain per rank; the first spec wins
+    }
+  }
+  for (const JoinSpec& js : plan_.joins) {
+    if (js.rank == rank) {
+      join_here_ = true;
+      join_at_ns_ = js.at_ns;
+      break;
+    }
+  }
 }
 
 bool FaultInjector::crash_due(std::uint64_t now_ns, bool in_lock,
@@ -39,6 +56,37 @@ bool FaultInjector::crash_due(std::uint64_t now_ns, bool in_lock,
   ++c_.crashes;
   record(FaultEvent::Kind::kCrash, now_ns, 0);
   return true;
+}
+
+bool FaultInjector::drain_due(std::uint64_t now_ns) {
+  if (!drain_here_ || now_ns < drain_at_ns_) return false;
+  drain_here_ = false;  // a rank drains exactly once
+  ++c_.drains;
+  record(FaultEvent::Kind::kDrain, now_ns, 0);
+  return true;
+}
+
+void FaultInjector::note_joined(std::uint64_t now_ns) {
+  if (!join_here_) return;
+  join_here_ = false;  // a rank joins exactly once
+  ++c_.joins;
+  record(FaultEvent::Kind::kJoin, now_ns, 0);
+}
+
+std::uint64_t FaultInjector::partition_extra_ns(int peer,
+                                                std::uint64_t now_ns) {
+  if (plan_.partitions.empty() || peer == rank_) return 0;
+  std::uint64_t extra = 0;
+  for (const PartitionSpec& ps : plan_.partitions) {
+    if (!ps.active(now_ns) || !ps.separates(rank_, peer)) continue;
+    extra = std::max(extra, ps.heal_ns - now_ns);
+  }
+  if (extra > 0) {
+    ++c_.partition_delays;
+    c_.partition_delay_ns_total += extra;
+    record(FaultEvent::Kind::kPartitionDelay, now_ns, extra);
+  }
+  return extra;
 }
 
 double FaultInjector::scale() {

@@ -55,6 +55,52 @@ struct RankCrashed {
   std::uint64_t t_ns = 0;
 };
 
+/// A planned, graceful leave: at (or after) `at_ns` of the rank's own Ctx
+/// time, the rank drains at its next *safe* point — outside locks, outside
+/// barriers, with no steal in flight. Unlike a crash, nothing is interrupted
+/// mid-protocol: the rank marks itself dead on the liveness board (a clean
+/// fail-stop as far as the membership view is concerned) and its remaining
+/// StealStack chunks are handed off through the existing lineage/recovery
+/// board (UPC / mpi-ws families) or pushed to a live peer with the normal
+/// ack handshake (work-push).
+struct DrainSpec {
+  int rank = -1;
+  std::uint64_t at_ns = 0;
+};
+
+/// A rank that starts *outside* the membership and joins mid-run: it parks
+/// (consuming only clock time) until its own clock reaches `at_ns`, then
+/// registers with the liveness board's joined flag and enters the normal
+/// worker loop. Until the flag is raised, every membership-aware path
+/// (victim selection, barrier targets, push targets) treats the rank as
+/// absent. Rank 0 must not be a joiner (it seeds the root).
+struct JoinSpec {
+  int rank = -1;
+  std::uint64_t at_ns = 0;
+};
+
+/// A correlated network partition: ranks whose bit is set in `group_mask`
+/// are on one side, the rest on the other. Any communication *initiated*
+/// across the cut while the partition is active — two-sided mp messages and
+/// one-sided PGAS references/bulk transfers alike — is delayed until
+/// `heal_ns` (partition-as-unbounded-delay: the transport retransmits
+/// through the outage and delivers after heal). Nothing is lost, so
+/// liveness stays exact: no false death suspicion, no false lease
+/// revocation, and the hardened retransmit/dedup machinery absorbs the
+/// duplicate storms the delays provoke.
+struct PartitionSpec {
+  std::uint64_t group_mask = 0;  ///< bit r set = rank r on side A
+  std::uint64_t start_ns = 0;
+  std::uint64_t heal_ns = 0;  ///< absolute heal time; must be > start_ns
+
+  bool active(std::uint64_t now_ns) const {
+    return now_ns >= start_ns && now_ns < heal_ns;
+  }
+  bool separates(int a, int b) const {
+    return (((group_mask >> a) ^ (group_mask >> b)) & 1u) != 0;
+  }
+};
+
 /// What to inject. All-zero (the default) disables every fault class.
 struct FaultPlan {
   /// Transient rank stalls: every ~stall_period_ns of a rank's time, the
@@ -84,13 +130,29 @@ struct FaultPlan {
   /// while staying deterministic per run.
   std::uint64_t crash_detect_ns = 0;
 
+  /// Planned membership changes: graceful leaves and mid-run joins. Both
+  /// piggyback on the liveness board, so enabling either creates it (and
+  /// the recovery board) exactly as crash injection does.
+  std::vector<DrainSpec> drains;
+  std::vector<JoinSpec> joins;
+
+  /// Correlated partitions (rank-set bipartitions with a heal time).
+  std::vector<PartitionSpec> partitions;
+
   bool stalls_enabled() const { return stall_ns > 0 && stall_period_ns > 0; }
   bool spikes_enabled() const { return spike_prob > 0.0; }
   bool messages_enabled() const { return drop_prob > 0.0 || dup_prob > 0.0; }
   bool crashes_enabled() const { return !crashes.empty(); }
+  bool drains_enabled() const { return !drains.empty(); }
+  bool joins_enabled() const { return !joins.empty(); }
+  /// Drains or joins: anything that changes the rank set mid-run.
+  bool membership_enabled() const {
+    return drains_enabled() || joins_enabled();
+  }
+  bool partitions_enabled() const { return !partitions.empty(); }
   bool any() const {
     return stalls_enabled() || spikes_enabled() || messages_enabled() ||
-           crashes_enabled();
+           crashes_enabled() || membership_enabled() || partitions_enabled();
   }
 };
 
@@ -102,8 +164,9 @@ struct FaultPlan {
 class Liveness {
  public:
   Liveness(int nranks, std::uint64_t detect_ns)
-      : detect_ns_(detect_ns), death_(nranks) {
+      : detect_ns_(detect_ns), death_(nranks), joined_(nranks) {
     for (auto& d : death_) d.store(kAlive, std::memory_order_relaxed);
+    for (auto& j : joined_) j.store(1, std::memory_order_relaxed);
   }
 
   int nranks() const { return static_cast<int>(death_.size()); }
@@ -126,6 +189,44 @@ class Liveness {
     return d != kAlive && viewer_now_ns >= d + detect_ns_;
   }
 
+  // ---- membership (joins): a raised-once flag, not a clock comparison ----
+  //
+  // Unlike death detection, join visibility must NOT be viewer-clock-based:
+  // a joiner may acquire work the instant it joins, and a viewer whose
+  // clock lags the join time would then exclude a working rank from its
+  // barrier target — a false-termination window. The flag is monotonic
+  // (0 -> 1, raised by the joiner before its first protocol action), so any
+  // viewer that observes a consequence of the join also observes the flag.
+
+  /// Pre-register `r` as a not-yet-joined rank (driver/engine, from the
+  /// plan's JoinSpecs, before the run starts).
+  void set_join_pending(int r) {
+    joined_[r].store(0, std::memory_order_relaxed);
+  }
+
+  /// Called once by rank `r` itself when its join time arrives, before its
+  /// first steal/push/barrier action.
+  void mark_joined(int r) { joined_[r].store(1, std::memory_order_release); }
+
+  /// Has `r` entered the membership? (True from the start for every rank
+  /// without a JoinSpec.)
+  bool joined(int r) const {
+    return joined_[r].load(std::memory_order_acquire) != 0;
+  }
+
+  /// Not currently an active member: dead (as seen by the viewer) or not
+  /// yet joined.
+  bool absent(int r, std::uint64_t viewer_now_ns) const {
+    return !joined(r) || dead(r, viewer_now_ns);
+  }
+
+  /// Flag every JoinSpec'd rank in `plan` as join-pending. Idempotent;
+  /// engines call it on whatever board they attach.
+  void apply_join_plan(const FaultPlan& plan) {
+    for (const JoinSpec& j : plan.joins)
+      if (j.rank >= 0 && j.rank < nranks()) set_join_pending(j.rank);
+  }
+
   /// Number of ranks `viewer_now_ns` sees as dead / alive.
   int dead_count(std::uint64_t viewer_now_ns) const {
     int c = 0;
@@ -142,6 +243,7 @@ class Liveness {
  private:
   std::uint64_t detect_ns_;
   std::vector<std::atomic<std::uint64_t>> death_;
+  std::vector<std::atomic<std::uint8_t>> joined_;
 };
 
 /// What one rank's injector actually did during a run.
@@ -153,13 +255,26 @@ struct FaultCounters {
   std::uint64_t msgs_dropped = 0;      ///< messages lost at this sender
   std::uint64_t msgs_duplicated = 0;   ///< messages duplicated at this sender
   std::uint64_t crashes = 0;           ///< 0 or 1: this rank fail-stopped
+  std::uint64_t drains = 0;            ///< 0 or 1: this rank drained out
+  std::uint64_t joins = 0;             ///< 0 or 1: this rank joined mid-run
+  std::uint64_t partition_delays = 0;  ///< cross-cut ops delayed to heal time
+  std::uint64_t partition_delay_ns_total = 0;  ///< total added delay (ns)
 };
 
 /// One injected fault, timestamped in Ctx time (virtual ns under the
 /// simulator). Collected per rank; the ws driver merges them into an
 /// attached trace::Trace.
 struct FaultEvent {
-  enum class Kind : std::uint8_t { kStall, kSpike, kMsgDrop, kMsgDup, kCrash };
+  enum class Kind : std::uint8_t {
+    kStall,
+    kSpike,
+    kMsgDrop,
+    kMsgDup,
+    kCrash,
+    kDrain,           ///< this rank drained out of the membership
+    kJoin,            ///< this rank joined the membership
+    kPartitionDelay,  ///< a cross-cut op was delayed until heal (ns = delay)
+  };
   std::uint64_t t_ns = 0;
   Kind kind = Kind::kStall;
   std::uint64_t ns = 0;  ///< stall duration / extra latency (0 for messages)
@@ -198,15 +313,38 @@ class FaultInjector {
   /// most once; the caller throws RankCrashed and kills the Ctx.
   bool crash_due(std::uint64_t now_ns, bool in_lock, bool in_steal);
 
+  /// Safe-point hook: should this rank gracefully drain right now? Workers
+  /// poll it only where no lock is held, no barrier is entered, and no
+  /// steal is in flight. Fires at most once; the caller calls Ctx::leave()
+  /// and exits its loop.
+  bool drain_due(std::uint64_t now_ns);
+
+  /// Join time of this rank (0 = a founding member, present from t=0).
+  std::uint64_t join_at_ns() const { return join_here_ ? join_at_ns_ : 0; }
+
+  /// Called once by a joining rank when it enters the membership.
+  void note_joined(std::uint64_t now_ns);
+
+  /// Cross-cut communication hook: extra delay (ns) an op from this rank to
+  /// `peer`, initiated at `now_ns`, suffers from any active partition — the
+  /// time remaining until the latest separating partition heals, 0 when
+  /// none applies. Counts one partition_delays event per delayed op.
+  std::uint64_t partition_extra_ns(int peer, std::uint64_t now_ns);
+
  private:
   void record(FaultEvent::Kind kind, std::uint64_t t_ns, std::uint64_t ns);
   /// U[0.5,1.5) scale factor for stall scheduling.
   double scale();
 
   FaultPlan plan_;
+  int rank_ = -1;
   bool stall_here_ = false;  ///< stalls enabled and this rank is targeted
   bool crash_here_ = false;  ///< a CrashSpec targets this rank (and is armed)
   CrashSpec crash_spec_{};   ///< the (first) spec targeting this rank
+  bool drain_here_ = false;  ///< a DrainSpec targets this rank (and is armed)
+  std::uint64_t drain_at_ns_ = 0;
+  bool join_here_ = false;  ///< this rank starts outside the membership
+  std::uint64_t join_at_ns_ = 0;
   std::mt19937_64 rng_;
   std::uint64_t next_stall_ns_ = 0;
   FaultCounters c_;

@@ -146,15 +146,20 @@ RunResult SimEngine::run(const RunConfig& cfg,
     if (inject)
       injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
 
-  // Crash injection needs a liveness board; use the caller's (so it can be
-  // read after the run / in hang reports) or make one for the run.
+  // Crash injection and membership changes (drains/joins) need a liveness
+  // board; use the caller's (so it can be read after the run / in hang
+  // reports) or make one for the run.
+  const bool need_live =
+      cfg.faults.crashes_enabled() || cfg.faults.membership_enabled();
   std::unique_ptr<Liveness> own_live;
   Liveness* live = cfg.liveness;
-  if (cfg.faults.crashes_enabled() && live == nullptr) {
+  if (need_live && live == nullptr) {
     own_live = std::make_unique<Liveness>(cfg.nranks,
                                           cfg.faults.crash_detect_ns);
     live = own_live.get();
   }
+  if (need_live && cfg.faults.joins_enabled())
+    live->apply_join_plan(cfg.faults);
   const std::uint64_t lease_ns =
       cfg.lock_lease_ns != 0 ? cfg.lock_lease_ns : 1'000'000ull;
 
@@ -166,8 +171,7 @@ RunResult SimEngine::run(const RunConfig& cfg,
   for (int r = 0; r < cfg.nranks; ++r) {
     sched.spawn([&, r] {
       SimCtx ctx(sched, r, cfg.nranks, cfg.net, cfg.seed, injectors[r].get(),
-                 cfg.faults.crashes_enabled() ? live : nullptr, lease_ns,
-                 cfg.obs);
+                 need_live ? live : nullptr, lease_ns, cfg.obs);
       try {
         body(ctx);
       } catch (const RankCrashed&) {

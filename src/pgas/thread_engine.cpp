@@ -122,13 +122,17 @@ RunResult ThreadEngine::run(const RunConfig& cfg,
     for (int r = 0; r < cfg.nranks; ++r)
       injectors[r] = std::make_unique<FaultInjector>(cfg.faults, cfg.seed, r);
 
+  const bool need_live =
+      cfg.faults.crashes_enabled() || cfg.faults.membership_enabled();
   std::unique_ptr<Liveness> own_live;
   Liveness* live = cfg.liveness;
-  if (cfg.faults.crashes_enabled() && live == nullptr) {
+  if (need_live && live == nullptr) {
     own_live = std::make_unique<Liveness>(cfg.nranks,
                                           cfg.faults.crash_detect_ns);
     live = own_live.get();
   }
+  if (need_live && cfg.faults.joins_enabled())
+    live->apply_join_plan(cfg.faults);
   const std::uint64_t lease_ns =
       cfg.lock_lease_ns != 0 ? cfg.lock_lease_ns : 1'000'000ull;
 
@@ -136,8 +140,7 @@ RunResult ThreadEngine::run(const RunConfig& cfg,
   for (int r = 0; r < cfg.nranks; ++r) {
     threads.emplace_back([&, r] {
       ThreadCtx ctx(r, cfg.nranks, cfg.net, cfg.seed, opt_.inject_scale, t0,
-                    injectors[r].get(),
-                    cfg.faults.crashes_enabled() ? live : nullptr, lease_ns,
+                    injectors[r].get(), need_live ? live : nullptr, lease_ns,
                     cfg.obs);
       // Crude start-line barrier so ranks begin together.
       ready.fetch_add(1, std::memory_order_acq_rel);

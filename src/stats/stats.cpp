@@ -40,6 +40,10 @@ RunStats aggregate(const std::vector<ThreadStats>& per_thread,
     r.total_faults_spikes += t.c.faults_spikes;
     r.total_faults_dropped += t.c.faults_dropped;
     r.total_faults_duplicated += t.c.faults_duplicated;
+    r.total_faults_drains += t.c.faults_drains;
+    r.total_faults_joins += t.c.faults_joins;
+    r.total_partition_delays += t.c.faults_partition_delays;
+    r.total_partition_delay_ns += t.c.faults_partition_delay_ns;
     r.total_crashes += t.c.faults_crashes;
     r.total_locks_revoked += t.c.locks_revoked;
     r.total_stale_unlocks += t.c.stale_unlocks;
@@ -135,6 +139,11 @@ std::string RunStats::summary() const {
     os << " recovery[timeouts=" << total_steal_timeouts
        << " retransmits=" << total_retransmits
        << " dups_suppressed=" << total_dups_suppressed << "]";
+  if (total_faults_drains + total_faults_joins + total_partition_delays > 0)
+    os << " membership[drains=" << total_faults_drains
+       << " joins=" << total_faults_joins
+       << " partition_delays=" << total_partition_delays
+       << " partition_delay_ns=" << total_partition_delay_ns << "]";
   if (total_crashes > 0)
     os << " crash[crashes=" << total_crashes
        << " revoked=" << total_locks_revoked

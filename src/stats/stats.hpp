@@ -56,6 +56,12 @@ struct Counters {
   std::uint64_t faults_dropped = 0;     ///< messages silently dropped
   std::uint64_t faults_duplicated = 0;  ///< messages duplicated
 
+  // --- elastic membership + partitions (0 unless the plan uses them) ------
+  std::uint64_t faults_drains = 0;          ///< this rank drained out (0 or 1)
+  std::uint64_t faults_joins = 0;           ///< this rank joined mid-run (0/1)
+  std::uint64_t faults_partition_delays = 0;///< ops delayed by a partition
+  std::uint64_t faults_partition_delay_ns = 0; ///< total partition delay
+
   // --- crash-fault tolerance (0 unless the plan injects crashes) ----------
   std::uint64_t faults_crashes = 0;   ///< this rank fail-stopped (0 or 1)
   std::uint64_t locks_revoked = 0;    ///< dead holders' leases this rank broke
@@ -63,7 +69,9 @@ struct Counters {
   std::uint64_t salvages = 0;         ///< dead-rank stacks this rank salvaged
   std::uint64_t replays = 0;          ///< orphaned transfer records replayed
   std::uint64_t recovered_nodes = 0;  ///< nodes reintroduced by this rank
-  std::uint64_t dedup_drops = 0;      ///< recovered nodes dropped as dups
+  std::uint64_t dedup_drops = 0;      ///< always 0 (recovery keeps every
+                                      ///< node); retained for stat-format
+                                      ///< stability
 };
 
 /// Tracks which Figure-1 state a thread is in and accumulates ns per state.
@@ -149,6 +157,11 @@ struct RunStats {
   std::uint64_t total_faults_spikes = 0;
   std::uint64_t total_faults_dropped = 0;
   std::uint64_t total_faults_duplicated = 0;
+  /// Elastic-membership + partition totals (all 0 when the plan has none).
+  std::uint64_t total_faults_drains = 0;
+  std::uint64_t total_faults_joins = 0;
+  std::uint64_t total_partition_delays = 0;
+  std::uint64_t total_partition_delay_ns = 0;
   /// Crash-fault tolerance totals (all 0 for a crash-free run).
   std::uint64_t total_crashes = 0;
   std::uint64_t total_locks_revoked = 0;

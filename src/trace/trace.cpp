@@ -22,6 +22,9 @@ const char* kind_name(Kind k) {
     case Kind::kRankCrashed: return "rank_crashed";
     case Kind::kLockRevoked: return "lock_revoked";
     case Kind::kWorkRecovered: return "work_recovered";
+    case Kind::kDrain: return "drain";
+    case Kind::kJoin: return "join";
+    case Kind::kPartitionDelay: return "partition_delay";
   }
   return "?";
 }

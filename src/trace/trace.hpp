@@ -36,6 +36,10 @@ enum class Kind : std::uint8_t {
   kRankCrashed,   ///< this rank fail-stopped (permanent)
   kLockRevoked,   ///< arg0 = dead holder whose lease this rank broke
   kWorkRecovered, ///< arg0 = dead rank recovered from, arg1 = nodes
+  // Elastic membership and partitions.
+  kDrain,         ///< this rank gracefully drained out of the membership
+  kJoin,          ///< this rank joined the membership mid-run
+  kPartitionDelay,///< arg1 = ns a cross-cut op was delayed by a partition
 };
 
 const char* kind_name(Kind k);

@@ -55,6 +55,8 @@ class MpiWorker final : public NodeSink {
         board_(board),
         crash_mode_(board != nullptr && ctx.liveness() != nullptr &&
                     cfg.hardened()),
+        member_mode_(ctx.faults() != nullptr &&
+                     ctx.faults()->plan().membership_enabled()),
         obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     if (hardened_) cache_.resize(n_);
@@ -91,6 +93,7 @@ class MpiWorker final : public NodeSink {
   }
 
   stats::ThreadStats run() {
+    join_park();
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
@@ -102,8 +105,14 @@ class MpiWorker final : public NodeSink {
     try {
       for (;;) {
         do_work();
+        if (drained_) break;
         if (!find_work()) break;
       }
+      // A graceful leave is a clean fail-stop at a safe point (no popped
+      // node in flight, no steal request outstanding): everything still on
+      // our stack — and any unacked grant — rides the crash-recovery
+      // machinery of the hardened protocol.
+      if (drained_) ctx_.leave();
     } catch (const pgas::RankCrashed&) {
       // Fail-stop: preserve the node popped-but-not-yet-expanded so a
       // salvager finds the stack exactly as if the crash had landed just
@@ -133,13 +142,44 @@ class MpiWorker final : public NodeSink {
 
   void do_work() {
     int since_poll = 0;
-    while (my_.pop(nodebuf_.data())) {
+    for (;;) {
+      if (drain_check()) return;
+      if (!my_.pop(nodebuf_.data())) break;
       visit();
       if (++since_poll >= cfg_.poll_interval) {
         since_poll = 0;
         poll_while_working();
       }
     }
+  }
+
+  // ---- elastic membership (no-ops unless the plan drains/joins ranks) ----
+
+  /// A JoinSpec'd rank parks until its join instant, then raises its joined
+  /// flag (release) before touching the wire. The token ring deliberately
+  /// does NOT skip unjoined ranks: a token sent to a parked joiner buffers
+  /// in its mailbox until the join — delayed termination, never false
+  /// termination under a lagging membership view.
+  void join_park() {
+    pgas::FaultInjector* fi = ctx_.faults();
+    const std::uint64_t jt = fi != nullptr ? fi->join_at_ns() : 0;
+    if (jt == 0) return;
+    const std::uint64_t now = ctx_.now_ns();
+    if (now < jt) ctx_.charge(jt - now);
+    while (ctx_.now_ns() < jt) ctx_.yield();
+    ctx_.note_joined();
+  }
+
+  /// Safe-point probe for a planned drain. Gated on crash_mode_: mpi-ws
+  /// membership rides the hardened protocol's recovery machinery (lineage
+  /// records, token regeneration, leader takeover); an unhardened run
+  /// ignores its drain plan rather than losing work.
+  bool drain_check() {
+    if (!crash_mode_) return false;
+    pgas::FaultInjector* fi = ctx_.faults();
+    if (fi == nullptr || !fi->drain_due(ctx_.now_ns())) return false;
+    drained_ = true;
+    return true;
   }
 
   void visit() {
@@ -519,6 +559,7 @@ class MpiWorker final : public NodeSink {
     set_state(State::kSearching);
     std::uniform_int_distribution<int> pick(0, n_ - 2);
     for (;;) {
+      if (drain_check()) return false;
       if (idle_comm()) return false;
       if (crash_mode_ && maybe_recover()) {
         // We re-activated ourselves with a dead rank's work: turn black so
@@ -527,10 +568,16 @@ class MpiWorker final : public NodeSink {
         set_state(State::kWorking);
         return true;
       }
-      // Choose a random victim (skip self; in crash mode, skip the dead).
+      // Choose a random victim (skip self; in crash mode, skip the dead;
+      // with membership, skip ranks that are not yet — or no longer —
+      // members).
       int v = pick(ctx_.rng());
       if (v >= me_) ++v;
       if (crash_mode_ && ctx_.rank_dead(v)) {
+        ctx_.yield();
+        continue;
+      }
+      if (member_mode_ && ctx_.rank_absent(v)) {
         ctx_.yield();
         continue;
       }
@@ -802,33 +849,27 @@ class MpiWorker final : public NodeSink {
     return taken > 0;
   }
 
-  /// Replay one orphaned transfer record (claim CAS makes it exactly-once;
-  /// the dedup filter is defense-in-depth).
+  /// Replay one orphaned transfer record. The claim CAS against the
+  /// (possibly live) thief's retire makes the replay exactly-once, and
+  /// every replayed node is kept: a node may legitimately pass through
+  /// recovery more than once in its lifetime (recovered, recirculated
+  /// unvisited, re-granted, orphaned again by a later death), so dropping
+  /// "already seen" descriptors would lose live subtrees.
   bool replay_record(TransferRec& rec) {
-    pgas::LockGuard guard(ctx_, board_->dedup_lock);
     if (!board_->claim_rec(ctx_, rec)) return false;
     // Bump the recovery counter immediately after the claim: the leader's
     // recovery_epoch must change before any window in which the board can
     // read as clean, or it could certify a token round that never saw the
     // replayed nodes.
     board_->note_replay();
-    std::size_t kept = 0;
-    for (std::uint32_t i = 0; i < rec.nnodes; ++i) {
-      const std::byte* nd = rec.payload.data() + i * nb_;
-      if (board_->filter_new(nd)) {
-        my_.push(nd);
-        ++kept;
-      } else {
-        ++st_.c.dedup_drops;
-      }
-    }
+    my_.push_n(rec.payload.data(), rec.nnodes);
     ctx_.charge(ctx_.net().bulk_ns(me_, rec.victim, rec.nnodes * nb_));
     ++st_.c.replays;
-    st_.c.recovered_nodes += kept;
+    st_.c.recovered_nodes += rec.nnodes;
     if (cfg_.trace != nullptr)
       cfg_.trace->recover(me_, ctx_.now_ns(), rec.victim,
-                          static_cast<std::int64_t>(kept));
-    return kept > 0;
+                          static_cast<std::int64_t>(rec.nnodes));
+    return rec.nnodes > 0;
   }
 
   /// Snapshot of (deaths I have detected, recoveries completed). The
@@ -866,6 +907,10 @@ class MpiWorker final : public NodeSink {
   /// the protocol is hardened — lineage records ride on the seq/ack layer).
   RecoveryBoard* board_;
   const bool crash_mode_;
+  /// Elastic membership (false unless the plan drains or joins ranks).
+  const bool member_mode_;
+  /// This rank hit its planned drain point and is leaving gracefully.
+  bool drained_ = false;
   bool visiting_ = false;  ///< nodebuf_ holds a popped-but-uncounted node
   bool leading_ = false;   ///< currently running the EWD840 leader rules
   std::uint64_t round_epoch_ = 0;  ///< leader: recovery_epoch at round start

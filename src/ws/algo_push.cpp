@@ -33,6 +33,8 @@ class PushWorker final : public NodeSink {
         k_(static_cast<std::size_t>(cfg.chunk_size)),
         nb_(prob.node_bytes()),
         my_(stack),
+        member_mode_(ctx.faults() != nullptr &&
+                     ctx.faults()->plan().membership_enabled()),
         obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     if (me_ == 0) {
@@ -49,6 +51,7 @@ class PushWorker final : public NodeSink {
   }
 
   stats::ThreadStats run() {
+    join_park();
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
@@ -59,8 +62,10 @@ class PushWorker final : public NodeSink {
     }
     for (;;) {
       do_work();
+      if (drained_) break;
       if (!wait_for_work()) break;
     }
+    if (drained_) drain_leave();
     st_.timer.stop(ctx_.now_ns());
     if (cfg_.trace != nullptr) cfg_.trace->finish(me_, ctx_.now_ns());
     if (obs_ != nullptr) obs_->finish(me_, ctx_.now_ns());
@@ -84,7 +89,9 @@ class PushWorker final : public NodeSink {
   void do_work() {
     int since_poll = 0;
     int since_push = 0;
-    while (my_.pop(nodebuf_.data())) {
+    for (;;) {
+      if (drain_check()) return;
+      if (!my_.pop(nodebuf_.data())) break;
       visit();
       ++since_push;
       if (++since_poll >= cfg_.poll_interval) {
@@ -109,12 +116,152 @@ class PushWorker final : public NodeSink {
     ctx_.yield();
   }
 
+  // ---- elastic membership (no-ops unless the plan drains/joins ranks) ----
+
+  /// A JoinSpec'd rank parks until its join instant, then raises its joined
+  /// flag (release) before touching the wire. The static token ring keeps
+  /// the parked rank in rotation: a token sent to it buffers in its mailbox
+  /// until the join — delayed termination, never false termination. Rank 0
+  /// (ring leader, TERM broadcaster) never joins or drains.
+  void join_park() {
+    pgas::FaultInjector* fi = ctx_.faults();
+    const std::uint64_t jt = fi != nullptr ? fi->join_at_ns() : 0;
+    if (jt == 0) return;
+    const std::uint64_t now = ctx_.now_ns();
+    if (now < jt) ctx_.charge(jt - now);
+    while (ctx_.now_ns() < jt) ctx_.yield();
+    ctx_.note_joined();
+  }
+
+  /// Safe-point probe for a planned drain (pop-loop top and idle-loop top:
+  /// never with a popped node in flight).
+  bool drain_check() {
+    pgas::FaultInjector* fi = ctx_.faults();
+    if (fi == nullptr || !fi->drain_due(ctx_.now_ns())) return false;
+    drained_ = true;
+    return true;
+  }
+
+  /// A uniformly random push/relay target that is currently a member
+  /// (joined and not drained), or -1 when no such rank exists. Without
+  /// membership this is the classic uniform pick, byte-identical to before.
+  int pick_target() {
+    std::uniform_int_distribution<int> pick(0, n_ - 2);
+    int t = pick(ctx_.rng());
+    if (t >= me_) ++t;
+    if (!member_mode_) return t;
+    for (int i = 0; i < n_; ++i) {
+      if (t != me_ && !ctx_.rank_absent(t)) return t;
+      t = (t + 1) % n_;
+    }
+    return -1;
+  }
+
+  /// Graceful leave for the pushing policy, which has no recovery board to
+  /// salvage from — so the leaver hands its work off on the wire instead:
+  ///
+  ///  1. Flush: every node still on our stack leaves as one payload to a
+  ///     live member (black, +1 outstanding ack).
+  ///  2. Drain service: work that keeps arriving (pushers with a lagging
+  ///     view) is *relayed* onward — relay first, then remember the debt;
+  ///     the original pusher is acked only when our relay target acks us.
+  ///     This chain of custody keeps the global outstanding-ack count
+  ///     covering every chunk for its whole journey, so no token round can
+  ///     go white around work in flight through a leaving rank.
+  ///  3. Once nothing is outstanding, nothing owed, and the stack is empty,
+  ///     mark ourselves departed on the liveness board (pushers stop
+  ///     picking us) and park — still relaying and forwarding tokens, so
+  ///     the static ring never stalls — until rank 0 broadcasts TERM.
+  void drain_leave() {
+    set_state(State::kTermination);
+    flush_all();
+    for (;;) {
+      relay_inbox();
+      if (term_seen_) return;
+      if (outstanding_acks_ == 0 && owed_.empty() && my_.depth() == 0) break;
+      maybe_forward_token();
+      ctx_.yield();
+    }
+    ctx_.leave();
+    for (;;) {
+      relay_inbox();
+      if (term_seen_) return;
+      maybe_forward_token();
+      ctx_.yield();
+    }
+  }
+
+  /// Step 1 of the drain: ship the whole stack to one live member.
+  void flush_all() {
+    const std::size_t loc = my_.local_size();
+    if (loc > 0) my_.release(loc);
+    const std::size_t total = my_.shared_size();
+    if (total == 0) return;
+    const int target = pick_target();
+    if (target < 0) return;  // no member target; salvageless backstop
+    const std::size_t begin = my_.reserve(total);
+    comm_.send(ctx_, target, kTagWork, my_.slot(begin), total * nb_);
+    my_.maybe_compact();
+    color_ = kBlack;
+    ++outstanding_acks_;
+    ++st_.c.releases;
+    if (m_pushes_ != nullptr) ++*m_pushes_;
+    if (cfg_.trace != nullptr)
+      cfg_.trace->release(me_, ctx_.now_ns(),
+                          static_cast<std::int64_t>(total));
+  }
+
+  /// Drain-mode inbox: relay arriving work instead of absorbing it, settle
+  /// relay debts as acks come back, buffer tokens, notice TERM.
+  void relay_inbox() {
+    mp::Message m;
+    while (comm_.try_recv(ctx_, mp::kAny, kTagWork, m)) {
+      const int target = pick_target();
+      if (target < 0) {
+        // No member to relay to (cannot happen while rank 0 lives, and
+        // rank 0 never drains): absorb-and-ack is the only safe fallback.
+        const std::size_t take = m.payload.size() / nb_;
+        my_.push_n(reinterpret_cast<const std::byte*>(m.payload.data()),
+                   take);
+        comm_.send(ctx_, m.src, kTagAck);
+        continue;
+      }
+      comm_.send(ctx_, target, kTagWork, m.payload.data(), m.payload.size());
+      color_ = kBlack;
+      ++outstanding_acks_;
+      owed_.push_back(m.src);
+      ++st_.c.releases;
+      if (m_pushes_ != nullptr) ++*m_pushes_;
+    }
+    while (comm_.try_recv(ctx_, mp::kAny, kTagAck, m)) {
+      --outstanding_acks_;
+      if (!owed_.empty()) {
+        comm_.send(ctx_, owed_.front(), kTagAck);
+        owed_.erase(owed_.begin());
+      }
+    }
+    if (comm_.try_recv(ctx_, mp::kAny, kTagToken, m)) {
+      has_token_ = true;
+      token_color_ = static_cast<Color>(m.payload.at(0));
+    }
+    if (comm_.try_recv(ctx_, mp::kAny, kTagTerm, m)) term_seen_ = true;
+  }
+
+  /// Non-leader EWD840 forwarding rule, used by the drain loops (a leaver
+  /// is never rank 0).
+  void maybe_forward_token() {
+    if (!has_token_ || outstanding_acks_ != 0) return;
+    const std::uint8_t c = (color_ == kBlack) ? kBlack : token_color_;
+    color_ = kWhite;
+    has_token_ = false;
+    comm_.send(ctx_, ring_next(), kTagToken, &c, 1);
+  }
+
   /// Ship the oldest local chunk to a uniformly random other rank,
   /// solicited by nobody — the defining move of the pushing policy.
   void push_chunk() {
-    std::uniform_int_distribution<int> pick(0, n_ - 2);
-    int target = pick(ctx_.rng());
-    if (target >= me_) ++target;
+    const int target = pick_target();
+    if (target < 0) return;  // no live member to push to right now
     my_.release(k_);
     const std::size_t begin = my_.reserve(k_);
     comm_.send(ctx_, target, kTagWork, my_.slot(begin), k_ * nb_);
@@ -155,6 +302,7 @@ class PushWorker final : public NodeSink {
   bool wait_for_work() {
     set_state(State::kSearching);
     for (;;) {
+      if (drain_check()) return false;
       drain_inbox();
       if (my_.local_size() > 0) {
         set_state(State::kWorking);
@@ -205,6 +353,15 @@ class PushWorker final : public NodeSink {
   bool has_token_ = false;
   bool round_started_ = false;
   int outstanding_acks_ = 0;
+
+  /// Elastic membership (false unless the plan drains or joins ranks).
+  const bool member_mode_;
+  /// This rank hit its planned drain point and is leaving gracefully.
+  bool drained_ = false;
+  /// TERM arrived while in the drain loops.
+  bool term_seen_ = false;
+  /// Sources of relayed chunks we have not yet acked (chain of custody).
+  std::vector<int> owed_;
 
   /// Telemetry (null when no observer is attached).
   obs::Observer* obs_;

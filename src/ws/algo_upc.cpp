@@ -30,6 +30,8 @@ class UpcWorker final : public NodeSink {
         my_(g.stacks[me_]),
         board_(g.recovery),
         crash_mode_(ctx.liveness() != nullptr && g.recovery != nullptr),
+        member_mode_(ctx.faults() != nullptr &&
+                     ctx.faults()->plan().membership_enabled()),
         obs_(cfg.obs) {
     nodebuf_.resize(nb_);
     backoff_ns_ = cfg.steal_backoff_ns;
@@ -66,6 +68,7 @@ class UpcWorker final : public NodeSink {
   }
 
   stats::ThreadStats run() {
+    join_park();
     st_.timer.start(State::kWorking, ctx_.now_ns());
     if (cfg_.trace != nullptr)
       cfg_.trace->state(me_, ctx_.now_ns(), State::kWorking);
@@ -77,9 +80,11 @@ class UpcWorker final : public NodeSink {
     try {
       for (;;) {
         do_work();
+        if (drained_) break;
         publish_idle();
         if (!find_work()) break;
       }
+      if (drained_) drain_out();
     } catch (const pgas::RankCrashed&) {
       // This rank fail-stopped. The Ctx is already in dead mode (its
       // remote stores no longer land), so all we do is preserve the node
@@ -110,6 +115,43 @@ class UpcWorker final : public NodeSink {
     if (cfg_.trace != nullptr) cfg_.trace->state(me_, t, s);
     if (obs_ != nullptr) obs_->state(me_, t, s);
   }
+
+  // ---- elastic membership (no-ops unless the plan drains/joins ranks) ----
+
+  /// A JoinSpec'd rank parks (its clock advancing, its joined flag down so
+  /// barrier targets exclude it) until its join instant, then raises the
+  /// flag with a release store *before* touching any shared protocol state.
+  /// Rank 0 is never a joiner (it seeds the root).
+  void join_park() {
+    pgas::FaultInjector* fi = ctx_.faults();
+    const std::uint64_t jt = fi != nullptr ? fi->join_at_ns() : 0;
+    if (jt == 0) return;
+    const std::uint64_t now = ctx_.now_ns();
+    if (now < jt) ctx_.charge(jt - now);
+    while (ctx_.now_ns() < jt) ctx_.yield();
+    ctx_.note_joined();
+  }
+
+  /// Safe-point probe for a planned drain: only fires at the top of the
+  /// pop loop and the search-cycle tops, never while a lock is held, a
+  /// popped node is in flight, or our +1 stands in a barrier count.
+  bool drain_check() {
+    pgas::FaultInjector* fi = ctx_.faults();
+    if (fi == nullptr || !fi->drain_due(ctx_.now_ns())) return false;
+    drained_ = true;
+    return true;
+  }
+
+  /// A graceful leave is a clean fail-stop at a safe point: everything
+  /// still on our stack rides the crash-recovery machinery — survivors
+  /// detect the death, salvage the stack interval exactly once, replay any
+  /// orphaned lineage records, and the barrier target shrinks to the
+  /// remaining membership.
+  void drain_out() { ctx_.leave(); }
+
+  /// Victims worth probing: skip ranks that are not (yet) members. Gated on
+  /// membership so pure-crash schedules keep their exact probe sequence.
+  bool skip_victim(int v) { return member_mode_ && ctx_.rank_absent(v); }
 
   bool lockless() const {
     return cfg_.protocol == StackProtocol::kRequestResponse;
@@ -154,6 +196,7 @@ class UpcWorker final : public NodeSink {
   void do_work() {
     int since_poll = 0;
     for (;;) {
+      if (drain_check()) return;
       if (!my_.pop(nodebuf_.data())) {
         if (!reacquire_chunk()) break;  // stack completely empty
         continue;
@@ -380,8 +423,7 @@ class UpcWorker final : public NodeSink {
     if (span_ != 0)
       obs_->spans().event(me_, span_, obs::SpanPhase::kTransfer, ctx_.now_ns(),
                           me_, v, static_cast<std::int64_t>(take));
-    absorb(take, crash_mode_ ? &board_->rec(me_, v) : nullptr);
-    return true;
+    return absorb(take, crash_mode_ ? &board_->rec(me_, v) : nullptr);
   }
 
   /// §3.3.3 steal: CAS our id into the victim's request word, spin on our
@@ -433,10 +475,11 @@ class UpcWorker final : public NodeSink {
           obs_->spans().event(me_, span_, obs::SpanPhase::kTransfer,
                               ctx_.now_ns(), me_, v,
                               static_cast<std::int64_t>(take));
-        absorb(take, crash_mode_ ? &board_->rec(v, me_) : nullptr);
+        const bool landed =
+            absorb(take, crash_mode_ ? &board_->rec(v, me_) : nullptr);
         if (obs_ != nullptr) obs_->spans().clear_active(me_, v);
         backoff_ns_ = cfg_.steal_backoff_ns;
-        return true;
+        return landed;
       }
       if (crash_mode_ && ctx_.rank_dead(v)) {
         // The victim died mid-protocol. If it had committed a grant, the
@@ -512,7 +555,10 @@ class UpcWorker final : public NodeSink {
     span_ = 0;
   }
 
-  void absorb(std::size_t take, TransferRec* rec = nullptr) {
+  /// Returns false when the lineage record was already replayed by a
+  /// recoverer — the copied chunk must be discarded and the steal reported
+  /// as failed (nothing landed on our stack).
+  bool absorb(std::size_t take, TransferRec* rec = nullptr) {
     // Retire the lineage record *before* the pushes, with no interaction
     // point between retire and pushes: "record pending" is then exactly
     // "chunk in no stack". The claim CAS fails only if a survivor already
@@ -525,8 +571,11 @@ class UpcWorker final : public NodeSink {
                               ctx_.now_ns(), me_, -1);
           span_ = 0;
         }
-        publish_avail();
-        return;
+        // Nothing landed: we are still a searcher, and must advertise as
+        // one — leaving a stale "working, no surplus" here would keep every
+        // peer out of the termination barrier forever.
+        publish_idle();
+        return false;
       }
     }
     last_take_ = take;
@@ -542,6 +591,7 @@ class UpcWorker final : public NodeSink {
       span_ = 0;
     }
     publish_avail();  // we are working again; shared region is empty
+    return true;
   }
 
   void shuffle_perm() {
@@ -624,49 +674,49 @@ class UpcWorker final : public NodeSink {
     return taken > 0;
   }
 
-  /// Replay one orphaned transfer: its thief died between the victim-side
-  /// reservation and the retire CAS, so the chunk exists only in the
-  /// record payload. The claim CAS makes the replay exactly-once; the
-  /// dedup filter is defense-in-depth (chunks are disjoint reservations,
-  /// so in a correct execution it never drops anything).
+  /// Replay one orphaned transfer: an endpoint died mid-protocol, so the
+  /// chunk may exist only in the record payload. The claim CAS against the
+  /// (possibly live) thief's retire makes the replay exactly-once, and
+  /// every replayed node is kept. Descriptor-level dedup would be wrong
+  /// here: a node can legitimately flow through recovery more than once in
+  /// its lifetime (recovered, released back into circulation unvisited,
+  /// re-stolen, then orphaned by a second death), so "seen in a recovery
+  /// before" does not mean "safe on some stack" — dropping it loses the
+  /// node's whole subtree.
   bool replay_record(TransferRec& rec) {
-    pgas::LockGuard guard(ctx_, board_->dedup_lock);
     if (!board_->claim_rec(ctx_, rec)) return false;  // raced; other won
     board_->note_replay();
-    std::size_t kept = 0;
-    for (std::uint32_t i = 0; i < rec.nnodes; ++i) {
-      const std::byte* nd = rec.payload.data() + i * nb_;
-      if (board_->filter_new(nd)) {
-        my_.push(nd);
-        ++kept;
-      } else {
-        ++st_.c.dedup_drops;
-      }
-    }
+    my_.push_n(rec.payload.data(), rec.nnodes);
     ctx_.charge(ctx_.net().bulk_ns(me_, rec.victim, rec.nnodes * nb_));
     ++st_.c.replays;
-    st_.c.recovered_nodes += kept;
+    st_.c.recovered_nodes += rec.nnodes;
     if (cfg_.trace != nullptr)
       cfg_.trace->recover(me_, ctx_.now_ns(), rec.victim,
-                          static_cast<std::int64_t>(kept));
-    return kept > 0;
+                          static_cast<std::int64_t>(rec.nnodes));
+    return rec.nnodes > 0;
   }
 
   /// Crash-mode membership invariants for the termination barriers.
   ///
   /// The entry count at which the barrier means global termination: every
-  /// rank we currently see alive, plus one ghost entry per dead rank that
-  /// died *while counted in* (its in_barrier mirror is set — and a rank can
-  /// only die in-barrier with an empty stack, so its ghost entry is as good
-  /// as a live one).
+  /// rank we currently see as a present member, plus one ghost entry per
+  /// dead rank that died *while counted in* (its in_barrier mirror is set —
+  /// and a rank can only die in-barrier with an empty stack, so its ghost
+  /// entry is as good as a live one). A not-yet-joined rank is excluded via
+  /// its monotonic joined flag, never via a clocked view: the joiner raises
+  /// the flag (release) before its first shared-protocol store, so any rank
+  /// that could have granted it work already sees it as a member — a lagging
+  /// view can therefore never declare termination around a working joiner.
   int barrier_target() {
-    int dead = 0, ghosts = 0;
+    int absent = 0, ghosts = 0;
     for (int r = 0; r < n_; ++r) {
-      if (r == me_ || !ctx_.rank_dead(r)) continue;
-      ++dead;
-      if (board_->in_barrier(r).load(std::memory_order_acquire)) ++ghosts;
+      if (r == me_ || !ctx_.rank_absent(r)) continue;
+      ++absent;
+      if (ctx_.rank_dead(r) &&
+          board_->in_barrier(r).load(std::memory_order_acquire))
+        ++ghosts;
     }
-    return n_ - dead + ghosts;
+    return n_ - absent + ghosts;
   }
 
   /// No recoverable work may remain: every detected-dead rank salvaged and
@@ -751,6 +801,7 @@ class UpcWorker final : public NodeSink {
   bool find_work_cb() {
     set_state(State::kSearching);
     for (;;) {
+      if (drain_check()) return false;
       if (maybe_recover()) {
         publish_avail();
         set_state(State::kWorking);
@@ -758,6 +809,7 @@ class UpcWorker final : public NodeSink {
       }
       shuffle_perm();
       for (int v : perm_) {
+        if (skip_victim(v)) continue;
         if (probe(v) >= static_cast<std::int64_t>(k_)) {
           set_state(State::kStealing);
           if (attempt_steal(v)) {
@@ -852,6 +904,7 @@ class UpcWorker final : public NodeSink {
   bool find_work_probe() {
     set_state(State::kSearching);
     for (;;) {
+      if (drain_check()) return false;
       if (maybe_recover()) {
         publish_avail();
         set_state(State::kWorking);
@@ -860,6 +913,7 @@ class UpcWorker final : public NodeSink {
       shuffle_perm();
       bool any_working = false;
       for (int v : perm_) {
+        if (skip_victim(v)) continue;
         if (check_term_flag()) return false;
         const std::int64_t a = probe(v);
         if (a >= static_cast<std::int64_t>(k_)) {
@@ -911,6 +965,17 @@ class UpcWorker final : public NodeSink {
         ctx_.charge_ref(0);
         if (term_satisfied(g_.bar_count.load(std::memory_order_acquire))) {
           announce_termination();
+          return 1;
+        }
+        // The ref above also covers rank 0's announcement root. If
+        // termination was declared but our flag never arrived — the tree
+        // announcement can die with a crashed interior rank, or sit behind
+        // a healing partition until every forwarder has exited — adopt it
+        // straight from the root word and re-forward to our subtree.
+        if (g_.term_root.load(std::memory_order_acquire) != -1) {
+          ctx_.charge(ctx_.net().local_ref_ns);
+          g_.slots[me_].term_flag.store(1, std::memory_order_release);
+          forward_announcement();
           return 1;
         }
       }
@@ -997,6 +1062,10 @@ class UpcWorker final : public NodeSink {
   /// Crash-fault tolerance (null / false unless the plan injects crashes).
   RecoveryBoard* board_;
   const bool crash_mode_;
+  /// Elastic membership (false unless the plan drains or joins ranks).
+  const bool member_mode_;
+  /// This rank hit its planned drain point and is leaving gracefully.
+  bool drained_ = false;
   /// nodebuf_ holds a popped-but-uncounted node (see visit()).
   bool visiting_ = false;
   /// Telemetry (all null/0 when no observer is attached).

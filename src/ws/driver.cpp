@@ -31,6 +31,10 @@ void harvest_faults(pgas::Ctx& ctx, stats::ThreadStats& st,
   st.c.faults_spikes = fc.spikes;
   st.c.faults_dropped = fc.msgs_dropped;
   st.c.faults_duplicated = fc.msgs_duplicated;
+  st.c.faults_drains = fc.drains;
+  st.c.faults_joins = fc.joins;
+  st.c.faults_partition_delays = fc.partition_delays;
+  st.c.faults_partition_delay_ns = fc.partition_delay_ns_total;
   st.c.faults_crashes = fc.crashes;
   st.c.locks_revoked = ctx.locks_revoked();
   st.c.stale_unlocks = ctx.stale_unlocks();
@@ -46,6 +50,11 @@ void harvest_faults(pgas::Ctx& ctx, stats::ThreadStats& st,
       case pgas::FaultEvent::Kind::kSpike: k = trace::Kind::kSpike; break;
       case pgas::FaultEvent::Kind::kMsgDrop: k = trace::Kind::kMsgDrop; break;
       case pgas::FaultEvent::Kind::kMsgDup: k = trace::Kind::kMsgDup; break;
+      case pgas::FaultEvent::Kind::kDrain: k = trace::Kind::kDrain; break;
+      case pgas::FaultEvent::Kind::kJoin: k = trace::Kind::kJoin; break;
+      case pgas::FaultEvent::Kind::kPartitionDelay:
+        k = trace::Kind::kPartitionDelay;
+        break;
       case pgas::FaultEvent::Kind::kCrash: break;  // handled above
     }
     tr->fault(ctx.rank(), e.t_ns, k, static_cast<std::int64_t>(e.ns));
@@ -113,7 +122,7 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
   std::optional<pgas::Liveness> live_store;
   std::optional<RecoveryBoard> board_store;
   RecoveryBoard* board = nullptr;
-  if (rc.faults.crashes_enabled()) {
+  if (rc.faults.crashes_enabled() || rc.faults.membership_enabled()) {
     if (rc.liveness == nullptr) {
       live_store.emplace(rcfg.nranks, rc.faults.crash_detect_ns);
       rc.liveness = &*live_store;

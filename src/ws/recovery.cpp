@@ -12,7 +12,6 @@ RecoveryBoard::RecoveryBoard(int nranks, std::size_t node_bytes)
       in_barrier_(static_cast<std::size_t>(nranks)) {
   for (auto& s : salvage_) s.store(0, std::memory_order_relaxed);
   for (auto& b : in_barrier_) b.store(0, std::memory_order_relaxed);
-  dedup_lock.owner = 0;
 }
 
 void RecoveryBoard::publish(int writer, int peer, int victim, int thief,
@@ -66,12 +65,6 @@ bool RecoveryBoard::orphan_pending(pgas::Ctx& viewer) const {
     if (r.victim >= 0 && viewer.rank_dead(r.victim)) return true;
   }
   return false;
-}
-
-bool RecoveryBoard::filter_new(const std::byte* node) {
-  return seen_
-      .emplace(reinterpret_cast<const char*>(node), nb_)
-      .second;
 }
 
 }  // namespace upcws::ws

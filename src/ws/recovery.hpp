@@ -20,18 +20,18 @@
 //     once even with many recoverers.
 //   * The pending -> {done, claimed} CAS race is what makes the traversal
 //     visit every node exactly once: a chunk is either retired by its thief
-//     or replayed by a recoverer, never both. As a defense-in-depth (and
-//     for the absorb-without-ack crash windows of the message-passing
-//     protocol) every *recovered* node additionally passes a dedup filter
-//     keyed on its full descriptor bytes; nodes on the normal path never
-//     touch the filter, so a crash-free run pays nothing.
+//     or replayed by a recoverer, never both. Reservations leave the stack
+//     before the record is published (no interaction point between), so a
+//     salvage interval and a pending record are disjoint by construction —
+//     no descriptor-level dedup is needed, and none is done: a node can
+//     legitimately flow through recovery more than once in its lifetime
+//     (recovered, recirculated unvisited, re-stolen, orphaned again), so
+//     dropping "seen before" descriptors would lose live subtrees.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_set>
-#include <string>
 #include <vector>
 
 #include "pgas/engine.hpp"
@@ -109,10 +109,9 @@ class RecoveryBoard {
   // complete()/claim() — no extra Ctx charges, no behavior change. With it
   // true they become a read / yield / write with a deliberate TOCTOU window:
   // a live thief's retire can then race a survivor's replay claim on the
-  // same record, and since the thief's normal-path pushes never enter the
-  // dedup filter, the race double-counts the chunk — but only under
-  // schedules that interleave another rank into the window. This is the
-  // seeded bug `schedule_check` is validated against.
+  // same record, so both sides keep the chunk and the race double-counts
+  // it — but only under schedules that interleave another rank into the
+  // window. This is the seeded bug `schedule_check` is validated against.
 
   /// When true, retire()/claim_rec() use the weakened non-atomic
   /// arbitration. Set by the driver from WsConfig::bug_weak_claim.
@@ -143,6 +142,12 @@ class RecoveryBoard {
   bool salvage_done(int r) const {
     return salvage_[r].load(std::memory_order_acquire) == 2;
   }
+  /// Raw salvage word of rank `r` (0 untouched, 1 claimed, 2 finished) —
+  /// read by the membership-safety oracle to catch salvage of a live rank
+  /// and salvage left mid-flight at termination.
+  int salvage_state(int r) const {
+    return salvage_[r].load(std::memory_order_acquire);
+  }
 
   /// Monotonic count of completed recovery actions (salvages + replays);
   /// the token-ring leader snapshots it to invalidate rounds that raced
@@ -156,16 +161,6 @@ class RecoveryBoard {
   /// exists, termination must wait: its nodes are reachable only through a
   /// replay.
   bool orphan_pending(pgas::Ctx& viewer) const;
-
-  // ---- recovered-node dedup filter (recovery paths only) ----
-
-  /// Lock guarding the filter; recoverers take it through their Ctx so the
-  /// cost model sees the serialization.
-  pgas::Lock dedup_lock;
-
-  /// True if `node` has not been recovered before; inserts it. Caller holds
-  /// dedup_lock.
-  bool filter_new(const std::byte* node);
 
   // ---- failure-aware barrier bookkeeping (UPC family) ----
 
@@ -182,7 +177,6 @@ class RecoveryBoard {
   std::vector<std::atomic<int>> salvage_;
   std::vector<std::atomic<int>> in_barrier_;
   std::atomic<std::uint64_t> recoveries_{0};
-  std::unordered_set<std::string> seen_;
 };
 
 }  // namespace upcws::ws

@@ -90,15 +90,16 @@ TEST(CheckStrategies, ReplayClampsOutOfRangeChoice) {
 
 // ---- oracle battery ----
 
-TEST(CheckOracles, DefaultBatteryHasTheFourInvariants) {
+TEST(CheckOracles, DefaultBatteryHasTheFiveInvariants) {
   const auto os = check::default_oracles();
-  ASSERT_EQ(os.size(), 4u);
+  ASSERT_EQ(os.size(), 5u);
   std::set<std::string> names;
   for (const auto& o : os) names.insert(o->name());
   EXPECT_TRUE(names.count("node-conservation"));
   EXPECT_TRUE(names.count("lock-epoch"));
   EXPECT_TRUE(names.count("barrier-work"));
   EXPECT_TRUE(names.count("steal-conservation"));
+  EXPECT_TRUE(names.count("membership-safety"));
 }
 
 TEST(CheckOracles, NodeConservationFlagsBothDirections) {

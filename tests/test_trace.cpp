@@ -134,6 +134,9 @@ const std::pair<trace::Kind, const char*> kAllKinds[] = {
     {trace::Kind::kRankCrashed, "rank_crashed"},
     {trace::Kind::kLockRevoked, "lock_revoked"},
     {trace::Kind::kWorkRecovered, "work_recovered"},
+    {trace::Kind::kDrain, "drain"},
+    {trace::Kind::kJoin, "join"},
+    {trace::Kind::kPartitionDelay, "partition_delay"},
 };
 
 TEST(TraceUnit, AllKindNamesDistinctAndStable) {
@@ -142,10 +145,10 @@ TEST(TraceUnit, AllKindNamesDistinctAndStable) {
     EXPECT_STREQ(trace::kind_name(kind), name);
     EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
   }
-  // The table above must stay exhaustive: kWorkRecovered is the last
+  // The table above must stay exhaustive: kPartitionDelay is the last
   // enumerator, so its ordinal + 1 is the kind count.
   EXPECT_EQ(std::size(kAllKinds),
-            static_cast<std::size_t>(trace::Kind::kWorkRecovered) + 1);
+            static_cast<std::size_t>(trace::Kind::kPartitionDelay) + 1);
 }
 
 TEST(TraceUnit, AllKindsRoundTripThroughCsvAndChrome) {

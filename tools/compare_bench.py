@@ -10,6 +10,14 @@ Usage:
       Prints a delta table and WARNS (exit 0) on any regression beyond the
       threshold; pass --fail-on-regression to turn warnings into exit 1.
 
+  compare_bench.py CURRENT.json BASELINE.json --fail-over 30
+      Same comparison, but any regression beyond 30% is a HARD FAIL
+      (exit 1) regardless of --fail-on-regression. Lets CI keep the
+      warn-at-15% policy while still catching catastrophic slowdowns.
+
+  compare_bench.py --self-test
+      Run the built-in unit checks on canned JSON and exit.
+
 Regression direction is inferred from the metric name: *_per_sec and plain
 counters are better-higher; ns_per_* and *_s (durations) are better-lower.
 Metrics that are neither (e.g. `nodes`, `switches`) are checked for drift in
@@ -82,10 +90,11 @@ def direction(metric):
     return +1
 
 
-def compare(cur, base, threshold, fail_on_regression):
+def compare(cur, base, threshold, fail_on_regression, fail_over=None):
     cur_by = {r["name"]: r for r in cur["results"]}
     base_by = {r["name"]: r for r in base["results"]}
     regressions = []
+    hard_fails = []
     drift = []
 
     print(f"{'result':<28} {'metric':<20} {'baseline':>12} {'current':>12} "
@@ -111,6 +120,9 @@ def compare(cur, base, threshold, fail_on_regression):
                 regressions.append((name, metric, bv, cv, delta))
             elif d * delta > threshold:
                 flag = "  improved"
+            if fail_over is not None and d != 0 and d * delta < -fail_over:
+                flag = "  HARD FAIL"
+                hard_fails.append((name, metric, bv, cv, delta))
             print(f"{name:<28} {metric:<20} {bv:>12.4g} {cv:>12.4g} "
                   f"{delta:>+7.1%}{flag}")
     for name in cur_by:
@@ -123,6 +135,14 @@ def compare(cur, base, threshold, fail_on_regression):
               "as the baseline:", file=sys.stderr)
         for name, metric, bv, cv in drift:
             print(f"  {name} {metric}: {bv:g} -> {cv:g}", file=sys.stderr)
+    if hard_fails:
+        print(f"\ncompare_bench: FAIL: {len(hard_fails)} metric(s) "
+              f"regressed more than the --fail-over gate of {fail_over:.0%}:",
+              file=sys.stderr)
+        for name, metric, bv, cv, delta in hard_fails:
+            print(f"  {name} {metric}: {bv:g} -> {cv:g} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
     if regressions:
         print(f"\ncompare_bench: WARNING: {len(regressions)} metric(s) "
               f"regressed more than {threshold:.0%} vs baseline:",
@@ -140,9 +160,84 @@ def compare(cur, base, threshold, fail_on_regression):
     return 0
 
 
+def _canned(rate, nodes=1000):
+    """One-result doc with a controllable throughput metric."""
+    return {
+        "schema": SCHEMA, "bench": "selftest", "mode": "quick",
+        "results": [{"name": "case", "metrics":
+                     {"nodes_per_sec": rate, "nodes": nodes}}],
+    }
+
+
+def self_test():
+    """Unit checks on canned JSON; prints PASS/FAIL per case, exits 1 on
+    any failure. Covers schema validation, regression direction, and the
+    warn/--fail-on-regression/--fail-over exit-code matrix."""
+    import contextlib
+    import io
+
+    cases = []
+
+    def run_compare(cur, base, **kw):
+        with contextlib.redirect_stdout(io.StringIO()), \
+             contextlib.redirect_stderr(io.StringIO()):
+            return compare(cur, base, kw.pop("threshold", 0.15),
+                           kw.pop("fail_on_regression", False),
+                           kw.pop("fail_over", None))
+
+    def quiet_validate(doc):
+        with contextlib.redirect_stderr(io.StringIO()):
+            return validate(doc, "<canned>")
+
+    cases.append(("valid doc passes validation",
+                  quiet_validate(_canned(100.0))))
+    bad_schema = _canned(100.0)
+    bad_schema["schema"] = "nope-v0"
+    cases.append(("wrong schema rejected", not quiet_validate(bad_schema)))
+    dup = _canned(100.0)
+    dup["results"].append(dup["results"][0])
+    cases.append(("duplicate result name rejected", not quiet_validate(dup)))
+    nan = _canned(100.0)
+    nan["results"][0]["metrics"]["nodes"] = "many"
+    cases.append(("non-numeric metric rejected", not quiet_validate(nan)))
+
+    cases.append(("direction: throughput is better-higher",
+                  direction("nodes_per_sec") == +1))
+    cases.append(("direction: duration is better-lower",
+                  direction("elapsed_s") == -1))
+    cases.append(("direction: workload metric is invariant",
+                  direction("nodes") == 0))
+
+    base = _canned(100.0)
+    cases.append(("5% slowdown under threshold -> exit 0",
+                  run_compare(_canned(95.0), base) == 0))
+    cases.append(("20% slowdown warns but exits 0",
+                  run_compare(_canned(80.0), base) == 0))
+    cases.append(("20% slowdown + --fail-on-regression -> exit 1",
+                  run_compare(_canned(80.0), base,
+                              fail_on_regression=True) == 1))
+    cases.append(("20% slowdown under --fail-over 0.30 -> exit 0",
+                  run_compare(_canned(80.0), base, fail_over=0.30) == 0))
+    cases.append(("40% slowdown over --fail-over 0.30 -> exit 1",
+                  run_compare(_canned(60.0), base, fail_over=0.30) == 1))
+    cases.append(("40% speedup never trips --fail-over",
+                  run_compare(_canned(140.0), base, fail_over=0.30) == 0))
+    cases.append(("workload drift detected but non-fatal",
+                  run_compare(_canned(100.0, nodes=999), base) == 0))
+
+    failed = 0
+    for name, ok in cases:
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+        failed += not ok
+    print(f"compare_bench --self-test: {len(cases) - failed}/{len(cases)} "
+          "checks passed")
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("current", help="freshly generated BENCH_*.json")
+    ap.add_argument("current", nargs="?",
+                    help="freshly generated BENCH_*.json")
     ap.add_argument("baseline", nargs="?",
                     help="checked-in baseline to diff against")
     ap.add_argument("--check-only", action="store_true",
@@ -151,7 +246,19 @@ def main():
                     help="relative regression threshold (default 0.15)")
     ap.add_argument("--fail-on-regression", action="store_true",
                     help="exit 1 instead of warning on regressions")
+    ap.add_argument("--fail-over", type=float, metavar="PCT",
+                    help="hard-fail (exit 1) on any regression beyond PCT "
+                         "percent, independent of --fail-on-regression")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run built-in checks on canned JSON and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.current:
+        sys.exit("compare_bench: need CURRENT.json (or --self-test)")
+    if args.fail_over is not None and args.fail_over <= 0:
+        sys.exit("compare_bench: --fail-over must be a positive percentage")
 
     cur = load(args.current)
     if not validate(cur, args.current):
@@ -166,7 +273,9 @@ def main():
     base = load(args.baseline)
     if not validate(base, args.baseline):
         return 1
-    return compare(cur, base, args.threshold, args.fail_on_regression)
+    fail_over = None if args.fail_over is None else args.fail_over / 100.0
+    return compare(cur, base, args.threshold, args.fail_on_regression,
+                   fail_over)
 
 
 if __name__ == "__main__":

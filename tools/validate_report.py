@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Validate a run-telemetry report (uts_cli --report) against its schema.
+"""Validate machine-readable reports against their schema.
 
-Checks upcws-run-report-v1 structurally and semantically:
+Dispatches on the document's "schema" field:
+
+upcws-run-report-v1 (uts_cli --report), structurally and semantically:
   * required keys present with sane types,
   * per-rank entries cover every rank exactly once,
   * causes + residual exactly account for the non-working time,
   * the idle-time autopsy attributed >= 99% of non-working time
     (residual_frac_of_nonworking <= 0.01) -- the PR's acceptance bar.
+
+upcws-soak-summary-v1 (chaos_soak --json):
+  * passed + failed == campaigns, engine split sums to campaigns,
+  * per-algorithm campaign counts sum to campaigns,
+  * one violation entry per failed campaign, each naming the oracle
+    that fired and the replay file that reproduces it.
 
 Stdlib only. Exit 0 on success, 1 with a message on any violation.
 """
@@ -14,6 +22,7 @@ import json
 import sys
 
 SCHEMA = "upcws-run-report-v1"
+SOAK_SCHEMA = "upcws-soak-summary-v1"
 CAUSES = [
     "victim_miss_search",
     "steal_latency",
@@ -56,6 +65,79 @@ def check_causes(obj, where):
             fail(f"{where}: causes_ns[{k}] = {v!r} is not a non-negative int")
 
 
+SOAK_TOP_KEYS = {
+    "schema": str,
+    "campaigns": int,
+    "passed": int,
+    "failed": int,
+    "engines": dict,
+    "algos": dict,
+    "fault_classes": dict,
+    "violations": list,
+    "elapsed_s": float,
+}
+SOAK_VIOLATION_KEYS = ["campaign", "engine", "algo", "oracle", "replay",
+                       "message"]
+
+
+def validate_soak(rep, path):
+    for key, typ in SOAK_TOP_KEYS.items():
+        if key not in rep:
+            fail(f"missing key {key!r}")
+        val = rep[key]
+        if typ is float and isinstance(val, int):
+            val = float(val)
+        if not isinstance(val, typ):
+            fail(f"key {key!r} has type {type(rep[key]).__name__}, "
+                 f"want {typ.__name__}")
+    n = rep["campaigns"]
+    if n < 1:
+        fail(f"campaigns = {n}")
+    if rep["passed"] + rep["failed"] != n:
+        fail(f"passed {rep['passed']} + failed {rep['failed']} != "
+             f"campaigns {n}")
+    engines = rep["engines"]
+    if sorted(engines) != ["sim", "threads"]:
+        fail(f"engines keys {sorted(engines)} != ['sim', 'threads']")
+    for k, v in engines.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"engines[{k}] = {v!r} is not a non-negative int")
+    if engines["sim"] + engines["threads"] != n:
+        fail(f"engine split {engines['sim']} + {engines['threads']} != "
+             f"campaigns {n}")
+    for table in ("algos", "fault_classes"):
+        for k, v in rep[table].items():
+            if not isinstance(v, int) or not 0 <= v <= n:
+                fail(f"{table}[{k}] = {v!r} out of range [0, {n}]")
+    if not rep["algos"]:
+        fail("no algorithms exercised")
+    algo_sum = sum(rep["algos"].values())
+    if algo_sum != n:
+        fail(f"per-algo campaign counts sum to {algo_sum}, "
+             f"campaigns is {n}")
+    violations = rep["violations"]
+    if len(violations) != rep["failed"]:
+        fail(f"{len(violations)} violation entries for {rep['failed']} "
+             "failed campaigns")
+    for i, v in enumerate(violations):
+        for k in SOAK_VIOLATION_KEYS:
+            if k not in v:
+                fail(f"violations[{i}] missing {k!r}")
+        if not 0 <= v["campaign"] < n:
+            fail(f"violations[{i}]: campaign id {v['campaign']} "
+                 f"out of range")
+        if v["engine"] not in ("sim", "threads"):
+            fail(f"violations[{i}]: bad engine {v['engine']!r}")
+        if not v["oracle"]:
+            fail(f"violations[{i}]: empty oracle name")
+    if rep["elapsed_s"] < 0:
+        fail(f"elapsed_s = {rep['elapsed_s']}")
+
+    print(f"validate_report: OK: {path} -- {n} campaigns "
+          f"({engines['threads']} on threads), {rep['passed']} passed, "
+          f"{rep['failed']} failed, {len(rep['algos'])} algorithms")
+
+
 def main():
     if len(sys.argv) != 2:
         fail("usage: validate_report.py report.json")
@@ -64,6 +146,10 @@ def main():
             rep = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {sys.argv[1]}: {e}")
+
+    if rep.get("schema") == SOAK_SCHEMA:
+        validate_soak(rep, sys.argv[1])
+        return
 
     for key, typ in TOP_KEYS.items():
         if key not in rep:
