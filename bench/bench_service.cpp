@@ -1,0 +1,138 @@
+// Service-level latency/throughput curves: how does the resident job
+// service (src/svc) behave as the offered load rises?
+//
+// An open-loop Poisson stream of small UTS jobs is submitted to one
+// Service on the simulated engine at a sweep of arrival rates, from well
+// under the pool's service rate to ~2x past saturation. For each rate the
+// bench reports, all in virtual time (deterministic run to run):
+//
+//   * p50 / p99 sojourn latency (arrival -> completion) of completed jobs,
+//   * completed-job throughput over the service horizon,
+//   * the shed fraction (queue-full rejections over offered jobs),
+//   * peak queue depth against the admission bound.
+//
+// The classic open-queue shape should emerge: flat latency and ~zero
+// shedding below saturation, then the p99 knee and a rising shed fraction
+// as the bounded queue starts doing its job. A second pass repeats the
+// sweep with per-job crash/drain chaos to show the degraded-pool penalty.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "pgas/sim_engine.hpp"
+#include "stats/table.hpp"
+#include "svc/service.hpp"
+
+using namespace upcws;
+using benchutil::Mode;
+
+namespace {
+
+std::uint64_t pctl(const std::vector<std::uint64_t>& sorted, int p) {
+  if (sorted.empty()) return 0;
+  const std::size_t n = sorted.size();
+  std::size_t idx = (n * static_cast<std::size_t>(p) + 99) / 100;
+  if (idx == 0) idx = 1;
+  return sorted[std::min(idx, n) - 1];
+}
+
+struct SweepPoint {
+  double mean_arrival_us;
+  std::uint64_t p50_ns, p99_ns;
+  double throughput;  // completed jobs per virtual second
+  double shed_frac;
+  std::uint64_t queue_max;
+};
+
+SweepPoint run_rate(int jobs, double mean_ns, bool chaos, std::uint64_t seed) {
+  pgas::SimEngine eng;
+  svc::ServiceConfig cfg;
+  cfg.pool_ranks = 6;
+  cfg.queue_cap = 16;
+  cfg.repair_ns = 2'000'000;
+  svc::Service s(eng, cfg);
+
+  std::mt19937_64 g(seed);
+  std::uniform_real_distribution<double> uni(1e-12, 1.0);
+  std::uint64_t t = 0;
+  for (int i = 0; i < jobs; ++i) {
+    svc::JobSpec spec;
+    spec.workload = svc::Workload::kUts;
+    spec.tree = uts::test_small(static_cast<int>(g() % 8));
+    spec.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(i % 6)];
+    spec.chunk = 3;
+    spec.run_seed = g() % 100'000 + 1;
+    // Crash chaos only for the stealing variants: work-push has no steal
+    // protocol to reroute around a dead rank. A modest virtual-time fence
+    // bounds any wedge so a sweep point can never stall the bench.
+    spec.watchdog_ns = 200'000'000;
+    if (chaos && i % 4 == 1 && spec.algo != ws::Algo::kWorkPush) {
+      spec.steal_timeout_ns = 30'000;
+      pgas::CrashSpec c;
+      c.rank = 1 + static_cast<int>(g() % 5);
+      c.at_ns = 20'000 + g() % 80'000;
+      spec.faults.crashes.push_back(c);
+    }
+    t += static_cast<std::uint64_t>(-mean_ns * std::log(uni(g)));
+    s.submit(spec, t);
+  }
+  s.drain();
+
+  const svc::Summary sum = s.summary();
+  std::vector<std::uint64_t> lat = sum.completed_latency_ns;
+  std::sort(lat.begin(), lat.end());
+  SweepPoint pt;
+  pt.mean_arrival_us = mean_ns / 1000.0;
+  pt.p50_ns = pctl(lat, 50);
+  pt.p99_ns = pctl(lat, 99);
+  const double horizon_s = static_cast<double>(sum.now_ns) * 1e-9;
+  pt.throughput =
+      horizon_s > 0 ? static_cast<double>(sum.completed) / horizon_s : 0;
+  pt.shed_frac = static_cast<double>(sum.rejected) / jobs;
+  pt.queue_max = sum.queue_depth_max;
+  return pt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Mode mode = benchutil::mode_from_args(argc, argv);
+  const int jobs = mode == Mode::kFull ? 400 : mode == Mode::kQuick ? 60 : 160;
+
+  benchutil::print_banner(
+      "bench_service -- resident service latency under rising load",
+      "open-loop Poisson arrivals: flat latency below saturation, p99 knee "
+      "and bounded-queue shedding past it",
+      std::string("mode=") + benchutil::mode_name(mode) +
+          " jobs/rate=" + std::to_string(jobs) + " pool=6 queue_cap=16");
+
+  // Mean inter-arrival sweep, microseconds of virtual time. Service time
+  // of one small UTS job on the 6-rank pool is a few hundred us, so the
+  // sweep crosses saturation around the middle.
+  const std::vector<double> sweep_us = {2000, 1000, 500, 250, 120, 60};
+
+  benchutil::Stopwatch wall;
+  for (const bool chaos : {false, true}) {
+    std::printf("\nservice latency vs arrival rate%s\n",
+                chaos ? " (25% crash jobs)" : " (no chaos)");
+    stats::Table tbl({"mean arrival (ms)", "p50 (ms)", "p99 (ms)", "jobs/s",
+                      "shed", "queue max"});
+    for (const double us : sweep_us) {
+      const SweepPoint pt = run_rate(jobs, us * 1000.0, chaos, 42);
+      tbl.add_row({benchutil::fmt(pt.mean_arrival_us / 1000.0, 2),
+                   benchutil::fmt(static_cast<double>(pt.p50_ns) * 1e-6, 3),
+                   benchutil::fmt(static_cast<double>(pt.p99_ns) * 1e-6, 3),
+                   benchutil::fmt(pt.throughput, 1),
+                   benchutil::fmt(100.0 * pt.shed_frac, 1) + "%",
+                   std::to_string(pt.queue_max)});
+    }
+    tbl.print(std::cout);
+  }
+  std::printf("bench_service: done in %.1f s wall\n", wall.seconds());
+  return 0;
+}

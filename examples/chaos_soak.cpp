@@ -32,6 +32,12 @@
 //   --seed S        generator seed (default 1)
 //   --threads-every N  every Nth campaign runs on the real-thread engine
 //                   (node-count check only; 0 = sim only; default 8)
+//   --nranks N      pin every campaign to N ranks (default: random 4..8)
+//   --crash R@NS    force this fail-stop into every campaign (except
+//                   work-push, which excludes crashes by design); requires
+//                   --nranks so R can be validated against the run shape
+//   --drain R@NS    force this graceful leave into every campaign
+//   --join R@NS     force this late join into every campaign
 //   --json FILE     write the upcws-soak-summary-v1 JSON summary
 //   --replay-dir D  directory for shrunk failure replays (default ".")
 //   --budget-smoke  bounded CI mode: 60 campaigns, smoke-sized budgets
@@ -64,6 +70,32 @@ namespace {
   std::exit(2);
 }
 
+/// Strict nonnegative integer: rejects "-5" (which atoll/atoi would wrap
+/// or accept silently) and trailing junk.
+std::uint64_t parse_u64(const char* s, const char* flag) {
+  if (s == nullptr || *s == '\0' || *s == '-')
+    usage(std::string(flag) + " wants a nonnegative integer");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0')
+    usage(std::string(flag) + " wants a nonnegative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// "RANK@NS" for the forced-fault flags, rejecting negatives outright.
+std::pair<int, std::uint64_t> parse_rank_at(const std::string& spec,
+                                            const char* flag) {
+  const std::string want = std::string("bad ") + flag + " spec (want RANK@NS)";
+  if (spec.find('-') != std::string::npos) usage(want);
+  int rank = -1;
+  unsigned long long at = 0;
+  int consumed = 0;
+  if (std::sscanf(spec.c_str(), "%d@%llu%n", &rank, &at, &consumed) < 2 ||
+      spec[static_cast<std::size_t>(consumed)] != '\0')
+    usage(want);
+  return {rank, static_cast<std::uint64_t>(at)};
+}
+
 /// One campaign's random draw: a CheckSpec plus which fault classes it
 /// includes and which engine runs it.
 struct Campaign {
@@ -83,7 +115,8 @@ struct Failure {
 
 /// Valid-by-construction campaign generator. All randomness flows from one
 /// per-campaign mt19937_64, so a campaign index + seed reproduces the draw.
-Campaign draw_campaign(std::uint64_t seed, int index, int threads_every) {
+Campaign draw_campaign(std::uint64_t seed, int index, int threads_every,
+                       int pin_nranks) {
   std::mt19937_64 g(seed + static_cast<std::uint64_t>(index) *
                                0x9E3779B97F4A7C15ull);
   auto pick = [&g](int lo, int hi) {  // inclusive
@@ -95,7 +128,7 @@ Campaign draw_campaign(std::uint64_t seed, int index, int threads_every) {
   Campaign c;
   check::CheckSpec& s = c.spec;
   s.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(pick(0, 5))];
-  s.nranks = pick(4, 8);
+  s.nranks = pin_nranks > 0 ? pin_nranks : pick(4, 8);
   s.chunk = pick(1, 4);
   s.net = chance(70) ? "dist" : (chance(50) ? "shared" : "smp2");
   const std::uint32_t root = static_cast<std::uint32_t>(pick(0, 7));
@@ -265,6 +298,11 @@ int main(int argc, char** argv) {
   int campaigns = 240;
   std::uint64_t seed = 1;
   int threads_every = 8;
+  int pin_nranks = 0;  // 0 = random per campaign
+  bool nranks_set = false;
+  std::vector<pgas::CrashSpec> forced_crashes;
+  std::vector<pgas::DrainSpec> forced_drains;
+  std::vector<pgas::JoinSpec> forced_joins;
   std::string json_path, replay_dir = ".";
   bool verbose = false;
 
@@ -275,12 +313,28 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--campaigns")
-      campaigns = std::atoi(next());
+      campaigns = static_cast<int>(parse_u64(next(), "--campaigns"));
     else if (a == "--seed")
-      seed = static_cast<std::uint64_t>(std::atoll(next()));
+      seed = parse_u64(next(), "--seed");
     else if (a == "--threads-every")
-      threads_every = std::atoi(next());
-    else if (a == "--json")
+      threads_every = static_cast<int>(parse_u64(next(), "--threads-every"));
+    else if (a == "--nranks") {
+      pin_nranks = static_cast<int>(parse_u64(next(), "--nranks"));
+      nranks_set = true;
+    }
+    else if (a == "--crash") {
+      const auto [r, at] = parse_rank_at(next(), "--crash");
+      pgas::CrashSpec cs;
+      cs.rank = r;
+      cs.at_ns = at;
+      forced_crashes.push_back(cs);
+    } else if (a == "--drain") {
+      const auto [r, at] = parse_rank_at(next(), "--drain");
+      forced_drains.push_back(pgas::DrainSpec{r, at});
+    } else if (a == "--join") {
+      const auto [r, at] = parse_rank_at(next(), "--join");
+      forced_joins.push_back(pgas::JoinSpec{r, at});
+    } else if (a == "--json")
       json_path = next();
     else if (a == "--replay-dir")
       replay_dir = next();
@@ -292,6 +346,27 @@ int main(int argc, char** argv) {
       usage("unknown flag " + a);
   }
   if (campaigns < 1) usage("--campaigns wants at least 1");
+  if (nranks_set && (pin_nranks < 2 || pin_nranks > 16))
+    usage("--nranks wants 2..16 ranks");
+  // Forced fault flags are validated against the run shape before any
+  // campaign runs: a bad rank dies here with one line, not 60 campaigns in.
+  const bool any_forced = !forced_crashes.empty() || !forced_drains.empty() ||
+                          !forced_joins.empty();
+  if (any_forced && pin_nranks == 0)
+    usage("--crash/--drain/--join need --nranks to validate ranks against");
+  auto check_rank = [&](const char* flag, int r) {
+    if (r < 1 || r >= pin_nranks)
+      usage(std::string(flag) + " rank " + std::to_string(r) +
+            " out of range [1," + std::to_string(pin_nranks) +
+            ") (rank 0 seeds the root)");
+  };
+  for (const auto& c : forced_crashes) check_rank("--crash", c.rank);
+  for (const auto& d : forced_drains) check_rank("--drain", d.rank);
+  for (const auto& j : forced_joins) check_rank("--join", j.rank);
+  if (pin_nranks != 0 &&
+      forced_crashes.size() + forced_drains.size() >
+          static_cast<std::size_t>(pin_nranks - 2))
+    usage("forced crashes+drains exceed nranks-2 (work must survive)");
 
   const auto oracles = check::default_oracles();
   std::map<std::string, int> algo_runs, fault_runs;
@@ -300,8 +375,33 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
 
   for (int i = 0; i < campaigns; ++i) {
-    const Campaign c = draw_campaign(seed, i, threads_every);
-    const check::CheckSpec& s = c.spec;
+    Campaign c = draw_campaign(seed, i, threads_every,
+                               pin_nranks);
+    check::CheckSpec& s = c.spec;
+    if (any_forced) {
+      // Forced membership faults replace any drawn role on the same rank
+      // (one role per rank), and keep the valid-by-construction rules:
+      // work-push excludes crashes by design.
+      auto claimed = [&](int r) {
+        for (const auto& fc : forced_crashes)
+          if (fc.rank == r) return true;
+        for (const auto& fd : forced_drains)
+          if (fd.rank == r) return true;
+        for (const auto& fj : forced_joins)
+          if (fj.rank == r) return true;
+        return false;
+      };
+      std::erase_if(s.crashes,
+                    [&](const pgas::CrashSpec& cs) { return claimed(cs.rank); });
+      std::erase_if(s.drains,
+                    [&](const pgas::DrainSpec& d) { return claimed(d.rank); });
+      std::erase_if(s.joins,
+                    [&](const pgas::JoinSpec& j) { return claimed(j.rank); });
+      if (s.algo != ws::Algo::kWorkPush)
+        for (const auto& fc : forced_crashes) s.crashes.push_back(fc);
+      for (const auto& fd : forced_drains) s.drains.push_back(fd);
+      for (const auto& fj : forced_joins) s.joins.push_back(fj);
+    }
     ++algo_runs[ws::algo_label(s.algo)];
     if (s.stall_ns > 0) ++fault_runs["stalls"];
     if (s.drop_prob > 0) ++fault_runs["drops"];

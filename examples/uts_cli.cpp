@@ -56,6 +56,11 @@
 //                 (default when any fault is active: 10x remote latency)
 //   --watchdog-ms M   abort with a structured hang report if no rank
 //                 visits a node for M virtual milliseconds (sim engine)
+//   --deadline-ns NS  cooperative deadline (also spelled --deadline): every
+//                 rank cancels the search once its clock reaches NS. The
+//                 run returns the partial count plus exact reclaimed-node
+//                 accounting (nodes + reclaimed == 1 + spawned) instead of
+//                 the sequential-match check
 //   --crash R@NS[,R@NS...]  permanent fail-stop: rank R crashes at ~NS of
 //                 its own virtual time. Survivors detect the death, revoke
 //                 the dead rank's lock leases, salvage its stack, and replay
@@ -114,11 +119,25 @@ ws::Algo parse_algo(const std::string& s) {
   usage("unknown algorithm label");
 }
 
+/// Strict nonnegative integer: rejects "-5" (which atoll would silently
+/// wrap to a huge unsigned) and trailing junk.
+std::uint64_t parse_u64(const char* s, const char* flag) {
+  if (s == nullptr || *s == '\0' || *s == '-')
+    usage((std::string(flag) + " wants a nonnegative integer").c_str());
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0')
+    usage((std::string(flag) + " wants a nonnegative integer").c_str());
+  return static_cast<std::uint64_t>(v);
+}
+
 /// "RANK@NS[,RANK@NS...]" -> (rank, at_ns) pairs handed to `add`.
 template <typename F>
 void parse_rank_at_list(const std::string& spec, const char* flag, F add) {
   const std::string want =
       std::string("bad ") + flag + " spec (want RANK@NS[,RANK@NS...])";
+  // Negative ranks/times would wrap through the unsigned scan: refuse.
+  if (spec.find('-') != std::string::npos) usage(want.c_str());
   const char* p = spec.c_str();
   while (*p != '\0') {
     int rank = -1;
@@ -147,6 +166,8 @@ void parse_crashes(const std::string& spec, pgas::FaultPlan& plan) {
 
 /// "MASK:START:HEAL[,...]" -> partition specs appended to the plan.
 void parse_partitions(const std::string& spec, pgas::FaultPlan& plan) {
+  if (spec.find('-') != std::string::npos)
+    usage("bad --partition spec (want MASK:START:HEAL[,...])");
   const char* p = spec.c_str();
   while (*p != '\0') {
     unsigned long long mask = 0, start = 0, heal = 0;
@@ -169,6 +190,8 @@ void parse_partitions(const std::string& spec, pgas::FaultPlan& plan) {
 
 /// "DUR[:PERIOD[:RANK]]" (ns, ns, rank id) -> stall fields of the plan.
 void parse_stall(const std::string& spec, pgas::FaultPlan& plan) {
+  if (spec.find('-') != std::string::npos)
+    usage("bad --stall spec (negative values; want DUR[:PERIOD[:RANK]])");
   unsigned long long dur = 0, period = 0;
   int rank = -1;
   const int got = std::sscanf(spec.c_str(), "%llu:%llu:%d", &dur, &period,
@@ -209,6 +232,7 @@ int main(int argc, char** argv) {
   std::uint64_t steal_timeout_ns = 0;
   bool steal_timeout_set = false;
   double watchdog_ms = 0.0;
+  std::uint64_t deadline_ns = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -242,7 +266,7 @@ int main(int argc, char** argv) {
     else if (a == "--net")
       net_name = next();
     else if (a == "-S")
-      run_seed = static_cast<std::uint64_t>(std::atoll(next()));
+      run_seed = parse_u64(next(), "-S");
     else if (a == "-v")
       verbose = true;
     else if (a == "--trace")
@@ -250,7 +274,7 @@ int main(int argc, char** argv) {
     else if (a == "--trace-csv")
       trace_csv = next();
     else if (a == "--trace-cap")
-      trace_cap = static_cast<std::size_t>(std::atoll(next()));
+      trace_cap = static_cast<std::size_t>(parse_u64(next(), "--trace-cap"));
     else if (a == "--metrics")
       metrics_path = next();
     else if (a == "--report")
@@ -258,7 +282,7 @@ int main(int argc, char** argv) {
     else if (a == "--spans")
       spans = true;
     else if (a == "--obs-sample")
-      obs_sample_ns = static_cast<std::uint64_t>(std::atoll(next()));
+      obs_sample_ns = parse_u64(next(), "--obs-sample");
     else if (a == "--csv")
       csv = true;
     else if (a == "--replay")
@@ -270,11 +294,13 @@ int main(int argc, char** argv) {
     else if (a == "--dup-prob")
       faults.dup_prob = std::atof(next());
     else if (a == "--steal-timeout") {
-      steal_timeout_ns = static_cast<std::uint64_t>(std::atoll(next()));
+      steal_timeout_ns = parse_u64(next(), "--steal-timeout");
       steal_timeout_set = true;
     }
     else if (a == "--watchdog-ms")
       watchdog_ms = std::atof(next());
+    else if (a == "--deadline-ns" || a == "--deadline")
+      deadline_ns = parse_u64(next(), "--deadline-ns");
     else if (a == "--crash")
       parse_crashes(next(), faults);
     else if (a == "--crash-in-lock")
@@ -282,8 +308,7 @@ int main(int argc, char** argv) {
     else if (a == "--crash-mid-steal")
       crash_where = pgas::CrashSpec::Where::kMidSteal;
     else if (a == "--crash-detect")
-      faults.crash_detect_ns =
-          static_cast<std::uint64_t>(std::atoll(next()));
+      faults.crash_detect_ns = parse_u64(next(), "--crash-detect");
     else if (a == "--drain")
       parse_rank_at_list(next(), "--drain", [&](int rank, std::uint64_t at) {
         faults.drains.push_back(pgas::DrainSpec{rank, at});
@@ -332,7 +357,13 @@ int main(int argc, char** argv) {
     std::exit(2);
   };
   if (nranks < 1) fault_error("-n wants at least 1 rank");
+  if (chunk < 1) fault_error("-c wants a chunk size of at least 1");
+  if (poll < 1) fault_error("-i wants a poll interval of at least 1");
   if (watchdog_ms < 0.0) fault_error("--watchdog-ms must be >= 0");
+  if (faults.stalls_enabled() && faults.stall_rank >= nranks)
+    fault_error("--stall rank " + std::to_string(faults.stall_rank) +
+                " out of range [0," + std::to_string(nranks) +
+                ") (or -1 for all ranks)");
   if (faults.drop_prob < 0.0 || faults.drop_prob > 1.0)
     fault_error("--drop-prob must be a probability in [0,1]");
   if (faults.dup_prob < 0.0 || faults.dup_prob > 1.0)
@@ -352,9 +383,17 @@ int main(int argc, char** argv) {
     if (j.rank == 0)
       fault_error("--join rank 0 is invalid (rank 0 seeds the root)");
   }
-  for (const pgas::PartitionSpec& ps : faults.partitions)
+  for (const pgas::PartitionSpec& ps : faults.partitions) {
     if (ps.heal_ns <= ps.start_ns)
       fault_error("--partition heal time must be after its start time");
+    const std::uint64_t all =
+        nranks >= 64 ? ~0ull : ((1ull << nranks) - 1);
+    if ((ps.group_mask & ~all) != 0)
+      fault_error("--partition mask names ranks >= " +
+                  std::to_string(nranks));
+    if (ps.group_mask == 0 || ps.group_mask == all)
+      fault_error("--partition mask must leave both sides nonempty");
+  }
 
   pgas::RunConfig rcfg;
   rcfg.nranks = nranks;
@@ -378,6 +417,7 @@ int main(int argc, char** argv) {
   ws::WsConfig cfg = ws::WsConfig::for_algo(algo, chunk);
   cfg.poll_interval = poll;
   cfg.steal_timeout_ns = steal_timeout_ns;
+  cfg.cancel_at_ns = deadline_ns;
   if (faults.any() && !steal_timeout_set) {
     // Faults without hardening can stall steals indefinitely (and drops
     // would hang mpi-ws outright); default to timeouts at 10x the remote
@@ -508,6 +548,27 @@ int main(int argc, char** argv) {
                 "termination %.1f%%\n",
                 100 * res.agg.state_frac[0], 100 * res.agg.state_frac[1],
                 100 * res.agg.state_frac[2], 100 * res.agg.state_frac[3]);
+  }
+
+  if (deadline_ns > 0) {
+    // A deadline run is judged on its accounting, not the full count: every
+    // materialized node must be either visited or reclaimed, exactly once.
+    std::printf("deadline: %llu ns  cancelled ranks %llu  visited %llu  "
+                "reclaimed %llu  spawned %llu\n",
+                static_cast<unsigned long long>(deadline_ns),
+                static_cast<unsigned long long>(res.agg.total_cancels),
+                static_cast<unsigned long long>(res.agg.total_nodes),
+                static_cast<unsigned long long>(res.agg.total_reclaimed),
+                static_cast<unsigned long long>(res.agg.total_spawned));
+    if (res.agg.total_nodes + res.agg.total_reclaimed !=
+        1 + res.agg.total_spawned) {
+      std::printf("MISMATCH: nodes + reclaimed != 1 + spawned\n");
+      return 1;
+    }
+    if (res.agg.total_cancels > 0) {
+      std::printf("partial traversal (deadline fired): accounting OK\n");
+      return 0;  // a fired deadline makes the sequential count moot
+    }
   }
 
   // Verify against sequential (skip for paper-scale trees).

@@ -1,0 +1,142 @@
+#include "check/job_oracle.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace upcws::check {
+
+const char* phase_name(JobPhase p) {
+  switch (p) {
+    case JobPhase::kQueued: return "queued";
+    case JobPhase::kRunning: return "running";
+    case JobPhase::kCompleted: return "completed";
+    case JobPhase::kRejected: return "rejected";
+    case JobPhase::kCancelled: return "cancelled";
+    case JobPhase::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "?";
+}
+
+namespace {
+
+bool legal_transition(JobPhase from, JobPhase to) {
+  switch (from) {
+    case JobPhase::kQueued:
+      return to == JobPhase::kRunning || to == JobPhase::kCancelled ||
+             to == JobPhase::kRejected;  // shutdown rejects queued jobs
+    case JobPhase::kRunning:
+      return to == JobPhase::kCompleted || to == JobPhase::kCancelled ||
+             to == JobPhase::kQueued ||  // retry after a failed attempt
+             to == JobPhase::kRetriesExhausted;
+    default:
+      return false;  // terminal states have no successors
+  }
+}
+
+}  // namespace
+
+JobOracleReport check_jobs(const std::vector<JobView>& jobs, int pool_ranks) {
+  JobOracleReport rep;
+  // (time, +ranks at run start / -ranks at run end) for the overlap check.
+  std::vector<std::pair<std::uint64_t, long long>> edges;
+
+  for (const JobView& j : jobs) {
+    ++rep.checked;
+    auto fail = [&](const std::string& what) {
+      std::ostringstream os;
+      os << "job " << j.id << ": " << what;
+      rep.violations.push_back(os.str());
+    };
+
+    if (j.history.empty()) {
+      fail("empty state history");
+      continue;
+    }
+
+    const JobPhase first = j.history.front().second;
+    if (first != JobPhase::kQueued && first != JobPhase::kRejected)
+      fail(std::string("history starts in ") + phase_name(first));
+    if (first == JobPhase::kRejected && j.history.size() != 1)
+      fail("rejected at admission but history has later entries");
+
+    std::uint64_t prev_t = j.history.front().first;
+    int terminal_entries = phase_terminal(first) ? 1 : 0;
+    std::uint64_t run_begin = 0;
+    bool running = false;
+    for (std::size_t i = 1; i < j.history.size(); ++i) {
+      const auto& [t, s] = j.history[i];
+      const JobPhase from = j.history[i - 1].second;
+      if (t < prev_t) fail("history timestamps go backwards");
+      prev_t = t;
+      if (!legal_transition(from, s))
+        fail(std::string("illegal transition ") + phase_name(from) + " -> " +
+             phase_name(s));
+      if (phase_terminal(s)) ++terminal_entries;
+      if (s == JobPhase::kRunning) {
+        running = true;
+        run_begin = t;
+      } else if (running) {
+        running = false;
+        const long long w = std::max(1, j.ranks_used);
+        edges.emplace_back(run_begin, +w);
+        edges.emplace_back(t, -w);
+      }
+    }
+    if (terminal_entries != 1)
+      fail("has " + std::to_string(terminal_entries) +
+           " terminal history entries (want exactly 1)");
+    else if (!phase_terminal(j.history.back().second))
+      fail("terminal entry is not the last history entry");
+    else if (j.history.back().second != j.state)
+      fail(std::string("reported state ") + phase_name(j.state) +
+           " disagrees with history terminal " +
+           phase_name(j.history.back().second));
+    if (running) fail("history ends inside a running interval");
+
+    const bool rejected = j.state == JobPhase::kRejected;
+    if (rejected != j.reject_reason_set)
+      fail(rejected ? "rejected without a typed reason"
+                    : "carries a reject reason but is not rejected");
+
+    if (j.state != JobPhase::kRunning && j.ranks_held != 0)
+      fail(std::to_string(j.ranks_held) +
+           " rank(s) still assigned to a non-running job");
+  }
+
+  if (pool_ranks > 0 && !edges.empty()) {
+    // Releases sort before acquisitions at the same instant: back-to-back
+    // jobs on a serial pool are legal, overlap is not.
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second < b.second;
+    });
+    long long held = 0;
+    for (const auto& [t, d] : edges) {
+      held += d;
+      if (held > pool_ranks) {
+        std::ostringstream os;
+        os << "at t=" << t << "ns concurrently-running jobs hold " << held
+           << " ranks, pool owns " << pool_ranks;
+        rep.violations.push_back(os.str());
+        break;
+      }
+    }
+  }
+  return rep;
+}
+
+std::string JobOracleReport::summary() const {
+  std::ostringstream os;
+  if (ok()) {
+    os << "job oracle: ok, " << checked << " jobs";
+  } else {
+    os << "job oracle: " << violations.size() << " violation(s) over "
+       << checked << " jobs";
+    for (std::size_t i = 0; i < violations.size() && i < 4; ++i)
+      os << "\n  " << violations[i];
+    if (violations.size() > 4) os << "\n  ...";
+  }
+  return os.str();
+}
+
+}  // namespace upcws::check

@@ -1,0 +1,77 @@
+// Job-state oracle for the resident search service (src/svc).
+//
+// The service promises that every submitted job ends in EXACTLY ONE terminal
+// state and that no rank stays assigned to a finished job. Those are easy
+// promises to break silently (a retry path that forgets to clear the rank
+// assignment, a cancellation that races completion and double-logs), so the
+// oracle re-derives them from each job's raw state history instead of
+// trusting the service's own summary counters.
+//
+// This header is deliberately standalone — plain structs, no dependency on
+// src/svc — so the service can depend on the oracle (never the reverse) and
+// tests can hand-craft histories to prove the oracle actually rejects bad
+// ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace upcws::check {
+
+/// Canonical job lifecycle states. src/svc mirrors these values; the oracle
+/// owns the numbering so the two can never drift apart silently.
+enum class JobPhase : int {
+  kQueued = 0,
+  kRunning = 1,
+  kCompleted = 2,          ///< terminal: exact result delivered
+  kRejected = 3,           ///< terminal: load-shed at admission (typed reason)
+  kCancelled = 4,          ///< terminal: deadline fired (partial result kept)
+  kRetriesExhausted = 5,   ///< terminal: every attempt failed
+};
+
+inline bool phase_terminal(JobPhase p) {
+  return p == JobPhase::kCompleted || p == JobPhase::kRejected ||
+         p == JobPhase::kCancelled || p == JobPhase::kRetriesExhausted;
+}
+
+const char* phase_name(JobPhase p);
+
+/// Neutral projection of one job, as the oracle needs it.
+struct JobView {
+  std::uint64_t id = 0;
+  JobPhase state = JobPhase::kQueued;   ///< state the service reports NOW
+  bool reject_reason_set = false;       ///< a typed RejectReason != kNone
+  int ranks_held = 0;                   ///< ranks still assigned to the job
+  int ranks_used = 0;                   ///< ranks of the job's last attempt
+  /// Full transition log: (service time ns, state entered). A rejected job
+  /// logs a single kRejected entry; everything else starts with kQueued.
+  std::vector<std::pair<std::uint64_t, JobPhase>> history;
+};
+
+struct JobOracleReport {
+  std::uint64_t checked = 0;
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+  /// Human-readable digest ("ok, N jobs" or first few violations).
+  std::string summary() const;
+};
+
+/// Validate a set of job histories against the service's lifecycle contract:
+///
+///  1. every history is nonempty, timestamps nondecreasing;
+///  2. transitions are legal (kQueued -> kRunning|kCancelled|kRejected,
+///     kRunning -> kCompleted|kCancelled|kQueued (retry)|kRetriesExhausted,
+///     kRejected only as the sole entry of a never-admitted job);
+///  3. exactly one terminal entry, it is the last entry, and it matches the
+///     state the service reports now — no job in two states, ever;
+///  4. reject_reason_set iff the terminal state is kRejected;
+///  5. ranks_held == 0 unless the job is currently kRunning — no rank leaked
+///     to a finished (or queued) job;
+///  6. if `pool_ranks > 0`, at no instant do concurrently-running jobs hold
+///     more ranks than the pool owns (the service runs jobs serially, so any
+///     overlap at all is a bug it wants caught).
+JobOracleReport check_jobs(const std::vector<JobView>& jobs, int pool_ranks);
+
+}  // namespace upcws::check

@@ -96,6 +96,11 @@ class SimCtx final : public Ctx {
 
   void unlock(Lock& l) override {
     if (dead_) return;  // a crashed holder never releases; see revocation
+    // Both guards for the same reason: unlock is reached from noexcept
+    // destructors (~LockGuard), where neither an injected crash nor a
+    // pending cancel() may throw. The shield keeps Fiber::yield_current
+    // from delivering a cancellation out of the charge below.
+    const sim::Fiber::CancelShield shield;
     in_unlock_ = true;
     charge_ref(l.owner);
     in_unlock_ = false;

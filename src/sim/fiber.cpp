@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <exception>
 #include <stdexcept>
 #include <vector>
 
@@ -201,6 +202,7 @@ void Fiber::resume() {
   if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
   Fiber* prev = g_current_fiber;
   g_current_fiber = this;
+  eh_base_ = std::uncaught_exceptions();
   if (!started_) {
     started_ = true;
     impl_->prepare(this);
@@ -214,10 +216,17 @@ void Fiber::yield_current() {
   if (f == nullptr)
     throw std::logic_error("Fiber::yield_current outside fiber context");
   if (f->unwinding_) return;  // mid-cancel: destructors must not suspend
+  f->unwind_depth_ = std::uncaught_exceptions() - f->eh_base_;
   g_current_fiber = nullptr;
   upcws_fiber_switch(&f->impl_->self_sp, f->impl_->resumer_sp);
   g_current_fiber = f;
   if (f->cancel_) {
+    // Throwing here is only safe from a plain yield: if the fiber
+    // suspended mid-unwind of another exception, or inside a shielded
+    // region (a lock release reached from a noexcept destructor), a
+    // second throw terminates the process. Leave the cancel pending; the
+    // next safe yield delivers it.
+    if (f->unwind_depth_ > 0 || f->shield_) return;
     f->unwinding_ = true;
     throw Cancelled{};
   }
@@ -280,6 +289,7 @@ void Fiber::resume() {
   if (finished_) throw std::logic_error("Fiber::resume on finished fiber");
   Fiber* prev = g_current_fiber;
   g_current_fiber = this;
+  eh_base_ = std::uncaught_exceptions();
   if (!started_) {
     started_ = true;
     getcontext(&impl_->self);
@@ -308,6 +318,7 @@ void Fiber::yield_current() {
   if (f == nullptr)
     throw std::logic_error("Fiber::yield_current outside fiber context");
   if (f->unwinding_) return;  // mid-cancel: destructors must not suspend
+  f->unwind_depth_ = std::uncaught_exceptions() - f->eh_base_;
   g_current_fiber = nullptr;
 #ifdef UPCWS_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&f->impl_->fiber_fake, f->impl_->sched_bottom,
@@ -320,12 +331,20 @@ void Fiber::yield_current() {
 #endif
   g_current_fiber = f;
   if (f->cancel_) {
+    // See the fast backend: a suspend mid-unwind or inside a shielded
+    // region must not grow a second in-flight exception. Defer to the
+    // next safe yield.
+    if (f->unwind_depth_ > 0 || f->shield_) return;
     f->unwinding_ = true;
     throw Cancelled{};
   }
 }
 
 #endif  // UPCWS_FAST_FIBER
+
+void Fiber::shield_current(bool on) {
+  if (g_current_fiber != nullptr) g_current_fiber->shield_ = on;
+}
 
 void Fiber::cancel() {
   if (!started_ || finished_) return;

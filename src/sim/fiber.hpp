@@ -60,6 +60,21 @@ class Fiber {
   /// hold live objects until it finishes).
   bool started() const { return started_; }
 
+  /// Mark the current fiber's yields as cancellation-unsafe (e.g. a lock
+  /// release reached from a noexcept destructor): a cancel() that lands
+  /// while shielded stays pending and throws at the next unshielded yield
+  /// instead of terminating inside the destructor. No-op off-fiber.
+  static void shield_current(bool on);
+
+  /// RAII form of shield_current for the duration of a scope.
+  class CancelShield {
+   public:
+    CancelShield() { shield_current(true); }
+    ~CancelShield() { shield_current(false); }
+    CancelShield(const CancelShield&) = delete;
+    CancelShield& operator=(const CancelShield&) = delete;
+  };
+
  private:
   struct Impl;
   struct Cancelled {};  // unwinding token thrown by cancel(); never escapes
@@ -76,6 +91,16 @@ class Fiber {
   bool started_ = false;
   bool cancel_ = false;     // set by cancel(); checked on wake in yield
   bool unwinding_ = false;  // Cancelled is in flight on this fiber's stack
+  bool shield_ = false;     // yields are cancellation-unsafe (see above)
+  // Exception-unwind attribution: eh_base_ snapshots the thread's
+  // uncaught-exception count when this fiber is switched in (parked
+  // exceptions of OTHER suspended fibers stay in the thread-wide count);
+  // unwind_depth_ records, at each suspend, how many exceptions are in
+  // flight on THIS fiber's own stack. A cancel() that lands while the
+  // fiber is suspended mid-unwind must not throw Cancelled on wake —
+  // a second in-flight exception terminates — so it stays pending.
+  int eh_base_ = 0;
+  int unwind_depth_ = 0;
 };
 
 }  // namespace upcws::sim

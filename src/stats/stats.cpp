@@ -32,6 +32,9 @@ RunStats aggregate(const std::vector<ThreadStats>& per_thread,
     r.total_probes += t.c.probes;
     r.total_releases += t.c.releases;
     r.total_failed_steals += t.c.failed_steals;
+    r.total_spawned += t.c.spawned;
+    r.total_reclaimed += t.c.reclaimed;
+    r.total_cancels += t.c.cancels;
     r.total_steal_timeouts += t.c.steal_timeouts;
     r.total_retransmits += t.c.retransmits;
     r.total_dups_suppressed += t.c.dups_suppressed;

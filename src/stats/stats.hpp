@@ -44,6 +44,11 @@ struct Counters {
   int max_depth = 0;                  ///< deepest node seen
   std::uint64_t max_stack = 0;        ///< peak DFS stack occupancy (nodes)
 
+  // --- cooperative deadline cancellation (0 unless cancel_at_ns fired) ----
+  std::uint64_t spawned = 0;    ///< children actually pushed by expand()
+  std::uint64_t reclaimed = 0;  ///< unvisited nodes discarded after cancel
+  std::uint64_t cancels = 0;    ///< this rank observed its deadline (0 or 1)
+
   // --- hardened-protocol recovery actions (0 unless WsConfig::hardened) ---
   std::uint64_t steal_timeouts = 0;   ///< distmem: steal requests withdrawn
   std::uint64_t retransmits = 0;      ///< mpi-ws: requests/replies/tokens resent
@@ -147,6 +152,10 @@ struct RunStats {
   std::uint64_t total_probes = 0;
   std::uint64_t total_releases = 0;
   std::uint64_t total_failed_steals = 0;
+  /// Deadline-cancellation totals (all 0 when cancel_at_ns is unset).
+  std::uint64_t total_spawned = 0;
+  std::uint64_t total_reclaimed = 0;
+  std::uint64_t total_cancels = 0;
   /// Hardened-protocol recovery + injected-fault totals (all 0 for a clean
   /// unhardened run; see Counters).
   std::uint64_t total_steal_timeouts = 0;

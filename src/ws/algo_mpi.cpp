@@ -144,13 +144,36 @@ class MpiWorker final : public NodeSink {
     int since_poll = 0;
     for (;;) {
       if (drain_check()) return;
+      cancel_check();
       if (!my_.pop(nodebuf_.data())) break;
-      visit();
+      if (cancelled_)
+        reclaim();
+      else
+        visit();
       if (++since_poll >= cfg_.poll_interval) {
         since_poll = 0;
         poll_while_working();
       }
     }
+  }
+
+  /// Cooperative-deadline probe (cfg_.cancel_at_ns). Only ever raises the
+  /// flag; cancel-off runs are bit-for-bit untouched.
+  void cancel_check() {
+    if (cfg_.cancel_at_ns == 0 || cancelled_) return;
+    if (ctx_.now_ns() >= cfg_.cancel_at_ns) {
+      cancelled_ = true;
+      st_.c.cancels = 1;
+    }
+  }
+
+  /// Post-deadline replacement for visit(): discard and tally the popped
+  /// node. Counting strictly precedes the charge, so a crash mid-reclaim
+  /// never loses or double-counts the node.
+  void reclaim() {
+    ++st_.c.reclaimed;
+    ctx_.charge_poll();
+    ctx_.yield();
   }
 
   // ---- elastic membership (no-ops unless the plan drains/joins ranks) ----
@@ -190,6 +213,7 @@ class MpiWorker final : public NodeSink {
     ++st_.c.nodes;
     st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
     const int nc = prob_.expand(nodebuf_.data(), *this);
+    st_.c.spawned += static_cast<std::uint64_t>(nc);
     if (nc == 0) ++st_.c.leaves;
     visiting_ = false;
     st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
@@ -202,10 +226,12 @@ class MpiWorker final : public NodeSink {
     mp::Message m;
     while (comm_.try_recv(ctx_, mp::kAny, kTagRequest, m)) {
       if (hardened_) {
-        handle_request(m, /*can_grant=*/true, /*trace_denial=*/true);
+        // A cancelled victim load-sheds: the chunk would only be bled by
+        // the thief anyway.
+        handle_request(m, /*can_grant=*/!cancelled_, /*trace_denial=*/true);
         continue;
       }
-      if (my_.local_size() >= 2 * k_) {
+      if (!cancelled_ && my_.local_size() >= 2 * k_) {
         // Carve the oldest k local nodes and ship them.
         my_.release(k_);
         const std::size_t begin = my_.reserve(k_);
@@ -560,6 +586,7 @@ class MpiWorker final : public NodeSink {
     std::uniform_int_distribution<int> pick(0, n_ - 2);
     for (;;) {
       if (drain_check()) return false;
+      cancel_check();
       if (idle_comm()) return false;
       if (crash_mode_ && maybe_recover()) {
         // We re-activated ourselves with a dead rank's work: turn black so
@@ -567,6 +594,13 @@ class MpiWorker final : public NodeSink {
         color_ = kBlack;
         set_state(State::kWorking);
         return true;
+      }
+      if (cancelled_) {
+        // No new steals after the deadline: stay on the ring (idle_comm
+        // keeps denying, forwarding the token, and nudging unacked grants)
+        // until the token protocol declares termination.
+        ctx_.yield();
+        continue;
       }
       // Choose a random victim (skip self; in crash mode, skip the dead;
       // with membership, skip ranks that are not yet — or no longer —
@@ -608,6 +642,7 @@ class MpiWorker final : public NodeSink {
   /// that victim's answer, staying responsive meanwhile.
   bool await_steal(int v) {
     for (;;) {
+      cancel_check();  // flag-flip only: the reply must still be consumed
       mp::Message m;
       if (comm_.try_recv(ctx_, v, kTagWork, m)) {
         absorb(m);
@@ -670,6 +705,7 @@ class MpiWorker final : public NodeSink {
     std::uint64_t rto = cfg_.steal_timeout_ns;
     std::uint64_t deadline = ctx_.now_ns() + rto;
     for (;;) {
+      cancel_check();  // flag-flip only: a committed grant is never orphaned
       mp::Message m;
       while (comm_.try_recv(ctx_, v, kTagWork, m)) {
         const std::uint32_t seq = get_u32(m.payload, 0);
@@ -911,6 +947,8 @@ class MpiWorker final : public NodeSink {
   const bool member_mode_;
   /// This rank hit its planned drain point and is leaving gracefully.
   bool drained_ = false;
+  /// This rank passed cfg_.cancel_at_ns: bleed instead of expand.
+  bool cancelled_ = false;
   bool visiting_ = false;  ///< nodebuf_ holds a popped-but-uncounted node
   bool leading_ = false;   ///< currently running the EWD840 leader rules
   std::uint64_t round_epoch_ = 0;  ///< leader: recovery_epoch at round start

@@ -91,14 +91,20 @@ class PushWorker final : public NodeSink {
     int since_push = 0;
     for (;;) {
       if (drain_check()) return;
+      cancel_check();
       if (!my_.pop(nodebuf_.data())) break;
-      visit();
+      if (cancelled_)
+        reclaim();
+      else
+        visit();
       ++since_push;
       if (++since_poll >= cfg_.poll_interval) {
         since_poll = 0;
         drain_inbox();
       }
-      if (since_push >= cfg_.push_interval &&
+      // A cancelled worker never pushes: unsolicited work would only be
+      // bled by the target (or bounce between cancelled ranks).
+      if (!cancelled_ && since_push >= cfg_.push_interval &&
           my_.local_size() >= 2 * k_ + 1 && n_ > 1) {
         since_push = 0;
         push_chunk();
@@ -106,11 +112,31 @@ class PushWorker final : public NodeSink {
     }
   }
 
+  /// Cooperative-deadline probe (cfg_.cancel_at_ns). Only ever raises the
+  /// flag; cancel-off runs are bit-for-bit untouched.
+  void cancel_check() {
+    if (cfg_.cancel_at_ns == 0 || cancelled_) return;
+    if (ctx_.now_ns() >= cfg_.cancel_at_ns) {
+      cancelled_ = true;
+      st_.c.cancels = 1;
+    }
+  }
+
+  /// Post-deadline replacement for visit(): discard and tally the popped
+  /// node. Counting strictly precedes the charge, so the accounting
+  /// invariant `nodes + reclaimed == 1 + spawned` is never torn.
+  void reclaim() {
+    ++st_.c.reclaimed;
+    ctx_.charge_poll();
+    ctx_.yield();
+  }
+
   void visit() {
     ctx_.charge_node_work();
     ++st_.c.nodes;
     st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
     const int nc = prob_.expand(nodebuf_.data(), *this);
+    st_.c.spawned += static_cast<std::uint64_t>(nc);
     if (nc == 0) ++st_.c.leaves;
     st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
     ctx_.yield();
@@ -303,6 +329,7 @@ class PushWorker final : public NodeSink {
     set_state(State::kSearching);
     for (;;) {
       if (drain_check()) return false;
+      cancel_check();  // arriving pushes are still absorbed, then bled
       drain_inbox();
       if (my_.local_size() > 0) {
         set_state(State::kWorking);
@@ -358,6 +385,8 @@ class PushWorker final : public NodeSink {
   const bool member_mode_;
   /// This rank hit its planned drain point and is leaving gracefully.
   bool drained_ = false;
+  /// This rank passed cfg_.cancel_at_ns: bleed instead of expand.
+  bool cancelled_ = false;
   /// TERM arrived while in the drain loops.
   bool term_seen_ = false;
   /// Sources of relayed chunks we have not yet acked (chain of custody).

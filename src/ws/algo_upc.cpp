@@ -149,6 +149,27 @@ class UpcWorker final : public NodeSink {
   /// remaining membership.
   void drain_out() { ctx_.leave(); }
 
+  /// Cooperative-deadline probe (cfg_.cancel_at_ns). Only ever raises the
+  /// flag — each call site decides what a cancelled rank skips. One clock
+  /// read, no charge: cancel-off runs are bit-for-bit untouched.
+  void cancel_check() {
+    if (cfg_.cancel_at_ns == 0 || cancelled_) return;
+    if (ctx_.now_ns() >= cfg_.cancel_at_ns) {
+      cancelled_ = true;
+      st_.c.cancels = 1;
+    }
+  }
+
+  /// Post-deadline replacement for visit(): the popped node is discarded
+  /// and tallied instead of expanded. Counting strictly precedes the charge
+  /// (the only interaction point), so a crash mid-reclaim never loses or
+  /// double-counts the node — `nodes + reclaimed == 1 + spawned` holds.
+  void reclaim() {
+    ++st_.c.reclaimed;
+    ctx_.charge_poll();
+    ctx_.yield();
+  }
+
   /// Victims worth probing: skip ranks that are not (yet) members. Gated on
   /// membership so pure-crash schedules keep their exact probe sequence.
   bool skip_victim(int v) { return member_mode_ && ctx_.rank_absent(v); }
@@ -197,11 +218,15 @@ class UpcWorker final : public NodeSink {
     int since_poll = 0;
     for (;;) {
       if (drain_check()) return;
+      cancel_check();
       if (!my_.pop(nodebuf_.data())) {
         if (!reacquire_chunk()) break;  // stack completely empty
         continue;
       }
-      visit();
+      if (cancelled_)
+        reclaim();
+      else
+        visit();
       if (lockless() && ++since_poll >= cfg_.poll_interval) {
         since_poll = 0;
         service_requests();
@@ -220,6 +245,7 @@ class UpcWorker final : public NodeSink {
     ++st_.c.nodes;
     st_.c.max_depth = std::max(st_.c.max_depth, prob_.depth(nodebuf_.data()));
     const int nc = prob_.expand(nodebuf_.data(), *this);
+    st_.c.spawned += static_cast<std::uint64_t>(nc);
     if (nc == 0) ++st_.c.leaves;
     visiting_ = false;
     st_.c.max_stack = std::max<std::uint64_t>(st_.c.max_stack, my_.depth());
@@ -305,8 +331,11 @@ class UpcWorker final : public NodeSink {
     // observer is attached or the thief predates this run's spans).
     const std::uint64_t sid =
         obs_ != nullptr ? obs_->spans().active(req, me_) : 0;
+    // A cancelled victim load-sheds: granting would only hand the thief
+    // nodes it (or we) must bleed anyway, and could bounce work between
+    // cancelled ranks indefinitely.
     const std::int64_t chunks =
-        static_cast<std::int64_t>(my_.shared_size() / k_);
+        cancelled_ ? 0 : static_cast<std::int64_t>(my_.shared_size() / k_);
     if (chunks < 1) {
       ++st_.c.requests_denied;
       if (cfg_.trace != nullptr)
@@ -458,6 +487,7 @@ class UpcWorker final : public NodeSink {
         hardened ? ctx_.now_ns() + cfg_.steal_timeout_ns : 0;
     bool cancelable = hardened;
     for (;;) {
+      cancel_check();  // flag-flip only: an in-flight steal always completes
       ctx_.charge_poll();
       const std::int64_t a = mine.resp_amount.load(std::memory_order_acquire);
       if (a == 0) {
@@ -802,24 +832,29 @@ class UpcWorker final : public NodeSink {
     set_state(State::kSearching);
     for (;;) {
       if (drain_check()) return false;
+      cancel_check();
       if (maybe_recover()) {
+        // A cancelled rank still recovers (so no dead rank's work is ever
+        // stranded) — the recovered nodes are then bled by do_work().
         publish_avail();
         set_state(State::kWorking);
         return true;
       }
-      shuffle_perm();
-      for (int v : perm_) {
-        if (skip_victim(v)) continue;
-        if (probe(v) >= static_cast<std::int64_t>(k_)) {
-          set_state(State::kStealing);
-          if (attempt_steal(v)) {
-            set_state(State::kWorking);
-            return true;
+      if (!cancelled_) {
+        shuffle_perm();
+        for (int v : perm_) {
+          if (skip_victim(v)) continue;
+          if (probe(v) >= static_cast<std::int64_t>(k_)) {
+            set_state(State::kStealing);
+            if (attempt_steal(v)) {
+              set_state(State::kWorking);
+              return true;
+            }
+            set_state(State::kSearching);
           }
-          set_state(State::kSearching);
+          if (lockless()) service_requests();
+          ctx_.yield();
         }
-        if (lockless()) service_requests();
-        ctx_.yield();
       }
       set_state(State::kTermination);
       ++st_.c.barrier_entries;
@@ -859,6 +894,7 @@ class UpcWorker final : public NodeSink {
     // Remote spin on the done/cancel flags (all owned by rank 0) — the
     // §3.1 cost center on distributed memory.
     for (;;) {
+      cancel_check();  // flag-flip only; the barrier protocol is unchanged
       if (ctx_.get(g_.cb_done, 0) != 0) break;
       if (ctx_.get(g_.cb_cancel, 0) != 0) break;
       if (crash_mode_) {
@@ -905,29 +941,32 @@ class UpcWorker final : public NodeSink {
     set_state(State::kSearching);
     for (;;) {
       if (drain_check()) return false;
+      cancel_check();
       if (maybe_recover()) {
         publish_avail();
         set_state(State::kWorking);
         return true;
       }
-      shuffle_perm();
       bool any_working = false;
-      for (int v : perm_) {
-        if (skip_victim(v)) continue;
-        if (check_term_flag()) return false;
-        const std::int64_t a = probe(v);
-        if (a >= static_cast<std::int64_t>(k_)) {
-          set_state(State::kStealing);
-          if (attempt_steal(v)) {
-            set_state(State::kWorking);
-            return true;
+      if (!cancelled_) {
+        shuffle_perm();
+        for (int v : perm_) {
+          if (skip_victim(v)) continue;
+          if (check_term_flag()) return false;
+          const std::int64_t a = probe(v);
+          if (a >= static_cast<std::int64_t>(k_)) {
+            set_state(State::kStealing);
+            if (attempt_steal(v)) {
+              set_state(State::kWorking);
+              return true;
+            }
+            set_state(State::kSearching);
+          } else if (a != kNoWorkAtAll) {
+            any_working = true;  // working, just no surplus published yet
           }
-          set_state(State::kSearching);
-        } else if (a != kNoWorkAtAll) {
-          any_working = true;  // working, just no surplus published yet
+          if (lockless()) service_requests();
+          ctx_.yield();
         }
-        if (lockless()) service_requests();
-        ctx_.yield();
       }
       if (!any_working) {
         const int r = barrier_probe();
@@ -954,6 +993,7 @@ class UpcWorker final : public NodeSink {
     }
     std::uniform_int_distribution<int> pick(0, n_ - 2);
     for (;;) {
+      cancel_check();
       if (check_term_flag()) return 1;
       if (crash_mode_) {
         if (recovery_possible()) {
@@ -979,19 +1019,23 @@ class UpcWorker final : public NodeSink {
           return 1;
         }
       }
-      const int v = perm_[pick(ctx_.rng())];
-      const std::int64_t a = probe(v);
-      if (a >= static_cast<std::int64_t>(k_)) {
-        // Leave the barrier *before* stealing so that bar_count reaching
-        // the target really implies no thread holds or is acquiring work.
-        bar_leave();
-        set_state(State::kStealing);
-        if (attempt_steal(v)) return 0;
-        set_state(State::kTermination);
-        cnt = bar_enter();
-        if (term_satisfied(cnt)) {
-          announce_termination();
-          return 1;
+      // A cancelled waiter never steals from inside the barrier — it only
+      // waits for the count/flag (or leaves to recover a dead rank's work).
+      if (!cancelled_) {
+        const int v = perm_[pick(ctx_.rng())];
+        const std::int64_t a = probe(v);
+        if (a >= static_cast<std::int64_t>(k_)) {
+          // Leave the barrier *before* stealing so that bar_count reaching
+          // the target really implies no thread holds or is acquiring work.
+          bar_leave();
+          set_state(State::kStealing);
+          if (attempt_steal(v)) return 0;
+          set_state(State::kTermination);
+          cnt = bar_enter();
+          if (term_satisfied(cnt)) {
+            announce_termination();
+            return 1;
+          }
         }
       }
       if (lockless()) service_requests();
@@ -1066,6 +1110,8 @@ class UpcWorker final : public NodeSink {
   const bool member_mode_;
   /// This rank hit its planned drain point and is leaving gracefully.
   bool drained_ = false;
+  /// This rank passed cfg_.cancel_at_ns: bleed instead of expand.
+  bool cancelled_ = false;
   /// nodebuf_ holds a popped-but-uncounted node (see visit()).
   bool visiting_ = false;
   /// Telemetry (all null/0 when no observer is attached).

@@ -121,6 +121,18 @@ struct WsConfig {
   /// True when the timeout/retry hardening is active.
   bool hardened() const { return steal_timeout_ns > 0; }
 
+  // --- cooperative deadline cancellation (off by default) ----------------
+
+  /// If > 0, every rank cancels the search cooperatively once its Ctx clock
+  /// reaches this time (ns since run start). Cancelled ranks stop expanding:
+  /// remaining nodes are popped and tallied as Counters::reclaimed instead
+  /// of visited, no new steals are initiated, steal requests are denied,
+  /// and the normal termination protocol (plus any crash recovery) runs to
+  /// completion so no lineage record is left pending. The accounting
+  /// invariant `nodes + reclaimed == 1 + spawned` holds whether or not the
+  /// deadline fired. 0 keeps every run bit-for-bit identical.
+  std::uint64_t cancel_at_ns = 0;
+
   /// Optional execution trace sink (state changes + load-balancing events);
   /// see trace/trace.hpp. Not owned; must outlive the run.
   trace::Trace* trace = nullptr;

@@ -16,13 +16,27 @@ upcws-soak-summary-v1 (chaos_soak --json):
   * one violation entry per failed campaign, each naming the oracle
     that fired and the replay file that reproduces it.
 
+upcws-service-report-v1 (service_soak --json):
+  * the four terminal-state counts sum to jobs (every job ended in
+    exactly one terminal state), engine/workload/algo splits sum to jobs,
+  * typed reject reasons sum to the rejected count,
+  * latency percentiles cover exactly the completed jobs and are
+    monotone (p50 <= p90 <= p99 <= max),
+  * the job-state oracle found no violation and no completed job
+    disagreed with its sequential reference.
+
+`validate_report.py --self-test` exercises the validator itself against
+known-good and deliberately corrupted fixtures of all three schemas.
+
 Stdlib only. Exit 0 on success, 1 with a message on any violation.
 """
+import copy
 import json
 import sys
 
 SCHEMA = "upcws-run-report-v1"
 SOAK_SCHEMA = "upcws-soak-summary-v1"
+SERVICE_SCHEMA = "upcws-service-report-v1"
 CAUSES = [
     "victim_miss_search",
     "steal_latency",
@@ -52,9 +66,13 @@ SPAN_KEYS = ["total", "completed", "denied", "abandoned", "incomplete",
              "salvaged", "timeouts"]
 
 
+class ValidationError(Exception):
+    """Raised on any schema or invariant violation (so --self-test can
+    assert that corrupted fixtures are caught without exiting)."""
+
+
 def fail(msg):
-    print(f"validate_report: FAIL: {msg}", file=sys.stderr)
-    sys.exit(1)
+    raise ValidationError(msg)
 
 
 def check_causes(obj, where):
@@ -138,19 +156,135 @@ def validate_soak(rep, path):
           f"{rep['failed']} failed, {len(rep['algos'])} algorithms")
 
 
+SERVICE_TOP_KEYS = {
+    "schema": str,
+    "jobs": int,
+    "terminal": dict,
+    "engines": dict,
+    "workloads": dict,
+    "algos": dict,
+    "reject_reasons": dict,
+    "retry_attempts": int,
+    "chaos": dict,
+    "nodes": dict,
+    "latency_ns": dict,
+    "queue_depth_max": int,
+    "throughput_jobs_per_s": float,
+    "oracle": dict,
+    "result_mismatches": int,
+    "elapsed_s": float,
+}
+TERMINAL_STATES = ["completed", "rejected", "cancelled", "retries_exhausted"]
+LATENCY_KEYS = ["count", "p50", "p90", "p99", "max"]
+
+
+def check_count_table(obj, where, total, exact=True, nonempty=False):
+    for k, v in obj.items():
+        if not isinstance(v, int) or not 0 <= v <= total:
+            fail(f"{where}[{k}] = {v!r} out of range [0, {total}]")
+    if nonempty and not obj:
+        fail(f"{where} is empty")
+    s = sum(obj.values())
+    if exact and s != total:
+        fail(f"{where} counts sum to {s}, want {total}")
+
+
+def validate_service(rep, path):
+    for key, typ in SERVICE_TOP_KEYS.items():
+        if key not in rep:
+            fail(f"missing key {key!r}")
+        val = rep[key]
+        if typ is float and isinstance(val, int):
+            val = float(val)
+        if not isinstance(val, typ):
+            fail(f"key {key!r} has type {type(rep[key]).__name__}, "
+                 f"want {typ.__name__}")
+    n = rep["jobs"]
+    if n < 1:
+        fail(f"jobs = {n}")
+
+    # Every job must land in exactly one terminal state.
+    terminal = rep["terminal"]
+    if sorted(terminal) != sorted(TERMINAL_STATES):
+        fail(f"terminal keys {sorted(terminal)} != {sorted(TERMINAL_STATES)}")
+    check_count_table(terminal, "terminal", n)
+
+    engines = rep["engines"]
+    if sorted(engines) != ["sim", "threads"]:
+        fail(f"engines keys {sorted(engines)} != ['sim', 'threads']")
+    check_count_table(engines, "engines", n)
+    check_count_table(rep["workloads"], "workloads", n, nonempty=True)
+    check_count_table(rep["algos"], "algos", n, nonempty=True)
+
+    # Typed load-shedding: one reason per rejected job.
+    check_count_table(rep["reject_reasons"], "reject_reasons",
+                      terminal["rejected"])
+    for table in ("chaos", "nodes"):
+        for k, v in rep[table].items():
+            if not isinstance(v, int) or v < 0:
+                fail(f"{table}[{k}] = {v!r} is not a non-negative int")
+
+    lat = rep["latency_ns"]
+    for k in LATENCY_KEYS:
+        if k not in lat or not isinstance(lat[k], int) or lat[k] < 0:
+            fail(f"latency_ns.{k} missing or not a non-negative int")
+    if lat["count"] != terminal["completed"]:
+        fail(f"latency_ns.count {lat['count']} != completed "
+             f"{terminal['completed']}")
+    if not lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]:
+        fail(f"latency percentiles not monotone: p50={lat['p50']} "
+             f"p90={lat['p90']} p99={lat['p99']} max={lat['max']}")
+
+    oracle = rep["oracle"]
+    if oracle.get("checked") != n:
+        fail(f"oracle checked {oracle.get('checked')} of {n} jobs")
+    if not isinstance(oracle.get("violations"), list):
+        fail("oracle.violations is not a list")
+    if oracle["violations"]:
+        fail(f"job-state oracle reported {len(oracle['violations'])} "
+             f"violation(s): {oracle['violations'][0]}")
+    if rep["result_mismatches"] != 0:
+        fail(f"{rep['result_mismatches']} completed job(s) disagreed with "
+             "the sequential reference")
+    if rep["retry_attempts"] < 0 or rep["queue_depth_max"] < 0:
+        fail("negative retry_attempts or queue_depth_max")
+    if rep["throughput_jobs_per_s"] < 0 or rep["elapsed_s"] < 0:
+        fail("negative throughput or elapsed_s")
+
+    print(f"validate_report: OK: {path} -- {n} jobs "
+          f"({engines['threads']} on threads), "
+          f"{terminal['completed']} completed / "
+          f"{terminal['rejected']} rejected / "
+          f"{terminal['cancelled']} cancelled / "
+          f"{terminal['retries_exhausted']} retries-exhausted, "
+          f"p50={lat['p50']} p99={lat['p99']} ns")
+
+
+def validate(rep, path):
+    if rep.get("schema") == SOAK_SCHEMA:
+        validate_soak(rep, path)
+        return
+    if rep.get("schema") == SERVICE_SCHEMA:
+        validate_service(rep, path)
+        return
+    validate_run_report(rep, path)
+
+
 def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        self_test()
+        return
     if len(sys.argv) != 2:
-        fail("usage: validate_report.py report.json")
+        fail("usage: validate_report.py report.json | --self-test")
     try:
         with open(sys.argv[1]) as f:
             rep = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {sys.argv[1]}: {e}")
+    validate(rep, sys.argv[1])
 
-    if rep.get("schema") == SOAK_SCHEMA:
-        validate_soak(rep, sys.argv[1])
-        return
 
+def validate_run_report(rep, path):
     for key, typ in TOP_KEYS.items():
         if key not in rep:
             fail(f"missing key {key!r}")
@@ -214,11 +348,117 @@ def main():
     if rep["attributed_frac"] < 0.99:
         fail(f"attributed_frac = {rep['attributed_frac']:.4f} < 0.99")
 
-    print(f"validate_report: OK: {sys.argv[1]} -- {rep['nranks']} ranks, "
+    print(f"validate_report: OK: {path} -- {rep['nranks']} ranks, "
           f"{rep['sample_points']} samples, {spans['total']} spans, "
           f"attributed {100 * rep['attributed_frac']:.2f}% of "
           f"non-working time")
 
 
+def _fixture_run_report():
+    causes = {c: 0 for c in CAUSES}
+    return {
+        "schema": SCHEMA, "nranks": 1, "sample_ns": 100, "sample_points": 4,
+        "spans": {"total": 2, "completed": 1, "denied": 1, "abandoned": 0,
+                  "incomplete": 0, "salvaged": 0, "timeouts": 0},
+        "dropped_trace_events": 0, "total_ns": 1000, "working_ns": 1000,
+        "nonworking_ns": 0, "working_frac": 1.0, "attributed_frac": 1.0,
+        "residual_ns": 0, "residual_frac_of_nonworking": 0.0,
+        "causes_ns": dict(causes),
+        "per_rank": [{"rank": 0, "total_ns": 1000, "working_ns": 1000,
+                      "causes_ns": dict(causes), "residual_ns": 0}],
+    }
+
+
+def _fixture_soak():
+    return {
+        "schema": SOAK_SCHEMA, "campaigns": 2, "passed": 1, "failed": 1,
+        "engines": {"sim": 2, "threads": 0},
+        "algos": {"upc-term": 1, "mpi-ws": 1},
+        "fault_classes": {"crashes": 1},
+        "violations": [{"campaign": 0, "engine": "sim", "algo": "upc-term",
+                        "oracle": "node-count", "replay": "r.json",
+                        "message": "boom"}],
+        "elapsed_s": 0.5,
+    }
+
+
+def _fixture_service():
+    return {
+        "schema": SERVICE_SCHEMA, "jobs": 4,
+        "terminal": {"completed": 2, "rejected": 1, "cancelled": 1,
+                     "retries_exhausted": 0},
+        "engines": {"sim": 3, "threads": 1},
+        "workloads": {"uts": 3, "knapsack": 1},
+        "algos": {"upc-term": 2, "work-push": 2},
+        "reject_reasons": {"queue-full": 1},
+        "retry_attempts": 1, "chaos": {"crashes": 1, "drains": 0},
+        "nodes": {"visited": 900, "reclaimed": 25},
+        "latency_ns": {"count": 2, "p50": 10, "p90": 20, "p99": 20,
+                       "max": 20},
+        "queue_depth_max": 3, "throughput_jobs_per_s": 2.0,
+        "oracle": {"checked": 4, "violations": []},
+        "result_mismatches": 0, "elapsed_s": 0.1,
+    }
+
+
+def self_test():
+    """Known-good fixtures must pass; each corruption must be caught."""
+    fixtures = {
+        "run-report": _fixture_run_report,
+        "soak": _fixture_soak,
+        "service": _fixture_service,
+    }
+    for name, make in fixtures.items():
+        validate(make(), f"<self-test {name}>")
+
+    def corrupt(fix, mutate):
+        doc = copy.deepcopy(fix())
+        mutate(doc)
+        return doc
+
+    bad = [
+        ("run: attribution bar", _fixture_run_report,
+         lambda d: d.update(nonworking_ns=500, working_ns=500,
+                            residual_ns=500, attributed_frac=0.5,
+                            residual_frac_of_nonworking=1.0)),
+        ("run: span outcomes", _fixture_run_report,
+         lambda d: d["spans"].update(completed=2)),
+        ("soak: pass/fail split", _fixture_soak,
+         lambda d: d.update(passed=2)),
+        ("soak: missing violation entry", _fixture_soak,
+         lambda d: d.update(violations=[])),
+        ("service: terminal sum", _fixture_service,
+         lambda d: d["terminal"].update(completed=3)),
+        ("service: engine split", _fixture_service,
+         lambda d: d["engines"].update(sim=4)),
+        ("service: latency count", _fixture_service,
+         lambda d: d["latency_ns"].update(count=3)),
+        ("service: non-monotone percentiles", _fixture_service,
+         lambda d: d["latency_ns"].update(p50=30)),
+        ("service: reject reasons", _fixture_service,
+         lambda d: d["reject_reasons"].update({"shutdown": 1})),
+        ("service: oracle violation", _fixture_service,
+         lambda d: d["oracle"]["violations"].append("rank leak")),
+        ("service: reference mismatch", _fixture_service,
+         lambda d: d.update(result_mismatches=1)),
+        ("service: missing key", _fixture_service,
+         lambda d: d.pop("nodes")),
+    ]
+    for name, fix, mutate in bad:
+        try:
+            validate(corrupt(fix, mutate), f"<self-test {name}>")
+        except ValidationError:
+            continue
+        print(f"validate_report: SELF-TEST FAIL: corruption {name!r} "
+              "was not caught", file=sys.stderr)
+        sys.exit(1)
+    print(f"validate_report: self-test OK: {len(fixtures)} schemas, "
+          f"{len(bad)} corruptions caught")
+
+
 if __name__ == "__main__":
-    main()
+    try:
+        main()
+    except ValidationError as e:
+        print(f"validate_report: FAIL: {e}", file=sys.stderr)
+        sys.exit(1)
