@@ -10,16 +10,25 @@
 //
 // Flags (besides the standard --quick/--full):
 //   --smoke      tiny matrix for CI: finishes in a couple of seconds
-//   --out FILE   where to write the JSON (default BENCH_engine.json)
+//   --psim       parallel-PDES matrix instead: psim rows (plus the sim
+//                headline as the speedup reference) into BENCH_psim.json,
+//                diffed against bench/BENCH_psim.baseline.json. Warns
+//                (exit 0) when >= 8 hardware threads are available but the
+//                T3 headline speedup over sim is below 4x.
+//   --out FILE   where to write the JSON (default BENCH_engine.json, or
+//                BENCH_psim.json under --psim)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
+#include "psim/engine.hpp"
 #include "stats/table.hpp"
 #include "uts/params.hpp"
 #include "ws/driver.hpp"
@@ -31,17 +40,19 @@ using benchutil::Mode;
 namespace {
 
 struct Case {
-  const char* engine;     // "sim" | "threads"
+  const char* engine;     // "sim" | "threads" | "psim"
   ws::Algo algo;
   const char* tree_name;  // short key used in the result name
   uts::Params tree;
   int nranks;
   int chunk;
+  int workers = 0;  // psim only
 };
 
 struct Measured {
   double wall_s = 0;
   ws::SearchResult res;
+  psim::PsimEngine::Stats psim;  // zeros unless engine == "psim"
 };
 
 Measured run_case(const Case& c) {
@@ -56,6 +67,10 @@ Measured run_case(const Case& c) {
   if (std::strcmp(c.engine, "sim") == 0) {
     pgas::SimEngine eng;
     m.res = ws::run_search(eng, rcfg, prob, cfg);
+  } else if (std::strcmp(c.engine, "psim") == 0) {
+    psim::PsimEngine eng(c.workers);
+    m.res = ws::run_search(eng, rcfg, prob, cfg);
+    m.psim = eng.last_stats();
   } else {
     pgas::ThreadEngine eng;
     m.res = ws::run_search(eng, rcfg, prob, cfg);
@@ -69,11 +84,14 @@ Measured run_case(const Case& c) {
 int main(int argc, char** argv) {
   const Mode mode = benchutil::mode_from_args(argc, argv);
   bool smoke = false;
-  std::string out = "BENCH_engine.json";
+  bool psim_mode = false;
+  std::string out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--psim") == 0) psim_mode = true;
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
   }
+  if (out.empty()) out = psim_mode ? "BENCH_psim.json" : "BENCH_engine.json";
 
   // T3-class binomial tree (big root fan-out, ~520k nodes) is the headline;
   // the small trees keep per-protocol coverage cheap enough for CI.
@@ -81,32 +99,59 @@ int main(int argc, char** argv) {
   const uts::Params small = uts::test_small(1);
   const uts::Params geo = uts::geo_test(1);  // root_seed 2: ~6.4k nodes
 
+  const unsigned hc = std::thread::hardware_concurrency();
+  // Headline worker count: all hardware threads up to the 16-rank shard
+  // limit, floor 2 so the parallel path is exercised even on tiny hosts
+  // (oversubscribed workers time-slice correctly, just without speedup).
+  const int wmax = std::clamp(hc > 0 ? static_cast<int>(hc) : 1, 2, 16);
+
   std::vector<Case> cases;
-  cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
-  cases.push_back({"sim", ws::Algo::kUpcDistMem, "small", small, 8, 4});
-  cases.push_back({"sim", ws::Algo::kMpiWs, "geo", geo, 8, 4});
-  if (!smoke) {
-    cases.push_back({"sim", ws::Algo::kUpcSharedMem, "T3", t3, 16, 10});
-    cases.push_back({"sim", ws::Algo::kMpiWs, "T3", t3, 16, 10});
-    cases.push_back({"threads", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
-  }
-  if (mode == Mode::kFull) {
-    cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3L",
-                     uts::scaled_medium(1), 64, 10});
-    cases.push_back({"threads", ws::Algo::kMpiWs, "T3", t3, 16, 10});
+  if (psim_mode) {
+    // The sim headline rides along as the in-file speedup reference.
+    cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
+    cases.push_back({"psim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10, wmax});
+    cases.push_back({"psim", ws::Algo::kUpcDistMem, "small", small, 8, 4, 2});
+    cases.push_back({"psim", ws::Algo::kMpiWs, "geo", geo, 8, 4, 2});
+    if (!smoke) {
+      cases.push_back({"psim", ws::Algo::kMpiWs, "T3", t3, 16, 10, wmax});
+      cases.push_back({"psim", ws::Algo::kUpcDistMem, "T3w2", t3, 16, 10, 2});
+    }
+    if (mode == Mode::kFull)
+      cases.push_back({"psim", ws::Algo::kUpcDistMem, "T3L",
+                       uts::scaled_medium(1), 64, 10, wmax});
+  } else {
+    cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
+    cases.push_back({"sim", ws::Algo::kUpcDistMem, "small", small, 8, 4});
+    cases.push_back({"sim", ws::Algo::kMpiWs, "geo", geo, 8, 4});
+    if (!smoke) {
+      cases.push_back({"sim", ws::Algo::kUpcSharedMem, "T3", t3, 16, 10});
+      cases.push_back({"sim", ws::Algo::kMpiWs, "T3", t3, 16, 10});
+      cases.push_back({"threads", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
+    }
+    if (mode == Mode::kFull) {
+      cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3L",
+                       uts::scaled_medium(1), 64, 10});
+      cases.push_back({"threads", ws::Algo::kMpiWs, "T3", t3, 16, 10});
+    }
   }
 
   benchutil::print_banner(
-      "bench_engine_perf -- engine hot-path throughput (wall clock)",
+      psim_mode
+          ? "bench_engine_perf --psim -- parallel PDES throughput (wall "
+            "clock)"
+          : "bench_engine_perf -- engine hot-path throughput (wall clock)",
       "perf-regression guard; no paper figure. Headline: real nodes/s of "
       "the simulator on a T3-class tree",
       std::string("mode=") + benchutil::mode_name(mode) +
-          (smoke ? " (smoke)" : "") + " out=" + out);
+          (smoke ? " (smoke)" : "") + " out=" + out +
+          (psim_mode ? " workers=" + benchutil::fmt(wmax, 0) : ""));
 
-  benchutil::BenchReporter rep("engine_perf", mode);
+  benchutil::BenchReporter rep(psim_mode ? "psim_perf" : "engine_perf", mode);
   stats::Table table({"case", "nodes", "wall s", "M nodes/s", "ns/node",
-                      "switches", "M switch/s"});
+                      "switches", "ev/window"});
 
+  double sim_t3_wall = 0;    // the --psim speedup reference
+  double psim_t3_speedup = 0;
   const int reps = smoke ? 1 : 2;  // best-of-2 smooths scheduler noise
   for (const Case& c : cases) {
     Measured best;
@@ -118,31 +163,60 @@ int main(int argc, char** argv) {
     const double switches = static_cast<double>(best.res.run.switches);
     const double nps = nodes / best.wall_s;
     const double sps = switches / best.wall_s;
+    const double epw =
+        best.psim.windows > 0 ? static_cast<double>(best.psim.events) /
+                                    static_cast<double>(best.psim.windows)
+                              : 0;
 
     const std::string name = std::string(c.engine) + "/" +
                              ws::algo_label(c.algo) + "/" + c.tree_name;
-    rep.result(name)
-        .metric("nodes", nodes)
-        .metric("wall_s", best.wall_s)
-        .metric("nodes_per_sec", nps)
-        .metric("ns_per_node", 1e9 / nps)
-        .metric("switches", switches)
-        .metric("switches_per_sec", sps)
-        .metric("ns_per_switch", switches > 0 ? 1e9 / sps : 0)
-        .metric("virtual_elapsed_s", best.res.run.elapsed_s)
-        .note("tree", c.tree.describe())
+    benchutil::BenchReporter::Result& res =
+        rep.result(name)
+            .metric("nodes", nodes)
+            .metric("wall_s", best.wall_s)
+            .metric("nodes_per_sec", nps)
+            .metric("ns_per_node", 1e9 / nps)
+            .metric("switches", switches)
+            .metric("switches_per_sec", sps)
+            .metric("ns_per_switch", switches > 0 ? 1e9 / sps : 0)
+            .metric("virtual_elapsed_s", best.res.run.elapsed_s);
+    res.note("tree", c.tree.describe())
         .note("nranks", benchutil::fmt(c.nranks, 0))
         .note("chunk", benchutil::fmt(c.chunk, 0));
+    if (std::strcmp(c.engine, "psim") == 0) {
+      res.metric("windows", static_cast<double>(best.psim.windows))
+          .metric("events", static_cast<double>(best.psim.events))
+          .metric("events_per_window", epw)
+          .note("workers", benchutil::fmt(c.workers, 0));
+    }
+    if (std::strcmp(c.tree_name, "T3") == 0 &&
+        c.algo == ws::Algo::kUpcDistMem) {
+      if (std::strcmp(c.engine, "sim") == 0) sim_t3_wall = best.wall_s;
+      if (std::strcmp(c.engine, "psim") == 0 && sim_t3_wall > 0) {
+        psim_t3_speedup = sim_t3_wall / best.wall_s;
+        res.metric("speedup_vs_sim", psim_t3_speedup);
+      }
+    }
 
     table.add_row({name, stats::Table::fmt(best.res.total_nodes()),
                    stats::Table::fmt(best.wall_s, 3),
                    stats::Table::fmt(nps / 1e6, 3),
                    stats::Table::fmt(1e9 / nps, 0),
                    stats::Table::fmt(best.res.run.switches),
-                   stats::Table::fmt(sps / 1e6, 3)});
+                   stats::Table::fmt(epw, 1)});
   }
 
   std::printf("\n");
   table.print(std::cout);
+  // Warn-only acceptance check: with real parallel hardware the headline
+  // should speed up at least 4x. Never fails the run — small hosts and
+  // CI containers cannot meet it.
+  if (psim_mode && psim_t3_speedup > 0) {
+    std::printf("\npsim T3 headline: %.2fx vs sim (%d workers, %u hardware "
+                "threads)\n",
+                psim_t3_speedup, wmax, hc);
+    if (hc >= 8 && psim_t3_speedup < 4.0)
+      std::printf("WARN: >=8 hardware threads but speedup below 4x\n");
+  }
   return rep.write_json_file(out) ? 0 : 1;
 }

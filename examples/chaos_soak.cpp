@@ -31,7 +31,11 @@
 //   --campaigns N   campaigns to run (default 240)
 //   --seed S        generator seed (default 1)
 //   --threads-every N  every Nth campaign runs on the real-thread engine
-//                   (node-count check only; 0 = sim only; default 8)
+//                   (node-count check only; 0 = sim only; default 8); those
+//                   campaigns also re-run on the parallel PDES engine (psim)
+//                   as a differential node-count check
+//   --workers N     psim worker threads for the differential re-run
+//                   (default: hardware concurrency)
 //   --nranks N      pin every campaign to N ranks (default: random 4..8)
 //   --crash R@NS    force this fail-stop into every campaign (except
 //                   work-push, which excludes crashes by design); requires
@@ -50,12 +54,14 @@
 #include <random>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "check/checker.hpp"
 #include "check/replay.hpp"
 #include "check/strategies.hpp"
 #include "pgas/thread_engine.hpp"
+#include "psim/engine.hpp"
 #include "uts/sequential.hpp"
 #include "ws/driver.hpp"
 #include "ws/uts_problem.hpp"
@@ -201,9 +207,9 @@ Campaign draw_campaign(std::uint64_t seed, int index, int threads_every,
   return c;
 }
 
-/// Thread-engine campaign: no schedule policy or step oracles (real
-/// threads), but the exactly-once count and membership counters must hold.
-check::RunOutcome run_threads(const check::CheckSpec& s) {
+/// Real-engine campaign (threads or psim): no schedule policy or step
+/// oracles, but the exactly-once count and membership counters must hold.
+check::RunOutcome run_real(pgas::Engine& eng, const check::CheckSpec& s) {
   check::RunOutcome out;
   pgas::RunConfig rc;
   rc.nranks = s.nranks;
@@ -223,7 +229,6 @@ check::RunOutcome run_threads(const check::CheckSpec& s) {
   const ws::UtsProblem prob(s.tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(s.algo, s.chunk);
   cfg.steal_timeout_ns = s.steal_timeout_ns;
-  pgas::ThreadEngine eng;
   const ws::SearchResult res = ws::run_search(eng, rc, prob, cfg);
   out.completed = true;
   out.nodes = res.agg.total_nodes;
@@ -232,7 +237,7 @@ check::RunOutcome run_threads(const check::CheckSpec& s) {
     out.violated = true;
     out.oracle = "node-conservation";
     std::ostringstream os;
-    os << "threads engine visited " << res.agg.total_nodes
+    os << eng.name() << " engine visited " << res.agg.total_nodes
        << " nodes, sequential reference is " << want;
     out.message = os.str();
   } else if (res.agg.total_faults_drains > s.drains.size() ||
@@ -298,6 +303,8 @@ int main(int argc, char** argv) {
   int campaigns = 240;
   std::uint64_t seed = 1;
   int threads_every = 8;
+  int workers = 0;  // psim differential threads; 0 = hardware concurrency
+  bool workers_set = false;
   int pin_nranks = 0;  // 0 = random per campaign
   bool nranks_set = false;
   std::vector<pgas::CrashSpec> forced_crashes;
@@ -318,6 +325,10 @@ int main(int argc, char** argv) {
       seed = parse_u64(next(), "--seed");
     else if (a == "--threads-every")
       threads_every = static_cast<int>(parse_u64(next(), "--threads-every"));
+    else if (a == "--workers") {
+      workers = static_cast<int>(parse_u64(next(), "--workers"));
+      workers_set = true;
+    }
     else if (a == "--nranks") {
       pin_nranks = static_cast<int>(parse_u64(next(), "--nranks"));
       nranks_set = true;
@@ -348,6 +359,13 @@ int main(int argc, char** argv) {
   if (campaigns < 1) usage("--campaigns wants at least 1");
   if (nranks_set && (pin_nranks < 2 || pin_nranks > 16))
     usage("--nranks wants 2..16 ranks");
+  if (workers_set) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    const int max_workers = hc > 0 ? static_cast<int>(hc) : 1;
+    if (workers < 1 || workers > max_workers)
+      usage("--workers wants a thread count in [1," +
+            std::to_string(max_workers) + "] (hardware concurrency)");
+  }
   // Forced fault flags are validated against the run shape before any
   // campaign runs: a bad rank dies here with one line, not 60 campaigns in.
   const bool any_forced = !forced_crashes.empty() || !forced_drains.empty() ||
@@ -415,7 +433,19 @@ int main(int argc, char** argv) {
     const char* engine = c.threads ? "threads" : "sim";
     if (c.threads) {
       ++threads_runs;
-      o = run_threads(s);
+      pgas::ThreadEngine teng;
+      o = run_real(teng, s);
+      if (!o.violated) {
+        // Differential: the same campaign on the parallel PDES engine must
+        // also conserve nodes (falls back to the sequential simulator when
+        // the plan is not parallel-eligible, which is still a valid check).
+        psim::PsimEngine peng(workers);
+        check::RunOutcome po = run_real(peng, s);
+        if (po.violated) {
+          o = po;
+          engine = "psim";
+        }
+      }
     } else {
       check::RandomWalkPolicy rp(c.sched_seed);
       o = check::run_schedule(s, &rp, 100'000, &oracles);
@@ -450,7 +480,7 @@ int main(int argc, char** argv) {
                   i, f.oracle.c_str(), f.message.c_str(), shrink_runs,
                   f.replay.c_str());
     } else {
-      std::printf("campaign %d FAILED on threads engine (%s: %s)\n", i,
+      std::printf("campaign %d FAILED on %s engine (%s: %s)\n", i, engine,
                   f.oracle.c_str(), f.message.c_str());
     }
     failures.push_back(std::move(f));

@@ -19,7 +19,13 @@
 //   -n N          ranks / simulated UPC threads (default 16)
 //   -c K          chunk size (default 10)
 //   -i I          poll interval in nodes (default 1)
-//   -e ENGINE     sim|threads (default sim)
+//   -e ENGINE     sim|psim|threads (default sim). psim is the parallel
+//                 PDES engine: same virtual-time semantics and
+//                 byte-identical output as sim, executed on multiple OS
+//                 worker threads (docs/simulator.md)
+//   --workers N   psim only: OS worker threads driving the shards
+//                 (default: hardware concurrency; must be in
+//                 [1, hardware concurrency])
 //   --net NET     dist|shmem|hier:<tpn>|free (default dist)
 //   -S SEED       run seed for probe order (default 1)
 //   -v            per-rank statistics table
@@ -87,6 +93,7 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include <fstream>
 #include <memory>
@@ -97,6 +104,7 @@
 #include "pgas/faults.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
+#include "psim/engine.hpp"
 #include "sim/scheduler.hpp"
 #include "stats/table.hpp"
 #include "trace/trace.hpp"
@@ -221,6 +229,8 @@ int main(int argc, char** argv) {
   bool csv = false;
   std::string engine_name = "sim";
   std::string net_name = "dist";
+  int workers = 0;  // psim worker threads; 0 = hardware concurrency
+  bool workers_set = false;
   std::string trace_json, trace_csv, replay_path;
   std::string metrics_path, report_path;
   bool spans = false;
@@ -263,6 +273,10 @@ int main(int argc, char** argv) {
       poll = std::atoi(next());
     else if (a == "-e")
       engine_name = next();
+    else if (a == "--workers") {
+      workers = std::atoi(next());
+      workers_set = true;
+    }
     else if (a == "--net")
       net_name = next();
     else if (a == "-S")
@@ -358,6 +372,13 @@ int main(int argc, char** argv) {
   };
   if (nranks < 1) fault_error("-n wants at least 1 rank");
   if (chunk < 1) fault_error("-c wants a chunk size of at least 1");
+  if (workers_set) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    const int max_workers = hc > 0 ? static_cast<int>(hc) : 1;
+    if (workers < 1 || workers > max_workers)
+      fault_error("--workers wants a thread count in [1," +
+                  std::to_string(max_workers) + "] (hardware concurrency)");
+  }
   if (poll < 1) fault_error("-i wants a poll interval of at least 1");
   if (watchdog_ms < 0.0) fault_error("--watchdog-ms must be >= 0");
   if (faults.stalls_enabled() && faults.stall_rank >= nranks)
@@ -454,6 +475,9 @@ int main(int argc, char** argv) {
   try {
     if (engine_name == "sim") {
       pgas::SimEngine eng;
+      res = ws::run_search(eng, rcfg, prob, cfg);
+    } else if (engine_name == "psim") {
+      psim::PsimEngine eng(workers);
       res = ws::run_search(eng, rcfg, prob, cfg);
     } else if (engine_name == "threads") {
       pgas::ThreadEngine eng;

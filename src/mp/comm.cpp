@@ -19,6 +19,7 @@ void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
   Message m;
   m.src = c.rank();
   m.tag = tag;
+  m.send_vt = c.slice_now_ns();
   if (bytes > 0) m.payload.assign(data, bytes);
   // Wire time: latency plus payload serialization (with modeled jitter).
   const std::uint64_t wire = c.jittered(net.bulk_ns(c.rank(), dst, bytes));
@@ -37,9 +38,11 @@ void Comm::send(pgas::Ctx& c, int dst, int tag, const void* data,
   std::lock_guard<std::mutex> g(box.mu);
   if (dup_delay > 0) {
     Message d = m;
+    d.seq = c.next_msg_seq();  // the duplicate enqueues (and orders) first
     d.arrival_ns += dup_delay;
     box.q.push_back(std::move(d));
   }
+  m.seq = c.next_msg_seq();
   box.q.push_back(std::move(m));
 }
 
@@ -48,14 +51,21 @@ bool Comm::iprobe(pgas::Ctx& c, int src, int tag, int* src_out, int* tag_out) {
   const std::uint64_t now = c.now_ns();
   Box& box = *boxes_[c.rank()];
   std::lock_guard<std::mutex> g(box.mu);
+  // Select the delivered match that is first in deterministic delivery
+  // order (send_vt, src, seq) — not first in physical append order. Under
+  // the sequential engine the two coincide (sending slices execute, and
+  // therefore append, in ascending key order); under the parallel engine
+  // append order depends on worker interleaving, the key does not.
+  const Message* best = nullptr;
   for (const Message& m : box.q) {
-    if (m.arrival_ns <= now && matches(m, src, tag)) {
-      if (src_out != nullptr) *src_out = m.src;
-      if (tag_out != nullptr) *tag_out = m.tag;
-      return true;
-    }
+    if (m.arrival_ns <= now && matches(m, src, tag) &&
+        (best == nullptr || m.before(*best)))
+      best = &m;
   }
-  return false;
+  if (best == nullptr) return false;
+  if (src_out != nullptr) *src_out = best->src;
+  if (tag_out != nullptr) *tag_out = best->tag;
+  return true;
 }
 
 bool Comm::try_recv(pgas::Ctx& c, int src, int tag, Message& out) {
@@ -63,14 +73,16 @@ bool Comm::try_recv(pgas::Ctx& c, int src, int tag, Message& out) {
   const std::uint64_t now = c.now_ns();
   Box& box = *boxes_[c.rank()];
   std::lock_guard<std::mutex> g(box.mu);
+  auto best = box.q.end();
   for (auto it = box.q.begin(); it != box.q.end(); ++it) {
-    if (it->arrival_ns <= now && matches(*it, src, tag)) {
-      out = std::move(*it);
-      box.q.erase(it);
-      return true;
-    }
+    if (it->arrival_ns <= now && matches(*it, src, tag) &&
+        (best == box.q.end() || it->before(*best)))
+      best = it;
   }
-  return false;
+  if (best == box.q.end()) return false;
+  out = std::move(*best);
+  box.q.erase(best);
+  return true;
 }
 
 Message Comm::recv(pgas::Ctx& c, int src, int tag) {

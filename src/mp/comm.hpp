@@ -33,6 +33,25 @@ struct Message {
   SmallBuf payload;
   /// Ctx-time at which the message is visible to the receiver.
   std::uint64_t arrival_ns = 0;
+  /// Virtual time of the sending scheduling slice (Ctx::slice_now_ns at
+  /// send). Together with (src, seq) this is the message's deterministic
+  /// delivery-order key: the sequential engine executes sending slices in
+  /// (vt, rank) order, so its mailbox append order *is* ascending
+  /// (send_vt, src, seq) — probe/recv select by that key instead of by
+  /// physical append order, which makes delivery order independent of which
+  /// OS worker enqueued first under the parallel engine.
+  std::uint64_t send_vt = 0;
+  /// Per-sender monotone sequence (breaks ties within one sending slice;
+  /// a duplicated copy is ordered before its original, matching the
+  /// sequential enqueue order).
+  std::uint64_t seq = 0;
+
+  /// Deterministic delivery-order comparison.
+  bool before(const Message& o) const {
+    if (send_vt != o.send_vt) return send_vt < o.send_vt;
+    if (src != o.src) return src < o.src;
+    return seq < o.seq;
+  }
 };
 
 /// A communicator over a fixed set of ranks. Construct once per run, outside

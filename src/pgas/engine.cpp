@@ -7,20 +7,22 @@ namespace upcws::pgas {
 void Ctx::bulk_get(void* dst, const void* src, std::size_t bytes, int owner) {
   std::uint64_t c = jittered(net().bulk_ns(rank(), owner, bytes));
   if (faults_ != nullptr) c += faults_->partition_extra_ns(owner, now_ns());
-  charge(c);
-  // Synchronize-with the release of whatever handshake published `src`.
-  std::atomic_thread_fence(std::memory_order_acquire);
-  std::memcpy(dst, src, bytes);
+  mediated_op(owner, c, [&] {
+    // Synchronize-with the release of whatever handshake published `src`.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    std::memcpy(dst, src, bytes);
+  });
 }
 
 void Ctx::bulk_put(void* dst, const void* src, std::size_t bytes, int owner) {
   if (dead_) return;  // a crashed rank's in-flight put never lands
   std::uint64_t c = jittered(net().bulk_ns(rank(), owner, bytes));
   if (faults_ != nullptr) c += faults_->partition_extra_ns(owner, now_ns());
-  charge(c);
-  std::memcpy(dst, src, bytes);
-  // Publish before any subsequent release-store handshake.
-  std::atomic_thread_fence(std::memory_order_release);
+  mediated_op(owner, c, [&] {
+    std::memcpy(dst, src, bytes);
+    // Publish before any subsequent release-store handshake.
+    std::atomic_thread_fence(std::memory_order_release);
+  });
 }
 
 }  // namespace upcws::pgas

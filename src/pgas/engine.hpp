@@ -25,6 +25,7 @@
 #include <functional>
 #include <random>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "pgas/faults.hpp"
@@ -32,6 +33,36 @@
 #include "sim/schedule_policy.hpp"
 
 namespace upcws::pgas {
+
+/// Causality quantum of the simulation engines: a fiber that accumulates
+/// this much charged virtual time must yield so ranks further behind in
+/// virtual time can catch up before its stores become visible. A cross-rank
+/// reference whose modeled cost is at least one quantum therefore always
+/// trips the quantum — the actual memory access begins a fresh scheduling
+/// slice keyed at the post-charge instant. The parallel PDES engine
+/// (src/psim) builds its window protocol on exactly that property; see
+/// docs/simulator.md.
+inline constexpr std::uint64_t kChargeQuantumNs = 1000;
+
+/// Non-owning reference to a small callable: the raw-memory half of a
+/// mediated PGAS operation (one atomic access or one bulk memcpy). Passing
+/// it through the virtual Ctx::mediated() hook lets an engine decide *where*
+/// the access executes — inline for the sequential engines, or shipped to
+/// the owning rank's worker thread by the parallel engine. No allocation;
+/// the referenced callable must outlive the mediated() call (it always
+/// does: the op is a lambda in the caller's frame).
+class OpRef {
+ public:
+  template <typename F>
+  OpRef(F&& f)  // NOLINT(google-explicit-constructor): by design
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_([](void* p) { (*static_cast<std::remove_reference_t<F>*>(p))(); }) {}
+  void operator()() const { call_(obj_); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*);
+};
 
 /// A UPC-style lock with affinity. The lock word is always manipulated via
 /// Ctx so both engines and the cost model see every operation.
@@ -141,6 +172,40 @@ class Ctx {
   /// (RunConfig::seed, rank) so simulation runs are exactly reproducible.
   virtual std::mt19937_64& rng() = 0;
 
+  /// Execute the raw-memory half of a mediated PGAS operation against data
+  /// owned by `owner`. The cost has already been charged (charge_ref /
+  /// bulk charge) by the caller. Default: run it inline — exactly the
+  /// pre-mediation behavior, so the sequential engines are byte-identical.
+  virtual void mediated(int owner, OpRef op) {
+    (void)owner;
+    op();
+  }
+
+  /// One whole mediated access: charge `cost_ns` (already jitter- and
+  /// partition-adjusted) and run `op` against `owner`'s memory. Default:
+  /// the charge's quantum yield ends the current slice and the op executes
+  /// inline at the post-charge slice key — the sequential semantics. The
+  /// parallel engine overrides this to ship the op to the owner's worker
+  /// *at charge time* (the op is keyed at the post-charge instant, which
+  /// lies at least one lookahead beyond the current conservative window,
+  /// so shipping from the pre-charge slice is what makes barrier-deferred
+  /// delivery sound) and to park the caller across the charge.
+  virtual void mediated_op(int owner, std::uint64_t cost_ns, OpRef op) {
+    charge(cost_ns);
+    mediated(owner, op);
+  }
+
+  /// Virtual time at which the currently executing scheduling slice began
+  /// (the slice's ready-queue key). Simulation engines override this;
+  /// default is now_ns(). mp::Comm stamps outgoing messages with it so
+  /// receivers can reconstruct the sequential engine's deterministic
+  /// delivery order independent of physical enqueue order.
+  virtual std::uint64_t slice_now_ns() { return now_ns(); }
+
+  /// Monotone per-rank message sequence number (consumed by mp::Comm to
+  /// break delivery-order ties between messages of one sending slice).
+  std::uint64_t next_msg_seq() { return msg_seq_++; }
+
   /// This rank's fault injector, or nullptr when fault injection is off
   /// (RunConfig::faults all-zero). Engines attach it before running the
   /// body; algorithm code may consult the plan (e.g. for control-message
@@ -223,15 +288,20 @@ class Ctx {
     return v;
   }
 
+  /// Full modeled cost of one small shared-variable reference to data owned
+  /// by `owner`: base latency, timing jitter, injected spikes, and — when a
+  /// partition separates this rank from `owner` — the wait until it heals.
+  std::uint64_t ref_cost_ns(int owner) {
+    std::uint64_t c = jittered(net().ref_ns(rank(), owner));
+    if (faults_ != nullptr) c += faults_->partition_extra_ns(owner, now_ns());
+    return c;
+  }
+
   /// Charge one small shared-variable reference to data owned by `owner`.
   /// An active partition separating this rank from `owner` stalls the op
   /// until the partition heals (the extra charge jumps the clock to heal
   /// time, so the access completes after it).
-  void charge_ref(int owner) {
-    std::uint64_t c = jittered(net().ref_ns(rank(), owner));
-    if (faults_ != nullptr) c += faults_->partition_extra_ns(owner, now_ns());
-    charge(c);
-  }
+  void charge_ref(int owner) { charge(ref_cost_ns(owner)); }
 
   /// Charge one local poll-loop iteration.
   void charge_poll() { charge(net().poll_ns); }
@@ -258,31 +328,39 @@ class Ctx {
   /// crashed rank's stack must not become visible to the survivors.
   template <typename T>
   T get(const std::atomic<T>& v, int owner) {
-    charge_ref(owner);
-    return v.load(std::memory_order_acquire);
+    T out{};
+    mediated_op(owner, ref_cost_ns(owner),
+                [&] { out = v.load(std::memory_order_acquire); });
+    return out;
   }
   template <typename T>
   void put(std::atomic<T>& v, int owner, T x) {
     if (dead_) return;
-    charge_ref(owner);
-    v.store(x, std::memory_order_release);
+    mediated_op(owner, ref_cost_ns(owner),
+                [&] { v.store(x, std::memory_order_release); });
   }
   /// Atomic fetch-add on a shared word (one network round trip when
   /// remote). Returns the previous value.
   template <typename T>
   T add(std::atomic<T>& v, int owner, T delta) {
     if (dead_) return v.load(std::memory_order_acquire);
-    charge_ref(owner);
-    return v.fetch_add(delta, std::memory_order_acq_rel);
+    T out{};
+    mediated_op(owner, ref_cost_ns(owner), [&] {
+      out = v.fetch_add(delta, std::memory_order_acq_rel);
+    });
+    return out;
   }
   /// Atomic compare-exchange of a shared word (one network round trip when
   /// remote). Returns true on success; `expected` updated as usual.
   template <typename T>
   bool cas(std::atomic<T>& v, int owner, T& expected, T desired) {
     if (dead_) return false;
-    charge_ref(owner);
-    return v.compare_exchange_strong(expected, desired,
+    bool ok = false;
+    mediated_op(owner, ref_cost_ns(owner), [&] {
+      ok = v.compare_exchange_strong(expected, desired,
                                      std::memory_order_acq_rel);
+    });
+    return ok;
   }
 
  protected:
@@ -369,6 +447,9 @@ class Ctx {
   std::uint64_t locks_revoked_ = 0;
   std::uint64_t stale_unlocks_ = 0;
   std::vector<RevokeEvent> revoke_log_;
+
+ private:
+  std::uint64_t msg_seq_ = 0;
 };
 
 /// RAII guard for Lock acquisition through a Ctx (never plain
@@ -448,6 +529,15 @@ struct RunConfig {
   /// zero cost and byte-identical timing either way). Not owned; must
   /// outlive run(). See ObsSink and src/obs.
   ObsSink* obs = nullptr;
+  /// Promise that the SPMD body performs every cross-rank memory access
+  /// through the mediated Ctx surface (get/put/add/cas/bulk_get/bulk_put)
+  /// or mp::Comm — never by dereferencing another rank's memory directly.
+  /// Set by ws::run_search for the protocols that qualify (lock-less
+  /// request/response, token-ring, work-push). The parallel PDES engine
+  /// (src/psim) requires it to shard ranks across OS workers and silently
+  /// falls back to the sequential engine when false. Ignored by SimEngine
+  /// and ThreadEngine.
+  bool remote_ops_mediated = false;
 };
 
 struct RunResult {

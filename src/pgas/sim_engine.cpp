@@ -28,6 +28,9 @@ class SimCtx final : public Ctx {
   int nranks() const override { return nranks_; }
   const NetModel& net() const override { return net_; }
   std::uint64_t now_ns() override { return sched_.now(rank_); }
+  // The current slice began when the accumulated quantum was last reset:
+  // everything charged since then belongs to the slice keyed at now - acc.
+  std::uint64_t slice_now_ns() override { return sched_.now(rank_) - acc_; }
 
   void charge(std::uint64_t ns) override {
     if (dead_) return;  // a crashed rank's clock is frozen at its death
@@ -113,8 +116,6 @@ class SimCtx final : public Ctx {
   void note_progress() override { sched_.note_progress(); }
 
  private:
-  static constexpr std::uint64_t kChargeQuantumNs = 1000;
-
   void maybe_stall() {
     if (faults_ == nullptr) return;
     const std::uint64_t t = sched_.now(rank_);

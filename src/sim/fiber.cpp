@@ -19,8 +19,10 @@
 //
 //  * ucontext fallback everywhere else. Under ASan the switch must be
 //    announced via __sanitizer_*_switch_fiber or fake-stack bookkeeping
-//    corrupts; TSan has no idea a raw %rsp swap happened and would report
-//    phantom races. Sanitizer builds therefore always take this path.
+//    corrupts; under TSan each fiber carries its own shadow state and the
+//    switch is announced via __tsan_switch_to_fiber (without it, TSan
+//    attributes post-switch accesses to the pre-switch context and reports
+//    phantom races). Sanitizer builds therefore always take this path.
 #if defined(__x86_64__) && !defined(UPCWS_ASAN_FIBERS) &&      \
     !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
 #if defined(__has_feature)
@@ -36,6 +38,9 @@
 #include <ucontext.h>
 #ifdef UPCWS_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef UPCWS_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
 #endif
 #endif
 
@@ -243,6 +248,15 @@ struct Fiber::Impl {
   const void* sched_bottom = nullptr;  // resumer's stack, learned on entry
   std::size_t sched_size = 0;
 #endif
+#ifdef UPCWS_TSAN_FIBERS
+  // TSan keeps per-fiber shadow state (clock, shadow stack); every
+  // swapcontext must be announced via __tsan_switch_to_fiber or TSan
+  // attributes the new stack's accesses to the old context and reports
+  // phantom races / use-after-free. Switches synchronize (flag 0):
+  // cooperative scheduling is a happens-before edge.
+  void* tsan_self = nullptr;     // this fiber's TSan state
+  void* tsan_resumer = nullptr;  // the resumer's state, saved on entry
+#endif
 };
 
 void Fiber::trampoline(unsigned hi, unsigned lo) {
@@ -271,17 +285,26 @@ void Fiber::entry() {
   __sanitizer_start_switch_fiber(nullptr, impl_->sched_bottom,
                                  impl_->sched_size);
 #endif
+#ifdef UPCWS_TSAN_FIBERS
+  __tsan_switch_to_fiber(impl_->tsan_resumer, 0);
+#endif
   swapcontext(&impl_->self, &impl_->resumer);
 }
 
 Fiber::Fiber(Fn fn, std::size_t stack_bytes)
     : impl_(std::make_unique<Impl>()), fn_(std::move(fn)) {
   impl_->stack = g_stack_pool.acquire(stack_bytes);
+#ifdef UPCWS_TSAN_FIBERS
+  impl_->tsan_self = __tsan_create_fiber(0);
+#endif
 }
 
 Fiber::~Fiber() {
   // See the fast-backend note: unfinished fibers are cancel()ed by the
   // scheduler before destruction, so their stacks are clean by now.
+#ifdef UPCWS_TSAN_FIBERS
+  __tsan_destroy_fiber(impl_->tsan_self);
+#endif
   g_stack_pool.release(std::move(impl_->stack));
 }
 
@@ -306,6 +329,10 @@ void Fiber::resume() {
   __sanitizer_start_switch_fiber(&sched_fake, impl_->stack.data(),
                                  impl_->stack.size());
 #endif
+#ifdef UPCWS_TSAN_FIBERS
+  impl_->tsan_resumer = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(impl_->tsan_self, 0);
+#endif
   swapcontext(&impl_->resumer, &impl_->self);
 #ifdef UPCWS_ASAN_FIBERS
   __sanitizer_finish_switch_fiber(sched_fake, nullptr, nullptr);
@@ -323,6 +350,9 @@ void Fiber::yield_current() {
 #ifdef UPCWS_ASAN_FIBERS
   __sanitizer_start_switch_fiber(&f->impl_->fiber_fake, f->impl_->sched_bottom,
                                  f->impl_->sched_size);
+#endif
+#ifdef UPCWS_TSAN_FIBERS
+  __tsan_switch_to_fiber(f->impl_->tsan_resumer, 0);
 #endif
   swapcontext(&f->impl_->self, &f->impl_->resumer);
 #ifdef UPCWS_ASAN_FIBERS

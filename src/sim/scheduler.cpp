@@ -46,6 +46,7 @@ int Scheduler::spawn(std::function<void()> body) {
   const int id = static_cast<int>(fibers_.size());
   fibers_.push_back(std::make_unique<Fiber>(std::move(body), cfg_.stack_bytes));
   clocks_.push_back(0);
+  parked_.push_back(false);
   rq_.push(0, id);
   return id;
 }
@@ -68,6 +69,12 @@ bool Scheduler::fast_yield_ok() const {
   if (vt > cfg_.vt_limit_ns) return false;
   if (cfg_.watchdog_ns > 0 && vt > progress_ns_ &&
       vt - progress_ns_ > cfg_.watchdog_ns)
+    return false;
+  // Stepping mode: a fiber may never run inline past the step() bound — the
+  // conservative-window horizon or the next pending external event, whose
+  // application must interleave at its exact (vt, task) key. Inert under
+  // run(): the bound rests at (UINT64_MAX, 0).
+  if (vt > bound_vt_ || (vt == bound_vt_ && current_ >= bound_task_))
     return false;
   if (rq_.empty()) return true;  // sole runnable task
   const ReadyQueue::Entry e = rq_.top();
@@ -174,6 +181,58 @@ void Scheduler::run_policy() {
       break;
     }
   }
+}
+
+void Scheduler::begin_stepping() {
+  if (running_) throw std::logic_error("begin_stepping() during run()");
+  if (cfg_.policy != nullptr)
+    throw std::logic_error("stepping mode is incompatible with a policy");
+  running_ = true;
+  g_current_scheduler = this;
+}
+
+void Scheduler::end_stepping() {
+  g_current_scheduler = nullptr;
+  current_ = -1;
+  running_ = false;
+  bound_vt_ = UINT64_MAX;
+  bound_task_ = 0;
+}
+
+bool Scheduler::step(std::uint64_t bound_vt, int bound_task) {
+  if (rq_.empty()) return false;
+  const ReadyQueue::Entry e = rq_.top();
+  if (e.vt > bound_vt || (e.vt == bound_vt && e.task >= bound_task))
+    return false;
+  rq_.pop();
+  bound_vt_ = bound_vt;
+  bound_task_ = bound_task;
+  current_ = e.task;
+  ++switches_;
+  fibers_[e.task]->resume();
+  if (clocks_[e.task] > cfg_.vt_limit_ns)
+    throw TimeLimitExceeded(e.task, clocks_[e.task], cfg_.vt_limit_ns);
+  if (!fibers_[e.task]->finished() && !parked_[e.task])
+    rq_.push(clocks_[e.task], e.task);
+  return true;
+}
+
+std::optional<ReadyQueue::Entry> Scheduler::peek() const {
+  if (rq_.empty()) return std::nullopt;
+  return rq_.top();
+}
+
+void Scheduler::park_current() {
+  parked_[current_] = true;
+  ++parked_count_;
+  Fiber::yield_current();
+}
+
+void Scheduler::wake(int task, std::uint64_t vt_ns) {
+  parked_[task] = false;
+  --parked_count_;
+  clocks_[task] = vt_ns;
+  rq_.push(vt_ns, task);
 }
 
 void Scheduler::throw_hang(std::uint64_t stuck_at_ns) const {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -133,6 +134,55 @@ class Scheduler {
   /// One entry per scheduling step that offered >= 2 candidates.
   const std::vector<Decision>& decisions() const { return decisions_; }
 
+  // --- windowed stepping (the parallel PDES engine's shard driver) --------
+  //
+  // Instead of run()-to-completion, a driver may bracket the scheduler with
+  // begin_stepping()/end_stepping() on its own OS thread and advance it one
+  // resume at a time with step(), bounded by a (vt, task) key — the
+  // conservative-window / next-external-event horizon. Tasks may leave the
+  // ready queue with park_current() (awaiting a cross-shard reply) and are
+  // re-armed with wake(). Config::policy must be null in this mode.
+
+  /// Enter stepping mode on the calling thread (installs this scheduler as
+  /// Scheduler::current() and marks it running).
+  void begin_stepping();
+  /// Leave stepping mode. Must be called on the same thread.
+  void end_stepping();
+
+  /// Resume the ready task with the smallest (vt, id) key if that key is
+  /// lexicographically below (bound_vt, bound_task); otherwise do nothing.
+  /// Returns true when a task was resumed. Throws TimeLimitExceeded exactly
+  /// as run() would.
+  bool step(std::uint64_t bound_vt, int bound_task);
+
+  /// Smallest ready (vt, task) key, or nullopt when the queue is empty.
+  std::optional<ReadyQueue::Entry> peek() const;
+
+  /// Called from inside the running fiber: suspend without re-queueing; the
+  /// task returns to the ready set only via wake(). The park stands in for
+  /// the quantum yield the sequential engine takes at a mediating charge,
+  /// so the eventual wake-resume is a normally counted scheduling step —
+  /// switch totals stay identical to the sequential engine.
+  void park_current();
+
+  /// Re-arm a parked task at virtual time `vt_ns` (its clock at the park).
+  void wake(int task, std::uint64_t vt_ns);
+
+  /// Number of currently parked tasks.
+  std::size_t parked() const { return parked_count_; }
+
+  /// Virtual time of the last note_progress() (watchdog bookkeeping; the
+  /// parallel driver aggregates this across shards).
+  std::uint64_t progress_ns() const { return progress_ns_; }
+
+  /// Has `task` run to completion?
+  bool finished(int task) const { return fibers_[task]->finished(); }
+
+  /// Cancel-unwind every started-but-unfinished fiber. Public so the
+  /// parallel driver can tear a shard down on the worker thread that ran
+  /// its fibers; also performed by ~Scheduler for anything left over.
+  void cancel_unfinished() { unwind_all(); }
+
  private:
   [[noreturn]] void throw_hang(std::uint64_t stuck_at_ns) const;
 
@@ -157,6 +207,12 @@ class Scheduler {
   std::uint64_t switches_ = 0;
   std::uint64_t progress_ns_ = 0;
   std::vector<Decision> decisions_;
+  // Stepping-mode state (see begin_stepping); the bound also gates the
+  // fast-path yield so a fiber cannot overrun the window horizon.
+  std::uint64_t bound_vt_ = UINT64_MAX;
+  int bound_task_ = 0;
+  std::vector<bool> parked_;
+  std::size_t parked_count_ = 0;
 };
 
 }  // namespace upcws::sim

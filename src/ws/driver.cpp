@@ -132,6 +132,18 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
   }
   const pgas::Liveness* live_view = rc.liveness;
 
+  // Mediation promise for the parallel PDES engine (src/psim): these
+  // protocols perform every cross-rank access through the mediated Ctx
+  // surface (get/put/add/cas/bulk) or mp::Comm — the token-ring family
+  // (mpi-ws, work-push) and the lock-less request/response family with
+  // probe-barrier termination. The locked family reads victim stacks raw
+  // under the stack lock, and cancelable-barrier termination predates the
+  // audit; both stay on the sequential lane.
+  rc.remote_ops_mediated =
+      cfg.termination == Termination::kToken ||
+      (cfg.protocol == StackProtocol::kRequestResponse &&
+       cfg.termination == Termination::kProbeBarrier);
+
   if (cfg.termination == Termination::kToken) {
     mp::Comm comm(rcfg.nranks);
     // mpi-ws keeps a purely local stack per rank.

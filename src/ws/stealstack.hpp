@@ -15,8 +15,10 @@
 // Concurrency discipline is decided by the algorithm on top:
 //   * locked family (§3.1): thieves and the owner serialize region
 //     bookkeeping through lock(); a reserved chunk is then copied *outside*
-//     the critical section, guarded by the in-flight counter so the owner
-//     never compacts memory a thief is still reading.
+//     the critical section. The owner's growth never frees the block a
+//     thief may be reading (old blocks are retired, not freed), and the
+//     in-flight counter keeps the owner from compacting — or reclaiming
+//     retired blocks — while a transfer is still reading them.
 //   * lock-less family (§3.3.3): only the owner ever touches the stack;
 //     thieves receive work through per-thief outboxes, so no locking at all.
 //
@@ -91,9 +93,13 @@ class StealStack {
   std::size_t reserve(std::size_t nodes);
 
   /// Raw slot access (index in nodes). Thieves read reserved slots; the
-  /// lock-less victim reads slots to fill outboxes.
+  /// lock-less victim reads slots to fill outboxes. Goes through the
+  /// atomically published data pointer, not the vector, so a thief's read
+  /// never races with the owner's growth reallocation — and the block the
+  /// pointer names stays alive until the transfer drains (see
+  /// ensure_capacity's retire discipline).
   const std::byte* slot(std::size_t idx) const {
-    return buf_.data() + idx * node_bytes_;
+    return data_.load(std::memory_order_acquire) + idx * node_bytes_;
   }
 
   /// Mark a reserved-chunk transfer as started/finished (locked family).
@@ -146,6 +152,13 @@ class StealStack {
   std::size_t node_bytes_ = 0;
   int owner_ = 0;
   std::vector<std::byte> buf_;
+  // Buffer start, re-published (release) on every reallocating growth;
+  // slot() acquire-loads it so thieves never touch the vector's internals.
+  std::atomic<std::byte*> data_{nullptr};
+  // Old buffers whose storage a mid-transfer thief may still be reading;
+  // ensure_capacity() parks them here instead of freeing, and
+  // maybe_compact() reclaims them once transfers have drained.
+  std::vector<std::vector<std::byte>> retired_;
   std::atomic<std::size_t> shared_base_{0};  // node index
   std::size_t local_ = 0;                    // node index
   std::size_t top_ = 0;                      // node index

@@ -18,6 +18,13 @@
 # reproducible; those lines (result:/states:) are filtered out before the
 # compare, so threads cases still pin the header, fault banner, and the
 # sequential-verification verdict.
+#
+# psim cases have no golden files of their own: the parallel PDES engine
+# promises byte-identical output to the sequential sim engine for any worker
+# count, so they check stdout and trace against the *sim* goldens (only the
+# banner's engine= tag differs and is normalized away). The requested worker
+# count is capped at hardware concurrency, which uts_cli enforces on
+# --workers.
 set -eu
 
 if [ $# -ne 5 ]; then
@@ -36,6 +43,8 @@ fault="--stall 2000:20000"
 crash_a="--crash 1@30000 --crash-detect 2000"
 crash_b="--crash 2@100000 --crash-detect 2000"
 
+workers=0
+base=$name
 case "$name" in
   binA_sim_plain)      engine=sim;     flags="$tree_a" ;;
   binA_sim_fault)      engine=sim;     flags="$tree_a $fault" ;;
@@ -49,8 +58,31 @@ case "$name" in
   geoB_threads_plain)  engine=threads; flags="$tree_b" ;;
   geoB_threads_fault)  engine=threads; flags="$tree_b $fault" ;;
   geoB_threads_crash)  engine=threads; flags="$tree_b $crash_b" ;;
+  binA_psim_w1_plain)  engine=psim; workers=1; base=binA_sim_plain; flags="$tree_a" ;;
+  binA_psim_w1_fault)  engine=psim; workers=1; base=binA_sim_fault; flags="$tree_a $fault" ;;
+  binA_psim_w1_crash)  engine=psim; workers=1; base=binA_sim_crash; flags="$tree_a $crash_a" ;;
+  binA_psim_w4_plain)  engine=psim; workers=4; base=binA_sim_plain; flags="$tree_a" ;;
+  binA_psim_w4_fault)  engine=psim; workers=4; base=binA_sim_fault; flags="$tree_a $fault" ;;
+  binA_psim_w4_crash)  engine=psim; workers=4; base=binA_sim_crash; flags="$tree_a $crash_a" ;;
+  geoB_psim_w1_plain)  engine=psim; workers=1; base=geoB_sim_plain; flags="$tree_b" ;;
+  geoB_psim_w1_fault)  engine=psim; workers=1; base=geoB_sim_fault; flags="$tree_b $fault" ;;
+  geoB_psim_w1_crash)  engine=psim; workers=1; base=geoB_sim_crash; flags="$tree_b $crash_b" ;;
+  geoB_psim_w4_plain)  engine=psim; workers=4; base=geoB_sim_plain; flags="$tree_b" ;;
+  geoB_psim_w4_fault)  engine=psim; workers=4; base=geoB_sim_fault; flags="$tree_b $fault" ;;
+  geoB_psim_w4_crash)  engine=psim; workers=4; base=geoB_sim_crash; flags="$tree_b $crash_b" ;;
   *) echo "run_golden.sh: unknown case '$name'" >&2; exit 2 ;;
 esac
+
+if [ "$engine" = psim ]; then
+  if [ "$mode" = capture ]; then
+    echo "run_golden.sh: psim cases check against sim goldens; capture the" \
+         "matching sim case instead" >&2
+    exit 2
+  fi
+  hc=$( (nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1) | head -n1 )
+  [ "$workers" -gt "$hc" ] && workers=$hc
+  flags="$flags --workers $workers"
+fi
 
 mkdir -p "$work"
 cd "$work"
@@ -58,7 +90,7 @@ cd "$work"
 # Trace output is written under a fixed relative name so the path echoed in
 # stdout is identical between capture and check runs.
 trace_args=""
-if [ "$engine" = sim ]; then
+if [ "$engine" = sim ] || [ "$engine" = psim ]; then
   trace_args="--trace-csv trace.csv"
 fi
 
@@ -67,6 +99,8 @@ fi
 
 if [ "$engine" = threads ]; then
   grep -v -e '^result: ' -e '^states: ' stdout.raw >stdout.txt
+elif [ "$engine" = psim ]; then
+  sed 's/engine=psim/engine=sim/' stdout.raw >stdout.txt
 else
   cp stdout.raw stdout.txt
 fi
@@ -81,11 +115,12 @@ if [ "$mode" = capture ]; then
 fi
 
 status=0
-if ! diff -u "$golden/$name.stdout" stdout.txt; then
+if ! diff -u "$golden/$base.stdout" stdout.txt; then
   echo "GOLDEN MISMATCH: stdout for case $name" >&2
   status=1
 fi
-if [ "$engine" = sim ] && ! diff -u "$golden/$name.trace.csv" trace.csv; then
+if { [ "$engine" = sim ] || [ "$engine" = psim ]; } &&
+   ! diff -u "$golden/$base.trace.csv" trace.csv; then
   echo "GOLDEN MISMATCH: trace for case $name" >&2
   status=1
 fi

@@ -34,6 +34,10 @@ SCHEMA = "upcws-bench-v1"
 # Metrics that describe the workload, not its speed: any change is suspect.
 INVARIANT = {"nodes", "switches", "virtual_elapsed_s"}
 
+# Metrics that legitimately vary with the host (psim shard layout follows the
+# worker count): printed for the record, never flagged as regression or drift.
+NEUTRAL = {"windows", "events", "events_per_window"}
+
 
 def load(path):
     try:
@@ -80,7 +84,9 @@ def validate(doc, path):
 
 
 def direction(metric):
-    """+1 higher-is-better, -1 lower-is-better, 0 invariant."""
+    """+1 higher-is-better, -1 lower-is-better, 0 invariant, None neutral."""
+    if metric in NEUTRAL:
+        return None
     if metric in INVARIANT:
         return 0
     if metric.endswith("_per_sec") or metric.endswith("_per_s"):
@@ -112,6 +118,10 @@ def compare(cur, base, threshold, fail_on_regression, fail_over=None):
             delta = ratio - 1.0
             d = direction(metric)
             flag = ""
+            if d is None:
+                print(f"{name:<28} {metric:<20} {bv:>12.4g} {cv:>12.4g} "
+                      f"{delta:>+7.1%}  (host-dependent)")
+                continue
             if d == 0 and abs(delta) > 1e-9:
                 flag = "  WORKLOAD CHANGED"
                 drift.append((name, metric, bv, cv))
@@ -120,7 +130,7 @@ def compare(cur, base, threshold, fail_on_regression, fail_over=None):
                 regressions.append((name, metric, bv, cv, delta))
             elif d * delta > threshold:
                 flag = "  improved"
-            if fail_over is not None and d != 0 and d * delta < -fail_over:
+            if fail_over is not None and d and d * delta < -fail_over:
                 flag = "  HARD FAIL"
                 hard_fails.append((name, metric, bv, cv, delta))
             print(f"{name:<28} {metric:<20} {bv:>12.4g} {cv:>12.4g} "
@@ -207,6 +217,8 @@ def self_test():
                   direction("elapsed_s") == -1))
     cases.append(("direction: workload metric is invariant",
                   direction("nodes") == 0))
+    cases.append(("direction: host-dependent metric is neutral",
+                  direction("events_per_window") is None))
 
     base = _canned(100.0)
     cases.append(("5% slowdown under threshold -> exit 0",
@@ -224,6 +236,12 @@ def self_test():
                   run_compare(_canned(140.0), base, fail_over=0.30) == 0))
     cases.append(("workload drift detected but non-fatal",
                   run_compare(_canned(100.0, nodes=999), base) == 0))
+    neut_base = _canned(100.0)
+    neut_base["results"][0]["metrics"]["windows"] = 50
+    neut_cur = _canned(100.0)
+    neut_cur["results"][0]["metrics"]["windows"] = 500
+    cases.append(("neutral metric change never flagged, even over fail-over",
+                  run_compare(neut_cur, neut_base, fail_over=0.30) == 0))
 
     failed = 0
     for name, ok in cases:

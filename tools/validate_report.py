@@ -144,7 +144,7 @@ def validate_soak(rep, path):
         if not 0 <= v["campaign"] < n:
             fail(f"violations[{i}]: campaign id {v['campaign']} "
                  f"out of range")
-        if v["engine"] not in ("sim", "threads"):
+        if v["engine"] not in ("sim", "threads", "psim"):
             fail(f"violations[{i}]: bad engine {v['engine']!r}")
         if not v["oracle"]:
             fail(f"violations[{i}]: empty oracle name")
