@@ -15,15 +15,24 @@
 // shedding below saturation, then the p99 knee and a rising shed fraction
 // as the bounded queue starts doing its job. A second pass repeats the
 // sweep with per-job crash/drain chaos to show the degraded-pool penalty.
+//
+// `--report FILE` additionally attaches a job log to the representative
+// saturated+chaos point (fastest arrivals, 25% crash jobs) and emits its
+// service-latency autopsy: the upcws-service-timeline-v1 JSON plus the
+// ASCII attribution table (docs/observability.md). Pure observation — the
+// sweep numbers are byte-identical with and without it.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <random>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/autopsy.hpp"
 #include "pgas/sim_engine.hpp"
 #include "stats/table.hpp"
 #include "svc/service.hpp"
@@ -49,12 +58,17 @@ struct SweepPoint {
   std::uint64_t queue_max;
 };
 
-SweepPoint run_rate(int jobs, double mean_ns, bool chaos, std::uint64_t seed) {
+SweepPoint run_rate(int jobs, double mean_ns, bool chaos, std::uint64_t seed,
+                    obs::JobLog* log = nullptr) {
   pgas::SimEngine eng;
   svc::ServiceConfig cfg;
   cfg.pool_ranks = 6;
   cfg.queue_cap = 16;
   cfg.repair_ns = 2'000'000;
+  if (log != nullptr) {
+    cfg.job_log = log;
+    cfg.observe_jobs = true;
+  }
   svc::Service s(eng, cfg);
 
   std::mt19937_64 g(seed);
@@ -103,6 +117,10 @@ SweepPoint run_rate(int jobs, double mean_ns, bool chaos, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const Mode mode = benchutil::mode_from_args(argc, argv);
   const int jobs = mode == Mode::kFull ? 400 : mode == Mode::kQuick ? 60 : 160;
+  std::string report_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc)
+      report_path = argv[++i];
 
   benchutil::print_banner(
       "bench_service -- resident service latency under rising load",
@@ -117,13 +135,19 @@ int main(int argc, char** argv) {
   const std::vector<double> sweep_us = {2000, 1000, 500, 250, 120, 60};
 
   benchutil::Stopwatch wall;
+  obs::JobLog timeline_log;
   for (const bool chaos : {false, true}) {
     std::printf("\nservice latency vs arrival rate%s\n",
                 chaos ? " (25% crash jobs)" : " (no chaos)");
     stats::Table tbl({"mean arrival (ms)", "p50 (ms)", "p99 (ms)", "jobs/s",
                       "shed", "queue max"});
     for (const double us : sweep_us) {
-      const SweepPoint pt = run_rate(jobs, us * 1000.0, chaos, 42);
+      // The representative saturated+chaos point carries the job log for
+      // --report (pure observation: the row is identical either way).
+      const bool logged =
+          !report_path.empty() && chaos && us == sweep_us.back();
+      const SweepPoint pt = run_rate(jobs, us * 1000.0, chaos, 42,
+                                     logged ? &timeline_log : nullptr);
       tbl.add_row({benchutil::fmt(pt.mean_arrival_us / 1000.0, 2),
                    benchutil::fmt(static_cast<double>(pt.p50_ns) * 1e-6, 3),
                    benchutil::fmt(static_cast<double>(pt.p99_ns) * 1e-6, 3),
@@ -132,6 +156,15 @@ int main(int argc, char** argv) {
                    std::to_string(pt.queue_max)});
     }
     tbl.print(std::cout);
+  }
+  if (!report_path.empty()) {
+    const obs::ServiceTimeline tl = obs::service_autopsy({&timeline_log});
+    std::printf("\nservice-latency autopsy of the saturated+chaos point "
+                "(%.0f us arrivals):\n%s",
+                sweep_us.back(), tl.ascii_table().c_str());
+    std::ofstream f(report_path);
+    tl.write_json(f);
+    std::printf("wrote service timeline to %s\n", report_path.c_str());
   }
   std::printf("bench_service: done in %.1f s wall\n", wall.seconds());
   return 0;

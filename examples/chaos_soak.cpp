@@ -42,6 +42,11 @@
 //                   --nranks so R can be validated against the run shape
 //   --drain R@NS    force this graceful leave into every campaign
 //   --join R@NS     force this late join into every campaign
+//   --psim          attach an observer to the psim differential re-runs and
+//                   aggregate the PDES window telemetry across the soak
+//                   (pure observation: outcomes are unchanged)
+//   --psim-window-metrics  print the aggregated window/fallback telemetry at
+//                   the end; requires --psim (nothing is collected without it)
 //   --json FILE     write the upcws-soak-summary-v1 JSON summary
 //   --replay-dir D  directory for shrunk failure replays (default ".")
 //   --budget-smoke  bounded CI mode: 60 campaigns, smoke-sized budgets
@@ -60,6 +65,7 @@
 #include "check/checker.hpp"
 #include "check/replay.hpp"
 #include "check/strategies.hpp"
+#include "obs/observer.hpp"
 #include "pgas/thread_engine.hpp"
 #include "psim/engine.hpp"
 #include "uts/sequential.hpp"
@@ -209,7 +215,8 @@ Campaign draw_campaign(std::uint64_t seed, int index, int threads_every,
 
 /// Real-engine campaign (threads or psim): no schedule policy or step
 /// oracles, but the exactly-once count and membership counters must hold.
-check::RunOutcome run_real(pgas::Engine& eng, const check::CheckSpec& s) {
+check::RunOutcome run_real(pgas::Engine& eng, const check::CheckSpec& s,
+                           obs::Observer* obs = nullptr) {
   check::RunOutcome out;
   pgas::RunConfig rc;
   rc.nranks = s.nranks;
@@ -229,6 +236,7 @@ check::RunOutcome run_real(pgas::Engine& eng, const check::CheckSpec& s) {
   const ws::UtsProblem prob(s.tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(s.algo, s.chunk);
   cfg.steal_timeout_ns = s.steal_timeout_ns;
+  cfg.obs = obs;  // pure observation: attaching it cannot change the outcome
   const ws::SearchResult res = ws::run_search(eng, rc, prob, cfg);
   out.completed = true;
   out.nodes = res.agg.total_nodes;
@@ -311,6 +319,8 @@ int main(int argc, char** argv) {
   std::vector<pgas::DrainSpec> forced_drains;
   std::vector<pgas::JoinSpec> forced_joins;
   std::string json_path, replay_dir = ".";
+  bool psim_obs = false;
+  bool psim_window_metrics = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -347,6 +357,10 @@ int main(int argc, char** argv) {
       forced_joins.push_back(pgas::JoinSpec{r, at});
     } else if (a == "--json")
       json_path = next();
+    else if (a == "--psim")
+      psim_obs = true;
+    else if (a == "--psim-window-metrics")
+      psim_window_metrics = true;
     else if (a == "--replay-dir")
       replay_dir = next();
     else if (a == "--budget-smoke")
@@ -357,6 +371,9 @@ int main(int argc, char** argv) {
       usage("unknown flag " + a);
   }
   if (campaigns < 1) usage("--campaigns wants at least 1");
+  if (psim_window_metrics && !psim_obs)
+    usage("--psim-window-metrics requires --psim (nothing is collected "
+          "without the observed psim differential)");
   if (nranks_set && (pin_nranks < 2 || pin_nranks > 16))
     usage("--nranks wants 2..16 ranks");
   if (workers_set) {
@@ -390,6 +407,12 @@ int main(int argc, char** argv) {
   std::map<std::string, int> algo_runs, fault_runs;
   std::vector<Failure> failures;
   int threads_runs = 0;
+  // --psim telemetry, aggregated across every observed differential re-run.
+  // The observer is reused (start_run resets its per-run state; the fallback
+  // tally deliberately survives so reasons accumulate soak-wide).
+  obs::Observer pobs;
+  int psim_runs = 0;
+  std::uint64_t psim_total_windows = 0, psim_total_events = 0;
   const auto t0 = std::chrono::steady_clock::now();
 
   for (int i = 0; i < campaigns; ++i) {
@@ -440,7 +463,14 @@ int main(int argc, char** argv) {
         // also conserve nodes (falls back to the sequential simulator when
         // the plan is not parallel-eligible, which is still a valid check).
         psim::PsimEngine peng(workers);
-        check::RunOutcome po = run_real(peng, s);
+        check::RunOutcome po =
+            run_real(peng, s, psim_obs ? &pobs : nullptr);
+        if (psim_obs) {
+          ++psim_runs;
+          psim_total_windows += pobs.psim_windows().size();
+          for (const auto& w : pobs.psim_windows())
+            psim_total_events += w.events;
+        }
         if (po.violated) {
           o = po;
           engine = "psim";
@@ -494,6 +524,16 @@ int main(int argc, char** argv) {
               campaigns, threads_runs, failures.size(), elapsed_s);
   for (const auto& [k, v] : fault_runs)
     std::printf("  %-11s in %d campaigns\n", k.c_str(), v);
+  if (psim_window_metrics) {
+    std::printf("psim telemetry: %d observed differentials  %llu windows  "
+                "%llu events\n",
+                psim_runs,
+                static_cast<unsigned long long>(psim_total_windows),
+                static_cast<unsigned long long>(psim_total_events));
+    for (const auto& [reason, count] : pobs.psim_fallbacks())
+      std::printf("  serial-lane fallback (%s) in %llu re-runs\n",
+                  reason.c_str(), static_cast<unsigned long long>(count));
+  }
 
   if (!json_path.empty()) {
     std::ofstream f(json_path);

@@ -36,6 +36,11 @@
 //   --jobs N     total jobs across both services (default 240, min 12)
 //   --seed S     generator seed (default 1)
 //   --json FILE  write the upcws-service-report-v1 JSON report
+//   --report FILE    write the upcws-service-timeline-v1 latency autopsy
+//                    (also prints the ASCII breakdown and gates on >=99%
+//                    per-job attribution)
+//   --timeline FILE  Perfetto Chrome-JSON job lanes of the sim service
+//                    (requires --report, which turns job logging on)
 //   --budget-smoke  bounded CI mode: 72 jobs
 //   -v           per-job terminal lines
 #include <algorithm>
@@ -51,6 +56,7 @@
 #include <vector>
 
 #include "check/job_oracle.hpp"
+#include "obs/autopsy.hpp"
 #include "pgas/sim_engine.hpp"
 #include "pgas/thread_engine.hpp"
 #include "svc/service.hpp"
@@ -177,7 +183,7 @@ void write_map(std::ostream& os, const std::map<std::string, int>& m) {
 int main(int argc, char** argv) {
   int total_jobs = 240;
   std::uint64_t seed = 1;
-  std::string json_path;
+  std::string json_path, report_path, timeline_path;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -192,6 +198,10 @@ int main(int argc, char** argv) {
       seed = parse_u64(next(), "--seed");
     else if (a == "--json")
       json_path = next();
+    else if (a == "--report")
+      report_path = next();
+    else if (a == "--timeline")
+      timeline_path = next();
     else if (a == "--budget-smoke")
       total_jobs = 72;
     else if (a == "-v")
@@ -201,6 +211,8 @@ int main(int argc, char** argv) {
   }
   if (total_jobs < 12)
     usage("--jobs wants at least 12 (all six algorithms on both engines)");
+  if (!timeline_path.empty() && report_path.empty())
+    usage("--timeline requires --report (it is what turns job logging on)");
 
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -213,8 +225,17 @@ int main(int argc, char** argv) {
   // virtual time), or a few early crashes degrade the pool for good and
   // every later job runs single-rank.
   scfg.repair_ns = 2'000'000;
-  svc::Service sim_svc(sim_eng, scfg);
-  svc::Service thr_svc(thr_eng, scfg);
+  // Job-lifecycle logging rides on --report. Pure observation: the soak's
+  // terminal states and stdout are identical with or without it.
+  obs::JobLog sim_log, thr_log;
+  svc::ServiceConfig sim_cfg = scfg, thr_cfg = scfg;
+  if (!report_path.empty()) {
+    sim_cfg.observe_jobs = thr_cfg.observe_jobs = true;
+    sim_cfg.job_log = &sim_log;
+    thr_cfg.job_log = &thr_log;
+  }
+  svc::Service sim_svc(sim_eng, sim_cfg);
+  svc::Service thr_svc(thr_eng, thr_cfg);
 
   // Open-loop Poisson arrivals (inverse-CDF exponential inter-arrivals),
   // one independent clock per service. The sim stream is deliberately a
@@ -395,5 +416,33 @@ int main(int argc, char** argv) {
     std::printf("wrote report to %s\n", json_path.c_str());
   }
 
-  return (violations.empty() && mismatches == 0 && sums_ok) ? 0 : 1;
+  bool timeline_ok = true;
+  if (!report_path.empty()) {
+    const obs::ServiceTimeline tl = obs::service_autopsy({&sim_log, &thr_log});
+    std::printf("%s", tl.ascii_table().c_str());
+    timeline_ok = tl.min_job_attributed_frac >= 0.99 &&
+                  tl.jobs == static_cast<std::uint64_t>(total_jobs) &&
+                  tl.unfinished == 0;
+    if (!timeline_ok)
+      std::printf(
+          "SERVICE TIMELINE ATTRIBUTION FAILED: worst job %.2f%%, "
+          "%llu jobs logged, %llu unfinished\n",
+          100.0 * tl.min_job_attributed_frac,
+          static_cast<unsigned long long>(tl.jobs),
+          static_cast<unsigned long long>(tl.unfinished));
+    std::ofstream f(report_path);
+    if (!f) usage("cannot write --report " + report_path);
+    tl.write_json(f);
+    std::printf("wrote service timeline to %s\n", report_path.c_str());
+    if (!timeline_path.empty()) {
+      std::ofstream tf(timeline_path);
+      if (!tf) usage("cannot write --timeline " + timeline_path);
+      sim_log.write_chrome_json(tf);
+      std::printf("wrote Perfetto job lanes to %s\n", timeline_path.c_str());
+    }
+  }
+
+  return (violations.empty() && mismatches == 0 && sums_ok && timeline_ok)
+             ? 0
+             : 1;
 }

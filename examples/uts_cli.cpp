@@ -43,6 +43,12 @@
 //   --report FILE   write the idle-time autopsy report (JSON) to FILE and
 //                 print the per-rank cause table
 //   --spans       print the steal-transaction span summary
+//   --timeline FILE  standalone Perfetto export of the steal-transaction
+//                 spans (one slice per steal on the thief's track, flow
+//                 arrows for completed steals); requires --report
+//   --psim-window-metrics  print the conservative-PDES window telemetry
+//                 (windows, events, spans, shard imbalance, serial-lane
+//                 fallback reason); requires -e psim
 //   --obs-sample NS  telemetry sampling cadence in virtual ns
 //                 (default 100000)
 //   --csv         emit one machine-readable CSV result line (plus a header)
@@ -88,6 +94,7 @@
 //                 with their bit set in MASK are cut off from the rest for
 //                 virtual ns [START, HEAL); cross-cut traffic is delayed
 //                 until the heal, never lost
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -232,8 +239,9 @@ int main(int argc, char** argv) {
   int workers = 0;  // psim worker threads; 0 = hardware concurrency
   bool workers_set = false;
   std::string trace_json, trace_csv, replay_path;
-  std::string metrics_path, report_path;
+  std::string metrics_path, report_path, timeline_path;
   bool spans = false;
+  bool psim_window_metrics = false;
   std::uint64_t obs_sample_ns = 100'000;
   std::size_t trace_cap = 0;
   std::uint64_t run_seed = 1;
@@ -295,6 +303,10 @@ int main(int argc, char** argv) {
       report_path = next();
     else if (a == "--spans")
       spans = true;
+    else if (a == "--timeline")
+      timeline_path = next();
+    else if (a == "--psim-window-metrics")
+      psim_window_metrics = true;
     else if (a == "--obs-sample")
       obs_sample_ns = parse_u64(next(), "--obs-sample");
     else if (a == "--csv")
@@ -380,6 +392,12 @@ int main(int argc, char** argv) {
                   std::to_string(max_workers) + "] (hardware concurrency)");
   }
   if (poll < 1) fault_error("-i wants a poll interval of at least 1");
+  if (!timeline_path.empty() && report_path.empty())
+    fault_error("--timeline requires --report (the span log it exports is "
+                "only assembled for reported runs)");
+  if (psim_window_metrics && engine_name != "psim")
+    fault_error("--psim-window-metrics requires -e psim (window telemetry "
+                "only exists under the conservative-PDES engine)");
   if (watchdog_ms < 0.0) fault_error("--watchdog-ms must be >= 0");
   if (faults.stalls_enabled() && faults.stall_rank >= nranks)
     fault_error("--stall rank " + std::to_string(faults.stall_rank) +
@@ -455,7 +473,8 @@ int main(int argc, char** argv) {
     cfg.trace_cap = trace_cap;
   }
   std::unique_ptr<obs::Observer> observer;
-  if (!metrics_path.empty() || !report_path.empty() || spans) {
+  if (!metrics_path.empty() || !report_path.empty() || spans ||
+      psim_window_metrics) {
     observer = std::make_unique<obs::Observer>();
     cfg.obs = observer.get();
     cfg.obs_sample_ns = obs_sample_ns;
@@ -552,6 +571,29 @@ int main(int argc, char** argv) {
       report.write_json(f);
       std::printf("%s", report.ascii_table().c_str());
       std::printf("wrote idle-time autopsy to %s\n", report_path.c_str());
+    }
+    if (!timeline_path.empty()) {
+      std::ofstream f(timeline_path);
+      observer->spans().write_chrome_json(f);
+      std::printf("wrote steal-span timeline to %s (chrome://tracing)\n",
+                  timeline_path.c_str());
+    }
+    if (psim_window_metrics) {
+      const std::vector<pgas::ObsSink::PsimWindow>& wins =
+          observer->psim_windows();
+      std::uint64_t events = 0, imbalance = 0;
+      for (const pgas::ObsSink::PsimWindow& w : wins) {
+        events += w.events;
+        imbalance = std::max(
+            imbalance, w.max_shard_switches - w.min_shard_switches);
+      }
+      std::printf("psim windows: %zu  events %llu  max shard imbalance %llu "
+                  "switches/window\n",
+                  wins.size(), static_cast<unsigned long long>(events),
+                  static_cast<unsigned long long>(imbalance));
+      for (const auto& [reason, count] : observer->psim_fallbacks())
+        std::printf("psim fallback: serial lane (%s) x%llu\n", reason.c_str(),
+                    static_cast<unsigned long long>(count));
     }
   }
   if (csv) {

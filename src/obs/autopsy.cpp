@@ -238,4 +238,187 @@ void RunReport::write_json(std::ostream& os) const {
   os << "}\n";
 }
 
+const char* job_cause_name(JobCause c) {
+  switch (c) {
+    case JobCause::kQueueWait: return "queue_wait";
+    case JobCause::kBackoff: return "backoff";
+    case JobCause::kEngineRun: return "engine_run";
+    case JobCause::kCancelDrain: return "cancel_drain";
+    case JobCause::kShed: return "shed";
+    case JobCause::kCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+JobAutopsy attribute_job(const JobTimeline& j, int service) {
+  JobAutopsy a;
+  a.service = service;
+  a.id = j.id;
+  a.outcome = j.outcome;
+  a.attempts = static_cast<int>(j.attempts.size());
+
+  // The timeline's end: the terminal instant, extended past any recorded
+  // activity (a truncated log without a terminal still gets walked; the
+  // uncovered tail then lands in the residual).
+  std::uint64_t end = std::max(j.terminal_ns, j.arrival_ns);
+  for (const JobAttempt& at : j.attempts)
+    end = std::max({end, at.end_ns, at.backoff_until_ns});
+  a.total_ns = end - j.arrival_ns;
+
+  auto add = [&a](JobCause c, std::uint64_t from, std::uint64_t to) {
+    if (to > from) a.cause_ns[static_cast<int>(c)] += to - from;
+  };
+  std::uint64_t cursor = j.arrival_ns;
+  for (const JobAttempt& at : j.attempts) {
+    add(JobCause::kQueueWait, cursor, at.begin_ns);
+    cursor = std::max(cursor, at.begin_ns);
+    // A cancelled attempt splits at the deadline: the part past it is the
+    // cooperative-cancellation drain, not useful engine time.
+    if (at.cancelled && j.deadline_abs_ns > at.begin_ns &&
+        j.deadline_abs_ns < at.end_ns) {
+      add(JobCause::kEngineRun, cursor, j.deadline_abs_ns);
+      add(JobCause::kCancelDrain, j.deadline_abs_ns, at.end_ns);
+    } else {
+      add(JobCause::kEngineRun, cursor, at.end_ns);
+    }
+    cursor = std::max(cursor, at.end_ns);
+    if (at.backoff_until_ns > cursor) {
+      add(JobCause::kBackoff, cursor, at.backoff_until_ns);
+      cursor = at.backoff_until_ns;
+    }
+  }
+  // Tail after the last attempt: a rejected job was shed there, anything
+  // else (queue-death cancellation, shutdown) was waiting in the queue. A
+  // log without a terminal record attributes nothing here — the gap is the
+  // residual, reported rather than papered over.
+  if (j.outcome != JobOutcome::kNone)
+    add(j.outcome == JobOutcome::kRejected ? JobCause::kShed
+                                           : JobCause::kQueueWait,
+        cursor, end);
+
+  std::uint64_t attributed = 0;
+  for (std::uint64_t v : a.cause_ns) attributed += v;
+  a.residual_ns = a.total_ns > attributed ? a.total_ns - attributed : 0;
+  return a;
+}
+
+}  // namespace
+
+ServiceTimeline service_autopsy(const std::vector<const JobLog*>& logs) {
+  ServiceTimeline t;
+  for (std::size_t li = 0; li < logs.size(); ++li) {
+    if (logs[li] == nullptr) continue;
+    for (const JobTimeline& j : logs[li]->jobs()) {
+      JobAutopsy a = attribute_job(j, static_cast<int>(li));
+      ++t.jobs;
+      switch (a.outcome) {
+        case JobOutcome::kCompleted: ++t.completed; break;
+        case JobOutcome::kRejected: ++t.rejected; break;
+        case JobOutcome::kCancelled: ++t.cancelled; break;
+        case JobOutcome::kRetriesExhausted: ++t.retries_exhausted; break;
+        case JobOutcome::kNone: ++t.unfinished; break;
+      }
+      t.total_ns += a.total_ns;
+      t.residual_ns += a.residual_ns;
+      for (int c = 0; c < kJobCauseCount; ++c) t.cause_ns[c] += a.cause_ns[c];
+      if (a.total_ns > 0)
+        t.min_job_attributed_frac =
+            std::min(t.min_job_attributed_frac, a.attributed_frac());
+      t.per_job.push_back(std::move(a));
+    }
+  }
+  t.attributed_frac =
+      t.total_ns > 0 ? 1.0 - static_cast<double>(t.residual_ns) /
+                                 static_cast<double>(t.total_ns)
+                     : 1.0;
+  return t;
+}
+
+std::string ServiceTimeline::ascii_table() const {
+  std::ostringstream os;
+  os << "outcome            jobs";
+  for (int c = 0; c < kJobCauseCount; ++c)
+    os << "  " << job_cause_name(static_cast<JobCause>(c));
+  os << "  residual\n";
+  auto row = [&](const char* label, std::uint64_t n,
+                 const std::array<std::uint64_t, kJobCauseCount>& cause,
+                 std::uint64_t total, std::uint64_t residual) {
+    char head[40];
+    std::snprintf(head, sizeof head, "%-17s %5llu", label,
+                  static_cast<unsigned long long>(n));
+    os << head;
+    for (int c = 0; c < kJobCauseCount; ++c) {
+      const std::size_t w =
+          std::string(job_cause_name(static_cast<JobCause>(c))).size();
+      std::string p = pct(cause[c], total);
+      os << "  " << std::string(w > p.size() ? w - p.size() : 0, ' ') << p;
+    }
+    os << "  " << pct(residual, total) << '\n';
+  };
+  auto group = [&](const char* label, JobOutcome o, std::uint64_t n) {
+    std::array<std::uint64_t, kJobCauseCount> cause{};
+    std::uint64_t total = 0, residual = 0;
+    for (const JobAutopsy& a : per_job) {
+      if (a.outcome != o) continue;
+      total += a.total_ns;
+      residual += a.residual_ns;
+      for (int c = 0; c < kJobCauseCount; ++c) cause[c] += a.cause_ns[c];
+    }
+    if (n > 0) row(label, n, cause, total, residual);
+  };
+  group("completed", JobOutcome::kCompleted, completed);
+  group("cancelled", JobOutcome::kCancelled, cancelled);
+  group("retries_exhausted", JobOutcome::kRetriesExhausted, retries_exhausted);
+  group("rejected", JobOutcome::kRejected, rejected);
+  group("unfinished", JobOutcome::kNone, unfinished);
+  row("ALL", jobs, cause_ns, total_ns, residual_ns);
+  char tail[200];
+  std::snprintf(tail, sizeof tail,
+                "attributed %.2f%% of arrival-to-terminal time "
+                "(worst job %.2f%%, residual %llu ns)\n",
+                100.0 * attributed_frac, 100.0 * min_job_attributed_frac,
+                static_cast<unsigned long long>(residual_ns));
+  os << tail;
+  return os.str();
+}
+
+void ServiceTimeline::write_json(std::ostream& os) const {
+  auto causes = [&os](const std::array<std::uint64_t, kJobCauseCount>& c) {
+    os << '{';
+    for (int i = 0; i < kJobCauseCount; ++i)
+      os << (i > 0 ? ", " : "") << '"'
+         << job_cause_name(static_cast<JobCause>(i)) << "\": " << c[i];
+    os << '}';
+  };
+  os << "{\n";
+  os << "  \"schema\": \"upcws-service-timeline-v1\",\n";
+  os << "  \"jobs\": " << jobs << ",\n";
+  os << "  \"outcomes\": {\"completed\": " << completed
+     << ", \"rejected\": " << rejected << ", \"cancelled\": " << cancelled
+     << ", \"retries_exhausted\": " << retries_exhausted
+     << ", \"unfinished\": " << unfinished << "},\n";
+  os << "  \"total_ns\": " << total_ns << ",\n";
+  os << "  \"residual_ns\": " << residual_ns << ",\n";
+  os << "  \"attributed_frac\": " << attributed_frac << ",\n";
+  os << "  \"min_job_attributed_frac\": " << min_job_attributed_frac << ",\n";
+  os << "  \"causes_ns\": ";
+  causes(cause_ns);
+  os << ",\n";
+  os << "  \"per_job\": [\n";
+  for (std::size_t i = 0; i < per_job.size(); ++i) {
+    const JobAutopsy& a = per_job[i];
+    os << "    {\"service\": " << a.service << ", \"id\": " << a.id
+       << ", \"outcome\": \"" << job_outcome_name(a.outcome)
+       << "\", \"attempts\": " << a.attempts
+       << ", \"total_ns\": " << a.total_ns << ", \"causes_ns\": ";
+    causes(a.cause_ns);
+    os << ", \"residual_ns\": " << a.residual_ns << "}"
+       << (i + 1 < per_job.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
 }  // namespace upcws::obs

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/job_log.hpp"
 #include "obs/observer.hpp"
 
 namespace upcws::trace {
@@ -98,5 +99,73 @@ struct RunReport {
 /// Build the attribution from a finished run's Observer. `tr` (optional)
 /// contributes the dropped-event count of a ring-bounded trace.
 RunReport autopsy(const Observer& obs, const trace::Trace* tr = nullptr);
+
+// ---- service-latency autopsy (src/svc job timelines) -----------------------
+//
+// The same discipline as the run autopsy, one layer up: every job's
+// arrival-to-terminal latency is partitioned across causes by walking its
+// JobLog timeline — queue wait before/between attempts, retry backoff,
+// engine run time, the post-deadline drain of a cancelled attempt, and shed
+// (load-shed/rejected tail). The walk partitions the latency exactly, so
+// the residual is 0 by construction; it is still computed and reported per
+// job so a truncated timeline surfaces as an attribution failure.
+
+enum class JobCause : int {
+  kQueueWait = 0,   ///< admitted, waiting for the pool (or for repairs)
+  kBackoff,         ///< waiting out a retry backoff
+  kEngineRun,       ///< an attempt occupying the pool, pre-deadline
+  kCancelDrain,     ///< cancelled attempt running past its deadline
+  kShed,            ///< terminal tail of a rejected (load-shed) job
+  kCount,
+};
+
+inline constexpr int kJobCauseCount = static_cast<int>(JobCause::kCount);
+
+const char* job_cause_name(JobCause c);
+
+/// One job's latency attribution.
+struct JobAutopsy {
+  int service = 0;        ///< index of the source JobLog
+  std::uint64_t id = 0;   ///< job id within that service
+  JobOutcome outcome = JobOutcome::kNone;
+  int attempts = 0;
+  std::uint64_t total_ns = 0;  ///< arrival to terminal
+  std::array<std::uint64_t, kJobCauseCount> cause_ns{};
+  std::uint64_t residual_ns = 0;
+
+  double attributed_frac() const {
+    return total_ns > 0 ? 1.0 - static_cast<double>(residual_ns) /
+                                    static_cast<double>(total_ns)
+                        : 1.0;
+  }
+};
+
+/// Whole-soak report (schema "upcws-service-timeline-v1" as JSON).
+struct ServiceTimeline {
+  std::uint64_t jobs = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t unfinished = 0;  ///< outcome kNone (truncated log)
+
+  std::vector<JobAutopsy> per_job;
+
+  std::uint64_t total_ns = 0;
+  std::array<std::uint64_t, kJobCauseCount> cause_ns{};
+  std::uint64_t residual_ns = 0;
+  double attributed_frac = 1.0;
+  /// Worst single job (acceptance target: >= 0.99 for every job).
+  double min_job_attributed_frac = 1.0;
+
+  /// Outcome-grouped breakdown + totals as an ASCII table.
+  std::string ascii_table() const;
+
+  /// Write as JSON ({"schema":"upcws-service-timeline-v1", ...}).
+  void write_json(std::ostream& os) const;
+};
+
+/// Attribute every job of every log (e.g. one per service in a soak).
+ServiceTimeline service_autopsy(const std::vector<const JobLog*>& logs);
 
 }  // namespace upcws::obs

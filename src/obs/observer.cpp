@@ -14,6 +14,11 @@ void Observer::start_run(int nranks, std::uint64_t sample_ns) {
   samples_.reset(nranks);
   spans_.start_run(nranks);
   cadence_ = sample_ns;
+  engine_reg_.clear();
+  engine_next_sample_ns_ = 0;
+  psim_windows_.clear();
+  // psim_fallbacks_ deliberately survives start_run: it attributes the
+  // serial-lane decisions of a whole soak, not one run.
 }
 
 void Observer::on_tick(int rank, std::uint64_t now_ns) {
@@ -45,6 +50,42 @@ void Observer::on_stall(int rank, std::uint64_t t_ns, std::uint64_t stall_ns) {
   ++pr.reg.counter("stalls");
   pr.reg.counter("stall_ns") += stall_ns;
   if (stall_ns > 0) pr.stalls.push_back({t_ns, t_ns + stall_ns});
+}
+
+void Observer::on_remote_op(int rank, int owner, OpKind kind,
+                            std::uint64_t now_ns) {
+  (void)owner;
+  (void)now_ns;
+  PerRank& pr = ranks_[rank];
+  ++pr.reg.counter("remote_ops");
+  ++pr.reg.counter(std::string("remote_") + op_kind_name(kind));
+}
+
+void Observer::on_psim_window(const PsimWindow& w) {
+  psim_windows_.push_back(w);
+  engine_reg_.counter("psim_windows") = w.index + 1;
+  engine_reg_.counter("psim_events") += w.events;
+  // Sample the engine-level series on the same virtual-time cadence as the
+  // per-rank metrics, into rank 0's store row (every worker is blocked at
+  // the barrier here, so the row is quiescent).
+  if (cadence_ == 0 || ranks_.empty() || w.end_ns < engine_next_sample_ns_)
+    return;
+  const std::uint64_t t = w.end_ns / cadence_ * cadence_;
+  samples_.add(0, t, "psim_windows",
+               static_cast<std::int64_t>(engine_reg_.counter("psim_windows")));
+  samples_.add(0, t, "psim_events",
+               static_cast<std::int64_t>(engine_reg_.counter("psim_events")));
+  samples_.add(0, t, "psim_window_span_ns",
+               static_cast<std::int64_t>(w.end_ns - w.begin_ns));
+  samples_.add(0, t, "psim_shard_switch_imbalance",
+               static_cast<std::int64_t>(w.max_shard_switches -
+                                         w.min_shard_switches));
+  engine_next_sample_ns_ = t + cadence_;
+}
+
+void Observer::on_psim_fallback(const char* reason) {
+  ++psim_fallbacks_[reason];
+  ++engine_reg_.counter("psim_fallbacks");
 }
 
 std::map<std::string, std::uint64_t> Observer::merged_counters() const {

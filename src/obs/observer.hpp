@@ -80,6 +80,10 @@ class Observer final : public pgas::ObsSink {
   void on_lock_wait(int rank, std::uint64_t now_ns,
                     std::uint64_t wait_ns) override;
   void on_stall(int rank, std::uint64_t t_ns, std::uint64_t stall_ns) override;
+  void on_remote_op(int rank, int owner, OpKind kind,
+                    std::uint64_t now_ns) override;
+  void on_psim_window(const PsimWindow& w) override;
+  void on_psim_fallback(const char* reason) override;
 
   // ---- post-run readout --------------------------------------------------
 
@@ -101,6 +105,25 @@ class Observer final : public pgas::ObsSink {
   /// Cross-rank counter totals / distribution merges.
   std::map<std::string, std::uint64_t> merged_counters() const;
   std::map<std::string, stats::LogHistogram> merged_histograms() const;
+
+  /// Engine-level (not per-rank) registry: psim window/event counters live
+  /// here. Mutated only from the psim barrier completion (single-threaded;
+  /// every worker is blocked at the barrier) or post-run.
+  Registry& engine_registry() { return engine_reg_; }
+  const Registry& engine_registry() const { return engine_reg_; }
+
+  /// Every conservative-PDES window the engine closed, in order (empty for
+  /// non-psim runs and serial-lane fallbacks).
+  const std::vector<pgas::ObsSink::PsimWindow>& psim_windows() const {
+    return psim_windows_;
+  }
+
+  /// Serial-lane fallback tallies by reason (see PsimEngine::fallback_reason);
+  /// accumulates across runs between start_run calls so a soak attaching one
+  /// Observer to many psim attempts sees the full attribution.
+  const std::map<std::string, std::uint64_t>& psim_fallbacks() const {
+    return psim_fallbacks_;
+  }
 
   /// Stream all sampled points as JSONL (obs::read_jsonl parses it back).
   void write_metrics_jsonl(std::ostream& os) const {
@@ -125,6 +148,10 @@ class Observer final : public pgas::ObsSink {
   SampleStore samples_;
   SpanLog spans_;
   std::uint64_t cadence_ = 0;
+  Registry engine_reg_;
+  std::uint64_t engine_next_sample_ns_ = 0;
+  std::vector<pgas::ObsSink::PsimWindow> psim_windows_;
+  std::map<std::string, std::uint64_t> psim_fallbacks_;
 };
 
 }  // namespace upcws::obs

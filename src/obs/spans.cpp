@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <map>
+#include <ostream>
+#include <string>
 
 namespace upcws::obs {
 
@@ -30,6 +32,11 @@ const char* span_outcome_name(Span::Outcome o) {
 }
 
 void SpanLog::start_run(int nranks) {
+  // 24 bits of process-wide epoch: wraps after 16M runs in one process,
+  // far past any realistic soak. The first run in a process gets epoch 0,
+  // so single-run traces are reproducible process to process.
+  static std::atomic<std::uint64_t> next_epoch{0};
+  epoch_ = next_epoch.fetch_add(1, std::memory_order_relaxed) & 0xFFFFFF;
   bufs_.clear();
   bufs_.resize(static_cast<std::size_t>(nranks));
   active_ = std::vector<std::atomic<std::uint64_t>>(
@@ -60,7 +67,7 @@ std::vector<Span> SpanLog::assemble() const {
     Span& s = by_id[e.id];
     if (s.id == 0) {
       s.id = e.id;
-      s.thief = static_cast<int>((e.id >> 40) - 1);
+      s.thief = thief_of(e.id);
     }
     s.t_end = std::max(s.t_end, e.t_ns);
     switch (e.phase) {
@@ -120,6 +127,41 @@ std::vector<trace::FlowEvent> SpanLog::flow_events() const {
     out.push_back({s.id, s.t_absorb, s.thief, 'f'});
   }
   return out;
+}
+
+void SpanLog::write_chrome_json(std::ostream& os) const {
+  os << "[\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+  auto us = [](std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; };
+
+  for (const Span& s : assemble()) {
+    if (s.thief < 0 || s.t_end <= s.t_request) continue;
+    emit("{\"name\":\"steal " + std::string(span_outcome_name(s.outcome)) +
+         "\",\"cat\":\"steal\",\"ph\":\"X\",\"ts\":" +
+         std::to_string(us(s.t_request)) +
+         ",\"dur\":" + std::to_string(us(s.t_end - s.t_request)) +
+         ",\"pid\":0,\"tid\":" + std::to_string(s.thief) +
+         ",\"args\":{\"victim\":" + std::to_string(s.victim) +
+         ",\"nodes\":" + std::to_string(s.nodes) +
+         ",\"timeouts\":" + std::to_string(s.timeouts) +
+         ",\"salvaged\":" + (s.salvaged ? "true" : "false") + "}}");
+  }
+  for (const trace::FlowEvent& f : flow_events()) {
+    std::string line = "{\"name\":\"steal\",\"cat\":\"steal\",\"ph\":\"";
+    line += f.ph;
+    line += "\",\"id\":" + std::to_string(f.id) +
+            ",\"ts\":" + std::to_string(us(f.t_ns)) +
+            ",\"pid\":0,\"tid\":" + std::to_string(f.tid);
+    if (f.ph == 'f') line += ",\"bp\":\"e\"";
+    line += "}";
+    emit(line);
+  }
+  os << "\n]\n";
 }
 
 }  // namespace upcws::obs

@@ -78,6 +78,14 @@ struct Span {
 const char* span_outcome_name(Span::Outcome o);
 
 /// Per-rank span-event buffers plus the active-span table.
+///
+/// Id layout (process-unique, not merely run-unique): bits 40..63 carry a
+/// process-wide run epoch drawn once per start_run, bits 24..39 carry
+/// thief + 1, bits 0..23 a per-thief sequence. Back-to-back runs in one
+/// process (service attempts, repeated run_search calls) therefore never
+/// reuse an id, so spans from many runs merge into one Perfetto stream
+/// without flow-id collisions. Within a run, ids remain a deterministic
+/// function of (thief, steal order) — no cross-rank state on the hot path.
 class SpanLog {
  public:
   /// Reset for a run of `nranks` ranks.
@@ -85,12 +93,21 @@ class SpanLog {
 
   int nranks() const { return static_cast<int>(bufs_.size()); }
 
+  /// The process-wide run epoch carried in this log's span ids.
+  std::uint64_t run_epoch() const { return epoch_; }
+
+  static int thief_of(std::uint64_t id) {
+    return static_cast<int>((id >> 24) & 0xFFFF) - 1;
+  }
+
   /// Open a new span for a steal by `thief` from `victim`; returns its
-  /// run-unique id (rank+1 in the high bits, per-thief sequence below).
+  /// process-unique id (see the class comment for the layout).
   std::uint64_t begin(int thief, int victim) {
     (void)victim;
     Buf& b = bufs_[static_cast<std::size_t>(thief)];
-    return (static_cast<std::uint64_t>(thief) + 1) << 40 | ++b.seq;
+    return epoch_ << 40 |
+           (static_cast<std::uint64_t>(thief) + 1) << 24 |
+           (++b.seq & 0xFFFFFF);
   }
 
   /// Record one step of span `id` from `recorder`'s own context. `track`
@@ -130,6 +147,12 @@ class SpanLog {
   /// absorb. Feed to trace::Trace::write_chrome_json.
   std::vector<trace::FlowEvent> flow_events() const;
 
+  /// Standalone Perfetto export (no trace::Trace required): every
+  /// assembled span as a duration slice on its thief's track, named by
+  /// outcome, with the completed-span flow arrows stitched in. Open at
+  /// https://ui.perfetto.dev.
+  void write_chrome_json(std::ostream& os) const;
+
  private:
   std::size_t slot(int thief, int victim) const {
     return static_cast<std::size_t>(thief) *
@@ -143,6 +166,7 @@ class SpanLog {
   };
   std::vector<Buf> bufs_;
   std::vector<std::atomic<std::uint64_t>> active_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace upcws::obs

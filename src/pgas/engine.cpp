@@ -12,6 +12,7 @@ void Ctx::bulk_get(void* dst, const void* src, std::size_t bytes, int owner) {
     std::atomic_thread_fence(std::memory_order_acquire);
     std::memcpy(dst, src, bytes);
   });
+  note_remote_op(owner, ObsSink::OpKind::kBulkGet);
 }
 
 void Ctx::bulk_put(void* dst, const void* src, std::size_t bytes, int owner) {
@@ -23,6 +24,7 @@ void Ctx::bulk_put(void* dst, const void* src, std::size_t bytes, int owner) {
     // Publish before any subsequent release-store handshake.
     std::atomic_thread_fence(std::memory_order_release);
   });
+  note_remote_op(owner, ObsSink::OpKind::kBulkPut);
 }
 
 }  // namespace upcws::pgas

@@ -136,6 +136,61 @@ class ObsSink {
   /// at local time `t_ns`.
   virtual void on_stall(int rank, std::uint64_t t_ns,
                         std::uint64_t stall_ns) = 0;
+
+  /// Mediated remote-operation kinds, for volume accounting by the sink.
+  enum class OpKind : std::uint8_t {
+    kGet,
+    kPut,
+    kAdd,
+    kCas,
+    kBulkGet,
+    kBulkPut,
+  };
+  static const char* op_kind_name(OpKind k) {
+    switch (k) {
+      case OpKind::kGet: return "get";
+      case OpKind::kPut: return "put";
+      case OpKind::kAdd: return "add";
+      case OpKind::kCas: return "cas";
+      case OpKind::kBulkGet: return "bulk_get";
+      case OpKind::kBulkPut: return "bulk_put";
+    }
+    return "?";
+  }
+
+  /// A mediated remote op of `kind` issued by `rank` (toward data owned by
+  /// `owner`) finished at local time `now_ns`, all costs already charged.
+  /// Default no-op so existing sinks are unaffected.
+  virtual void on_remote_op(int rank, int owner, OpKind kind,
+                            std::uint64_t now_ns) {
+    (void)rank;
+    (void)owner;
+    (void)kind;
+    (void)now_ns;
+  }
+
+  /// One conservative-PDES window as closed by the psim barrier (see
+  /// src/psim). Reported from the single-threaded barrier completion, after
+  /// the window's events were delivered and the next bound computed.
+  struct PsimWindow {
+    std::uint64_t index = 0;     ///< 0-based window number
+    std::uint64_t begin_ns = 0;  ///< virtual-time bound the window opened at
+    std::uint64_t end_ns = 0;    ///< bound it closed at (begin of the next)
+    std::uint64_t events = 0;    ///< cross-shard events delivered at the barrier
+    int shards = 0;
+    std::uint64_t min_shard_switches = 0;  ///< occupancy imbalance: fewest…
+    std::uint64_t max_shard_switches = 0;  ///< …and most fiber switches any
+                                           ///< shard made during the window
+  };
+
+  /// A psim window barrier completed. Single-threaded context; must not
+  /// touch per-rank sink slots. Default no-op.
+  virtual void on_psim_window(const PsimWindow& w) { (void)w; }
+
+  /// PsimEngine declined the parallel path and ran the serial lane instead.
+  /// `reason` is a static string (see PsimEngine::fallback_reason). Called
+  /// once per run, before any rank starts. Default no-op.
+  virtual void on_psim_fallback(const char* reason) { (void)reason; }
 };
 
 /// Per-rank execution context handed to the algorithm body.
@@ -331,6 +386,7 @@ class Ctx {
     T out{};
     mediated_op(owner, ref_cost_ns(owner),
                 [&] { out = v.load(std::memory_order_acquire); });
+    note_remote_op(owner, ObsSink::OpKind::kGet);
     return out;
   }
   template <typename T>
@@ -338,6 +394,7 @@ class Ctx {
     if (dead_) return;
     mediated_op(owner, ref_cost_ns(owner),
                 [&] { v.store(x, std::memory_order_release); });
+    note_remote_op(owner, ObsSink::OpKind::kPut);
   }
   /// Atomic fetch-add on a shared word (one network round trip when
   /// remote). Returns the previous value.
@@ -348,6 +405,7 @@ class Ctx {
     mediated_op(owner, ref_cost_ns(owner), [&] {
       out = v.fetch_add(delta, std::memory_order_acq_rel);
     });
+    note_remote_op(owner, ObsSink::OpKind::kAdd);
     return out;
   }
   /// Atomic compare-exchange of a shared word (one network round trip when
@@ -360,6 +418,7 @@ class Ctx {
       ok = v.compare_exchange_strong(expected, desired,
                                      std::memory_order_acq_rel);
     });
+    note_remote_op(owner, ObsSink::OpKind::kCas);
     return ok;
   }
 
@@ -367,6 +426,12 @@ class Ctx {
   /// Hook for the progress watchdog (node-count progress); engines that
   /// support the watchdog override this. Must be free of cost accounting.
   virtual void note_progress() {}
+
+  /// Report a finished mediated op to the sink (pure observation: runs
+  /// after all cost accounting; now_ns() only reads the clock).
+  void note_remote_op(int owner, ObsSink::OpKind kind) {
+    if (obs_ != nullptr) obs_->on_remote_op(rank(), owner, kind, now_ns());
+  }
 
   /// Engines call this from charge()/yield(). When the rank's injected
   /// crash fires, flips the Ctx into dead mode, publishes the death on the

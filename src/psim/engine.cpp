@@ -96,6 +96,12 @@ struct Runtime {
   std::uint64_t hang_prog = 0; ///< last global progress at that point
   std::uint64_t windows = 0;   ///< completed conservative windows
   std::uint64_t events = 0;    ///< cross-shard events delivered
+  /// Window-telemetry sink (RunConfig::obs; may be null). Notified from the
+  /// single-threaded barrier completion only — never from worker context.
+  pgas::ObsSink* obs = nullptr;
+  std::uint64_t win_begin = 0;   ///< virtual time the current window opened at
+  std::uint64_t prev_events = 0; ///< rt.events at the previous barrier
+  std::vector<std::uint64_t> prev_switches;  ///< per-shard switches, ditto
   /// Serializes whole-shard cancel-unwinds: with mediation disabled the
   /// unwinding destructors access remote state raw.
   std::mutex teardown_mu;
@@ -358,25 +364,33 @@ std::uint64_t PsimEngine::lookahead_ns(const pgas::NetModel& net, int nranks,
   return m > pgas::kChargeQuantumNs ? m - pgas::kChargeQuantumNs : 0;
 }
 
-bool PsimEngine::parallel_eligible(const pgas::RunConfig& cfg, int workers) {
-  if (std::min(workers, cfg.nranks) < 2) return false;
+const char* PsimEngine::fallback_reason(const pgas::RunConfig& cfg,
+                                        int workers) {
+  if (std::min(workers, cfg.nranks) < 2) return "too-few-lanes";
   // Sharding is only sound when the SPMD body promises that every
   // cross-rank memory access goes through the mediated Ctx surface.
-  if (!cfg.remote_ops_mediated) return false;
+  if (!cfg.remote_ops_mediated) return "unmediated";
   // Schedule-exploration hooks need the single global ready set.
-  if (cfg.schedule_policy != nullptr) return false;
+  if (cfg.schedule_policy != nullptr) return "schedule-policy";
   // Crash / membership recovery paths (salvage, lock revocation) read a
   // dead rank's memory raw by design — sequential lane.
-  if (cfg.faults.crashes_enabled() || cfg.faults.membership_enabled())
-    return false;
-  return lookahead_ns(cfg.net, cfg.nranks, workers) > 0;
+  if (cfg.faults.crashes_enabled()) return "crash-plan";
+  if (cfg.faults.membership_enabled()) return "membership-plan";
+  if (lookahead_ns(cfg.net, cfg.nranks, workers) == 0) return "zero-lookahead";
+  return nullptr;
+}
+
+bool PsimEngine::parallel_eligible(const pgas::RunConfig& cfg, int workers) {
+  return fallback_reason(cfg, workers) == nullptr;
 }
 
 pgas::RunResult PsimEngine::run(const pgas::RunConfig& cfg,
                                 const std::function<void(pgas::Ctx&)>& body) {
   stats_ = Stats{};
-  if (!parallel_eligible(cfg, workers_)) {
-    // Sequential lane: byte-identical by construction.
+  if (const char* reason = fallback_reason(cfg, workers_)) {
+    // Sequential lane: byte-identical by construction. Name the reason to
+    // the sink first so fallbacks are attributable, not silent.
+    if (cfg.obs != nullptr) cfg.obs->on_psim_fallback(reason);
     return pgas::SimEngine{}.run(cfg, body);
   }
   const int W = std::min(workers_, cfg.nranks);
@@ -400,6 +414,8 @@ pgas::RunResult PsimEngine::run(const pgas::RunConfig& cfg,
   rt.lookahead = lookahead_ns(cfg.net, cfg.nranks, W);
   rt.watchdog_ns = cfg.watchdog_ns;
   rt.bound = rt.lookahead;  // first window: global min key is (0, 0)
+  rt.obs = cfg.obs;
+  rt.prev_switches.assign(static_cast<std::size_t>(W), 0);
   rt.rank_shard.resize(cfg.nranks);
   rt.shards.resize(W);
   {
@@ -453,6 +469,26 @@ pgas::RunResult PsimEngine::run(const pgas::RunConfig& cfg,
         for (Event& e : s.out_events[t]) rt.shards[t].pending.push(e);
         s.out_events[t].clear();
       }
+    // Window telemetry: report the window that just closed (even when the
+    // run is about to stop below, so per-window sums match the run totals).
+    // Pure observation from single-threaded context; sinks must not throw.
+    if (rt.obs != nullptr) {
+      pgas::ObsSink::PsimWindow w;
+      w.index = rt.windows - 1;
+      w.begin_ns = rt.win_begin;
+      w.end_ns = rt.bound;
+      w.events = rt.events - rt.prev_events;
+      w.shards = static_cast<int>(rt.shards.size());
+      for (std::size_t i = 0; i < rt.shards.size(); ++i) {
+        const std::uint64_t sw =
+            rt.shards[i].sched->switches() - rt.prev_switches[i];
+        if (i == 0 || sw < w.min_shard_switches) w.min_shard_switches = sw;
+        if (i == 0 || sw > w.max_shard_switches) w.max_shard_switches = sw;
+        rt.prev_switches[i] += sw;
+      }
+      rt.obs->on_psim_window(w);
+    }
+    rt.prev_events = rt.events;
     // 3. A shard error ends the run (deterministic: each shard's window
     // content is a pure function of the bound and its delivered events).
     for (const Shard& s : rt.shards)
@@ -498,6 +534,7 @@ pgas::RunResult PsimEngine::run(const pgas::RunConfig& cfg,
       }
     }
     // 6. Next window.
+    rt.win_begin = mvt;
     rt.bound = mvt + rt.lookahead;
   };
   std::barrier bar(W, completion);

@@ -47,6 +47,13 @@ class PsimEngine final : public pgas::Engine {
   /// sequential engine (false)? Exposed for tests and diagnostics.
   static bool parallel_eligible(const pgas::RunConfig& cfg, int workers);
 
+  /// Why this config would take the sequential lane, as a static string
+  /// ("too-few-lanes", "unmediated", "schedule-policy", "crash-plan",
+  /// "membership-plan", "zero-lookahead"), or nullptr when the parallel
+  /// path is eligible. run() reports it to RunConfig::obs via
+  /// ObsSink::on_psim_fallback before delegating.
+  static const char* fallback_reason(const pgas::RunConfig& cfg, int workers);
+
   /// Conservative lookahead for `nranks` ranks sharded over `workers`
   /// contiguous blocks: the cheapest possible cross-shard reference under
   /// `net` minus the charge quantum (every modifier — jitter, latency

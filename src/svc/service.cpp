@@ -65,11 +65,28 @@ Service::Service(pgas::Engine& engine, ServiceConfig cfg)
 void Service::set_state(JobRecord& j, JobState s, std::uint64_t t_ns) {
   j.state = s;
   j.history.emplace_back(t_ns, s);
+  // Terminal transitions all funnel through here, so the job log's terminal
+  // record cannot drift from the history the oracle checks.
+  if (cfg_.job_log == nullptr || !state_terminal(s)) return;
+  obs::JobOutcome o = obs::JobOutcome::kNone;
+  switch (s) {
+    case JobState::kCompleted: o = obs::JobOutcome::kCompleted; break;
+    case JobState::kRejected: o = obs::JobOutcome::kRejected; break;
+    case JobState::kCancelled: o = obs::JobOutcome::kCancelled; break;
+    case JobState::kRetriesExhausted:
+      o = obs::JobOutcome::kRetriesExhausted;
+      break;
+    case JobState::kQueued:
+    case JobState::kRunning: break;
+  }
+  cfg_.job_log->terminal(j.id, t_ns, o);
 }
 
 void Service::reject(JobRecord& j, RejectReason why, std::uint64_t t_ns) {
   j.reject = why;
   j.finish_ns = t_ns;
+  if (cfg_.job_log != nullptr)
+    cfg_.job_log->rejected(j.id, t_ns, reject_name(why));
   set_state(j, JobState::kRejected, t_ns);
 }
 
@@ -111,6 +128,8 @@ JobId Service::submit(const JobSpec& spec, std::uint64_t arrival_ns) {
   j.arrival_ns = arrival_ns;
   j.deadline_abs_ns =
       spec.deadline_ns > 0 ? arrival_ns + spec.deadline_ns : 0;
+  if (cfg_.job_log != nullptr)
+    cfg_.job_log->admit(id, arrival_ns, j.deadline_abs_ns);
 
   const bool bad_spec =
       spec.chunk < 1 || spec.min_ranks < 1 || spec.max_retries < 0 ||
@@ -267,6 +286,8 @@ void Service::execute(JobId id, std::uint64_t start) {
   else
     ++retry_attempts_;
   set_state(j, JobState::kRunning, start);
+  if (cfg_.job_log != nullptr)
+    cfg_.job_log->attempt_begin(id, j.attempts, start);
 
   // The job runs on every currently-healthy slot (graceful degradation:
   // fewer ranks after un-repaired chaos, same answer).
@@ -393,6 +414,16 @@ void Service::execute(JobId id, std::uint64_t start) {
       ++j.drains;
     }
 
+  if (cfg_.job_log != nullptr) {
+    cfg_.job_log->attempt_end(id, finish, !ok,
+                              ok && res.agg.total_cancels > 0);
+    // The per-attempt Observer was reset at this attempt's start, so its
+    // span log is exactly this attempt's steals; rebase them from run
+    // virtual time into service time.
+    if (cfg_.observe_jobs)
+      cfg_.job_log->attempt_spans(id, job_obs_.spans().assemble(), start);
+  }
+
   if (!ok) {
     if (j.attempts <= j.spec.max_retries) {
       const int shift = std::min(j.attempts - 1, 32);
@@ -400,6 +431,7 @@ void Service::execute(JobId id, std::uint64_t start) {
           cfg_.retry_backoff_max_ns, cfg_.retry_backoff_ns << shift);
       set_state(j, JobState::kQueued, finish);
       retries_.push(Retry{finish + backoff, id});
+      if (cfg_.job_log != nullptr) cfg_.job_log->backoff(id, finish + backoff);
     } else {
       j.finish_ns = finish;
       set_state(j, JobState::kRetriesExhausted, finish);

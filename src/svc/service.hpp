@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "check/job_oracle.hpp"
+#include "obs/job_log.hpp"
 #include "obs/observer.hpp"
 #include "pgas/engine.hpp"
 #include "pgas/faults.hpp"
@@ -168,6 +169,11 @@ struct ServiceConfig {
   bool verify_completed = true;     ///< cross-check vs sequential reference
   bool observe_jobs = false;        ///< attach the per-job Observer
   std::uint64_t obs_sample_ns = 100'000;
+  /// Optional job-lifecycle log (see obs/job_log.hpp): the service records
+  /// admission, queue wait, attempts, backoffs, and terminal states into it
+  /// — pure observation, never read back. With observe_jobs also set, each
+  /// attempt's steal spans are copied in (rebased to service time).
+  obs::JobLog* job_log = nullptr;
   pgas::NetModel net = pgas::NetModel::distributed();
 };
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/observer.hpp"
 #include "pgas/sim_engine.hpp"
 #include "psim/engine.hpp"
 #include "uts/sequential.hpp"
@@ -58,7 +59,8 @@ struct Shape {
 
 ws::SearchResult run_on(pgas::Engine& eng, const Shape& sh,
                         const pgas::NetModel& net, const uts::Params& tree,
-                        const pgas::FaultPlan* faults = nullptr) {
+                        const pgas::FaultPlan* faults = nullptr,
+                        obs::Observer* ob = nullptr) {
   pgas::RunConfig rcfg;
   rcfg.nranks = sh.nranks;
   rcfg.net = net;
@@ -67,6 +69,7 @@ ws::SearchResult run_on(pgas::Engine& eng, const Shape& sh,
   const ws::UtsProblem prob(tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(sh.algo, sh.chunk);
   if (faults != nullptr) cfg.steal_timeout_ns = 30'000;
+  cfg.obs = ob;
   return ws::run_search(eng, rcfg, prob, cfg);
 }
 
@@ -282,6 +285,113 @@ TEST(Psim, LookaheadDerivation) {
                 ? h2.on_node_ref_ns - pgas::kChargeQuantumNs
                 : 0u);
   EXPECT_EQ(psim::PsimEngine::lookahead_ns(pgas::NetModel::free(), 8, 4), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Window telemetry (ObsSink::on_psim_window / on_psim_fallback): pure
+// observation — attaching an Observer must not perturb one bit of the run —
+// and exact: the per-window event counts must sum to the engine's own total.
+
+TEST(PsimTelemetry, ObserverPurityAcrossPlansAndWorkerCounts) {
+  const uts::Params tree = uts::test_small(3);
+  const pgas::NetModel net = pgas::NetModel::distributed();
+  const Shape sh{ws::Algo::kUpcDistMem, 8, 4, 11};
+
+  pgas::FaultPlan stalls;  // parallel-eligible fault plan
+  stalls.stall_ns = 40'000;
+  stalls.stall_period_ns = 25'000;
+  stalls.stall_rank = 1;
+  pgas::FaultPlan crash;  // forces the serial lane (crash-plan fallback)
+  pgas::CrashSpec c;
+  c.rank = 2;
+  c.at_ns = 15'000;
+  crash.crashes.push_back(c);
+
+  struct Plan {
+    const char* name;
+    const pgas::FaultPlan* faults;
+  };
+  const Plan plans[] = {{"plain", nullptr}, {"fault", &stalls},
+                        {"crash", &crash}};
+  for (int w : {1, 4}) {
+    for (const Plan& p : plans) {
+      psim::PsimEngine bare(w);
+      const ws::SearchResult ref = run_on(bare, sh, net, tree, p.faults);
+      psim::PsimEngine watched(w);
+      obs::Observer ob;
+      const ws::SearchResult got =
+          run_on(watched, sh, net, tree, p.faults, &ob);
+      expect_same_run(ref, got,
+                      std::string(p.name) + " w=" + std::to_string(w));
+    }
+  }
+}
+
+TEST(PsimTelemetry, WindowCountsMatchEngineInternals) {
+  const uts::Params tree = uts::test_small(3);
+  const pgas::NetModel net = pgas::NetModel::distributed();
+  for (const Shape& sh :
+       {Shape{ws::Algo::kMpiWs, 8, 4, 11}, Shape{ws::Algo::kUpcDistMem, 9, 3,
+                                                 2}}) {
+    psim::PsimEngine eng(4);
+    obs::Observer ob;
+    run_on(eng, sh, net, tree, nullptr, &ob);
+    const psim::PsimEngine::Stats& st = eng.last_stats();
+    ASSERT_GT(st.windows, 0u) << "expected the parallel path";
+
+    // One hook call per closed window, indices in order, spans well-formed.
+    const auto& wins = ob.psim_windows();
+    ASSERT_EQ(wins.size(), st.windows);
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+      EXPECT_EQ(wins[i].index, i);
+      EXPECT_GT(wins[i].end_ns, wins[i].begin_ns);
+      EXPECT_LE(wins[i].min_shard_switches, wins[i].max_shard_switches);
+      EXPECT_EQ(wins[i].shards, 4);
+      events += wins[i].events;
+    }
+    // The acceptance bar: barrier-counted events == the engine's own total.
+    EXPECT_EQ(events, st.events);
+
+    // The engine registry mirrors the same totals as plain counters.
+    const auto& counters = ob.engine_registry().counters();
+    EXPECT_EQ(counters.at("psim_windows"), st.windows);
+    EXPECT_EQ(counters.at("psim_events"), st.events);
+    EXPECT_EQ(counters.count("psim_fallbacks"), 0u);
+  }
+}
+
+TEST(PsimTelemetry, SerialLaneFallbackAttribution) {
+  const uts::Params tree = uts::test_small(3);
+  const pgas::NetModel net = pgas::NetModel::distributed();
+  const Shape sh{ws::Algo::kUpcDistMem, 8, 4, 11};
+  obs::Observer ob;
+
+  // workers=1: too few lanes, reported before delegating to SimEngine.
+  psim::PsimEngine serial(1);
+  run_on(serial, sh, net, tree, nullptr, &ob);
+  EXPECT_TRUE(ob.psim_windows().empty());
+  ASSERT_EQ(ob.psim_fallbacks().count("too-few-lanes"), 1u);
+  EXPECT_EQ(ob.psim_fallbacks().at("too-few-lanes"), 1u);
+
+  // A crash plan on 4 workers: a different reason, accumulated in the same
+  // observer (the fallback tally deliberately survives start_run so a soak
+  // sees the full attribution).
+  pgas::FaultPlan crash;
+  pgas::CrashSpec c;
+  c.rank = 2;
+  c.at_ns = 15'000;
+  crash.crashes.push_back(c);
+  psim::PsimEngine par(4);
+  run_on(par, sh, net, tree, &crash, &ob);
+  EXPECT_EQ(ob.psim_fallbacks().at("too-few-lanes"), 1u);
+  ASSERT_EQ(ob.psim_fallbacks().count("crash-plan"), 1u);
+  EXPECT_EQ(ob.engine_registry().counters().at("psim_fallbacks"), 1u);
+
+  // A zero-lookahead net model is its own reason.
+  psim::PsimEngine free_net(4);
+  run_on(free_net, sh, pgas::NetModel::free(), tree, nullptr, &ob);
+  EXPECT_EQ(ob.psim_fallbacks().count("zero-lookahead"), 1u);
 }
 
 }  // namespace

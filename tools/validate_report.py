@@ -25,8 +25,16 @@ upcws-service-report-v1 (service_soak --json):
   * the job-state oracle found no violation and no completed job
     disagreed with its sequential reference.
 
+upcws-service-timeline-v1 (service_soak --report, bench_service --report):
+  * outcome counts sum to jobs and per_job has exactly one entry per job,
+  * per job AND in aggregate, the five causes + residual exactly account
+    for the arrival-to-terminal time,
+  * every job with nonzero latency is >= 99% attributed (the residual is
+    reported, not hidden), and the aggregate fractions agree with the
+    nanosecond totals.
+
 `validate_report.py --self-test` exercises the validator itself against
-known-good and deliberately corrupted fixtures of all three schemas.
+known-good and deliberately corrupted fixtures of all four schemas.
 
 Stdlib only. Exit 0 on success, 1 with a message on any violation.
 """
@@ -37,6 +45,7 @@ import sys
 SCHEMA = "upcws-run-report-v1"
 SOAK_SCHEMA = "upcws-soak-summary-v1"
 SERVICE_SCHEMA = "upcws-service-report-v1"
+TIMELINE_SCHEMA = "upcws-service-timeline-v1"
 CAUSES = [
     "victim_miss_search",
     "steal_latency",
@@ -260,12 +269,121 @@ def validate_service(rep, path):
           f"p50={lat['p50']} p99={lat['p99']} ns")
 
 
+TIMELINE_TOP_KEYS = {
+    "schema": str,
+    "jobs": int,
+    "outcomes": dict,
+    "total_ns": int,
+    "residual_ns": int,
+    "attributed_frac": float,
+    "min_job_attributed_frac": float,
+    "causes_ns": dict,
+    "per_job": list,
+}
+TIMELINE_OUTCOMES = ["completed", "rejected", "cancelled",
+                     "retries_exhausted", "unfinished"]
+JOB_CAUSES = ["queue_wait", "backoff", "engine_run", "cancel_drain", "shed"]
+JOB_KEYS = ["service", "id", "outcome", "attempts", "total_ns", "causes_ns",
+            "residual_ns"]
+
+
+def check_job_causes(obj, where):
+    if sorted(obj) != sorted(JOB_CAUSES):
+        fail(f"{where}: causes_ns keys {sorted(obj)} != {sorted(JOB_CAUSES)}")
+    for k, v in obj.items():
+        if not isinstance(v, int) or v < 0:
+            fail(f"{where}: causes_ns[{k}] = {v!r} is not a non-negative int")
+
+
+def validate_timeline(rep, path):
+    for key, typ in TIMELINE_TOP_KEYS.items():
+        if key not in rep:
+            fail(f"missing key {key!r}")
+        val = rep[key]
+        if typ is float and isinstance(val, int):
+            val = float(val)
+        if not isinstance(val, typ):
+            fail(f"key {key!r} has type {type(rep[key]).__name__}, "
+                 f"want {typ.__name__}")
+    n = rep["jobs"]
+    if n < 1:
+        fail(f"jobs = {n}")
+
+    outcomes = rep["outcomes"]
+    if sorted(outcomes) != sorted(TIMELINE_OUTCOMES):
+        fail(f"outcomes keys {sorted(outcomes)} != "
+             f"{sorted(TIMELINE_OUTCOMES)}")
+    check_count_table(outcomes, "outcomes", n)
+    check_job_causes(rep["causes_ns"], "aggregate")
+
+    per_job = rep["per_job"]
+    if len(per_job) != n:
+        fail(f"per_job has {len(per_job)} entries for {n} jobs")
+    # Per-job exactness, then cross-check the aggregates against the sums.
+    total = residual = 0
+    causes = {c: 0 for c in JOB_CAUSES}
+    valid_outcomes = {"none"} | set(TIMELINE_OUTCOMES) - {"unfinished"}
+    for i, job in enumerate(per_job):
+        where = f"per_job[{i}]"
+        for k in JOB_KEYS:
+            if k not in job:
+                fail(f"{where} missing {k!r}")
+        if job["outcome"] not in valid_outcomes:
+            fail(f"{where}: bad outcome {job['outcome']!r}")
+        check_job_causes(job["causes_ns"], where)
+        attributed = sum(job["causes_ns"].values())
+        if attributed + job["residual_ns"] != job["total_ns"]:
+            fail(f"{where}: causes + residual = "
+                 f"{attributed + job['residual_ns']} != "
+                 f"total_ns {job['total_ns']}")
+        # The acceptance bar holds per job, not just on average.
+        if job["total_ns"] > 0 and \
+                job["residual_ns"] / job["total_ns"] > 0.01:
+            fail(f"{where}: residual is "
+                 f"{100 * job['residual_ns'] / job['total_ns']:.2f}% of its "
+                 "latency (bar: 1%)")
+        total += job["total_ns"]
+        residual += job["residual_ns"]
+        for c in JOB_CAUSES:
+            causes[c] += job["causes_ns"][c]
+    if total != rep["total_ns"]:
+        fail(f"per-job totals sum to {total}, total_ns says "
+             f"{rep['total_ns']}")
+    if residual != rep["residual_ns"]:
+        fail(f"per-job residuals sum to {residual}, residual_ns says "
+             f"{rep['residual_ns']}")
+    if causes != rep["causes_ns"]:
+        fail(f"per-job causes sum to {causes}, aggregate says "
+             f"{rep['causes_ns']}")
+    for key in ("attributed_frac", "min_job_attributed_frac"):
+        if not 0.0 <= rep[key] <= 1.0:
+            fail(f"{key} = {rep[key]} outside [0, 1]")
+    if rep["total_ns"] > 0:
+        frac = 1.0 - rep["residual_ns"] / rep["total_ns"]
+        if abs(frac - rep["attributed_frac"]) > 1e-6:
+            fail("attributed_frac disagrees with residual_ns/total_ns")
+    if rep["min_job_attributed_frac"] < 0.99:
+        fail(f"min_job_attributed_frac = "
+             f"{rep['min_job_attributed_frac']:.4f} < 0.99")
+
+    print(f"validate_report: OK: {path} -- {n} jobs "
+          f"({outcomes['completed']} completed / "
+          f"{outcomes['rejected']} rejected / "
+          f"{outcomes['cancelled']} cancelled / "
+          f"{outcomes['retries_exhausted']} retries-exhausted / "
+          f"{outcomes['unfinished']} unfinished), attributed "
+          f"{100 * rep['attributed_frac']:.2f}% of arrival-to-terminal time")
+
+
 def validate(rep, path):
     if rep.get("schema") == SOAK_SCHEMA:
         validate_soak(rep, path)
         return
     if rep.get("schema") == SERVICE_SCHEMA:
         validate_service(rep, path)
+        return
+    if rep.get("schema") == TIMELINE_SCHEMA:
+        validate_timeline(rep, path)
         return
     validate_run_report(rep, path)
 
@@ -401,12 +519,44 @@ def _fixture_service():
     }
 
 
+def _fixture_timeline():
+    def job(i, outcome, total, causes, residual=0, attempts=1):
+        c = {k: 0 for k in JOB_CAUSES}
+        c.update(causes)
+        return {"service": 0, "id": i, "outcome": outcome,
+                "attempts": attempts, "total_ns": total, "causes_ns": c,
+                "residual_ns": residual}
+
+    per_job = [
+        job(0, "completed", 100, {"queue_wait": 40, "engine_run": 60}),
+        job(1, "cancelled", 200, {"engine_run": 150, "cancel_drain": 50},
+            attempts=1),
+        job(2, "rejected", 10, {"shed": 10}, attempts=0),
+        job(3, "retries_exhausted", 300,
+            {"queue_wait": 50, "engine_run": 200, "backoff": 50},
+            attempts=2),
+    ]
+    causes = {k: 0 for k in JOB_CAUSES}
+    for j in per_job:
+        for k in JOB_CAUSES:
+            causes[k] += j["causes_ns"][k]
+    return {
+        "schema": TIMELINE_SCHEMA, "jobs": 4,
+        "outcomes": {"completed": 1, "rejected": 1, "cancelled": 1,
+                     "retries_exhausted": 1, "unfinished": 0},
+        "total_ns": 610, "residual_ns": 0, "attributed_frac": 1.0,
+        "min_job_attributed_frac": 1.0, "causes_ns": causes,
+        "per_job": per_job,
+    }
+
+
 def self_test():
     """Known-good fixtures must pass; each corruption must be caught."""
     fixtures = {
         "run-report": _fixture_run_report,
         "soak": _fixture_soak,
         "service": _fixture_service,
+        "timeline": _fixture_timeline,
     }
     for name, make in fixtures.items():
         validate(make(), f"<self-test {name}>")
@@ -443,6 +593,29 @@ def self_test():
          lambda d: d.update(result_mismatches=1)),
         ("service: missing key", _fixture_service,
          lambda d: d.pop("nodes")),
+        ("timeline: outcome sum", _fixture_timeline,
+         lambda d: d["outcomes"].update(completed=2)),
+        ("timeline: per-job count", _fixture_timeline,
+         lambda d: d["per_job"].pop()),
+        ("timeline: job accounting", _fixture_timeline,
+         lambda d: d["per_job"][0]["causes_ns"].update(engine_run=50)),
+        ("timeline: hidden residual", _fixture_timeline,
+         lambda d: (d["per_job"][0]["causes_ns"].update(engine_run=30),
+                    d["per_job"][0].update(residual_ns=30),
+                    d.update(residual_ns=30, causes_ns={
+                        **d["causes_ns"],
+                        "engine_run": d["causes_ns"]["engine_run"] - 30}))),
+        ("timeline: aggregate cause drift", _fixture_timeline,
+         lambda d: d["causes_ns"].update(
+             queue_wait=d["causes_ns"]["queue_wait"] + 1)),
+        ("timeline: bad outcome", _fixture_timeline,
+         lambda d: d["per_job"][0].update(outcome="evaporated")),
+        ("timeline: attribution bar", _fixture_timeline,
+         lambda d: d.update(min_job_attributed_frac=0.5)),
+        ("timeline: unknown cause key", _fixture_timeline,
+         lambda d: d["per_job"][0]["causes_ns"].update(gc_pause=0)),
+        ("timeline: missing key", _fixture_timeline,
+         lambda d: d.pop("min_job_attributed_frac")),
     ]
     for name, fix, mutate in bad:
         try:
