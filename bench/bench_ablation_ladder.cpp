@@ -116,5 +116,28 @@ int main(int argc, char** argv) {
   }
   std::printf("\nFull design-space ablation (off-diagonal combos are ours):\n");
   t2.print(std::cout);
+
+  // --- extension rungs: victim policy on the distmem base ---
+  // Beyond the paper's ladder: holding termination/steal-amount/protocol at
+  // the distmem winner, swap only the victim-selection policy. Throughput
+  // barely moves at this scale — the policies trade probe traffic (shown)
+  // for wake/termination latency, which bench_scale's idle-time autopsy
+  // breaks down at high rank counts.
+  stats::Table t3({"victim policy", "Mnodes/s", "speedup", "probes",
+                   "vs random %"});
+  double base3 = 0;
+  for (ws::Algo a :
+       {ws::Algo::kUpcDistMem, ws::Algo::kLifeline, ws::Algo::kSampling}) {
+    const auto r = ws::run_algo(eng, rcfg, a, prob, chunk);
+    const double m = benchutil::mnps(r);
+    if (base3 == 0) base3 = m;
+    t3.add_row({ws::algo_label(a), stats::Table::fmt(m, 2),
+                stats::Table::fmt(r.agg.speedup, 2),
+                stats::Table::fmt(r.agg.total_probes),
+                stats::Table::fmt((m / base3 - 1.0) * 100.0, 1)});
+    std::fflush(stdout);
+  }
+  std::printf("\nVictim-policy extension rungs (distmem base):\n");
+  t3.print(std::cout);
   return 0;
 }

@@ -112,6 +112,8 @@ int main(int argc, char** argv) {
     cases.push_back({"psim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10, wmax});
     cases.push_back({"psim", ws::Algo::kUpcDistMem, "small", small, 8, 4, 2});
     cases.push_back({"psim", ws::Algo::kMpiWs, "geo", geo, 8, 4, 2});
+    cases.push_back({"psim", ws::Algo::kLifeline, "small", small, 8, 4, 2});
+    cases.push_back({"psim", ws::Algo::kSampling, "geo", geo, 8, 4, 2});
     if (!smoke) {
       cases.push_back({"psim", ws::Algo::kMpiWs, "T3", t3, 16, 10, wmax});
       cases.push_back({"psim", ws::Algo::kUpcDistMem, "T3w2", t3, 16, 10, 2});
@@ -123,6 +125,8 @@ int main(int argc, char** argv) {
     cases.push_back({"sim", ws::Algo::kUpcDistMem, "T3", t3, 16, 10});
     cases.push_back({"sim", ws::Algo::kUpcDistMem, "small", small, 8, 4});
     cases.push_back({"sim", ws::Algo::kMpiWs, "geo", geo, 8, 4});
+    cases.push_back({"sim", ws::Algo::kLifeline, "small", small, 8, 4});
+    cases.push_back({"sim", ws::Algo::kSampling, "geo", geo, 8, 4});
     if (!smoke) {
       cases.push_back({"sim", ws::Algo::kUpcSharedMem, "T3", t3, 16, 10});
       cases.push_back({"sim", ws::Algo::kMpiWs, "T3", t3, 16, 10});

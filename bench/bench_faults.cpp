@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     head.push_back(s == 0 ? "none" : std::to_string(s / 1000) + "us");
   stats::Table t1(head);
 
-  for (ws::Algo a : ws::kAllAlgos) {
+  for (ws::Algo a : ws::kAllAlgosExtended) {
     std::vector<std::string> row{ws::algo_label(a)};
     double base_rate = 0.0;
     for (std::uint64_t s : stall_ns) {
@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
   // ---- 3. zero-fault overhead ----------------------------------------
   std::printf("\n[3] zero-fault overhead check\n");
   bool all_identical = true;
-  for (ws::Algo a : ws::kAllAlgos) {
+  for (ws::Algo a : ws::kAllAlgosExtended) {
     const auto plain = ws::run_algo(eng, base, a, prob, 8);
     pgas::RunConfig rcfg = base;
     rcfg.faults = pgas::FaultPlan{};  // attached but all-zero
@@ -141,7 +141,8 @@ int main(int argc, char** argv) {
   std::printf("\n[4] permanent-crash sweep (detect 10 us, lease 200 us, "
               "crashed ranks up to 25%%)\n");
   const ws::Algo crash_algos[] = {ws::Algo::kUpcSharedMem, ws::Algo::kUpcTerm,
-                                  ws::Algo::kUpcDistMem, ws::Algo::kMpiWs};
+                                  ws::Algo::kUpcDistMem, ws::Algo::kMpiWs,
+                                  ws::Algo::kLifeline, ws::Algo::kSampling};
   stats::Table t4({"algo", "crashed", "Mn/s", "rel", "salvages", "replays",
                    "recovered", "rec lat", "nodes"});
   bool counts_exact = true;

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/autopsy.hpp"
+#include "obs/observer.hpp"
 #include "psim/engine.hpp"
 #include "stats/chart.hpp"
 #include "stats/table.hpp"
@@ -159,6 +161,83 @@ int main(int argc, char** argv) {
     }
     ++ri;
   }
+
+  // ---- idle-time autopsy: victim policies at scale --------------------------
+  // The lifeline variant's claim is not raw throughput (virtual nodes/s barely
+  // moves) but idle-time composition: parked ranks read their own park word
+  // instead of spin-probing remote work_avail words, so victim-miss search
+  // time must shrink as the rank count grows. Attach an Observer at one
+  // high-rank point and attribute every non-Working nanosecond by cause.
+  // Full mode reuses the default tree here: the attribution question is about
+  // idle-time composition, not tree size, and the 10^8-node tree would
+  // triple the budget for no extra signal.
+  const int autopsy_ranks = mode == Mode::kQuick ? ranks.back() : 128;
+  const uts::Params autopsy_tree =
+      mode == Mode::kQuick ? tree : uts::scaled_bench(0);
+  const ws::UtsProblem autopsy_prob(autopsy_tree);
+  std::printf("\nIdle-time autopsy at %d ranks (tree %s):\n", autopsy_ranks,
+              autopsy_tree.describe().c_str());
+  stats::Table ta({"algo", "working%", "victim-miss%", "steal-lat%",
+                   "term-wait%", "residual%", "probes"});
+  std::uint64_t distmem_search_ns = 0, lifeline_search_ns = 0;
+  for (ws::Algo a :
+       {ws::Algo::kUpcDistMem, ws::Algo::kLifeline, ws::Algo::kSampling}) {
+    pgas::RunConfig rcfg;
+    rcfg.nranks = autopsy_ranks;
+    rcfg.net = pgas::NetModel::distributed();
+    rcfg.seed = 7;
+    rcfg.fiber_stack_bytes = 96 * 1024;
+    obs::Observer observer;
+    ws::WsConfig cfg = ws::WsConfig::for_algo(a, chunk);
+    cfg.obs = &observer;
+    const ws::SearchResult r = ws::run_search(eng, rcfg, autopsy_prob, cfg);
+    const obs::RunReport arep = obs::autopsy(observer);
+    const auto cns = [&](obs::Cause c) {
+      return arep.cause_ns[static_cast<int>(c)];
+    };
+    const std::uint64_t search = cns(obs::Cause::kVictimMissSearch);
+    if (a == ws::Algo::kUpcDistMem) distmem_search_ns = search;
+    if (a == ws::Algo::kLifeline) lifeline_search_ns = search;
+    auto pct = [&](std::uint64_t ns) {
+      return stats::Table::fmt(arep.total_ns > 0
+                                   ? 100.0 * static_cast<double>(ns) /
+                                         static_cast<double>(arep.total_ns)
+                                   : 0.0,
+                               1);
+    };
+    ta.add_row({ws::algo_label(a),
+                stats::Table::fmt(100.0 * arep.working_frac, 1), pct(search),
+                pct(cns(obs::Cause::kStealLatency)),
+                pct(cns(obs::Cause::kTerminationWait)), pct(arep.residual_ns),
+                stats::Table::fmt(r.agg.total_probes)});
+    rep.result(std::string("autopsy/") + ws::algo_label(a) + "/r" +
+               std::to_string(autopsy_ranks))
+        .metric("working_frac", arep.working_frac)
+        .metric("victim_miss_ns", static_cast<double>(search))
+        .metric("steal_latency_ns",
+                static_cast<double>(cns(obs::Cause::kStealLatency)))
+        .metric("termination_wait_ns",
+                static_cast<double>(cns(obs::Cause::kTerminationWait)))
+        .metric("residual_ns", static_cast<double>(arep.residual_ns))
+        .metric("probes", static_cast<double>(r.agg.total_probes))
+        .metric("nodes", static_cast<double>(r.agg.total_nodes))
+        .note("nranks", benchutil::fmt(autopsy_ranks, 0))
+        .note("tree", autopsy_tree.describe());
+    std::fflush(stdout);
+  }
+  ta.print(std::cout);
+  if (lifeline_search_ns < distmem_search_ns)
+    std::printf("lifeline idle-search win: %.1f%% less victim-miss time than "
+                "upc-distmem at %d ranks\n",
+                100.0 * (1.0 - static_cast<double>(lifeline_search_ns) /
+                                   static_cast<double>(distmem_search_ns)),
+                autopsy_ranks);
+  else
+    std::printf("WARN: lifeline victim-miss time (%llu ns) not below "
+                "upc-distmem (%llu ns) at %d ranks\n",
+                static_cast<unsigned long long>(lifeline_search_ns),
+                static_cast<unsigned long long>(distmem_search_ns),
+                autopsy_ranks);
 
   std::printf("\nFull-scale rank sweep (paper Figures 5-6):\n");
   t.print(std::cout);

@@ -37,6 +37,11 @@
 //   --workers N     psim worker threads for the differential re-run
 //                   (default: hardware concurrency)
 //   --nranks N      pin every campaign to N ranks (default: random 4..8)
+//   --algo LABEL    pin every campaign to one algorithm (default: rotate
+//                   through the canonical kAllAlgosExtended list)
+//   --sample-frac F sampling policy: fraction of ranks probed per round
+//   --quantile Q    sampling policy: load quantile stolen from
+//   --lifeline-dim D  lifeline policy: hypercube dimension cap
 //   --crash R@NS    force this fail-stop into every campaign (except
 //                   work-push, which excludes crashes by design); requires
 //                   --nranks so R can be validated against the run shape
@@ -55,6 +60,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <random>
 #include <sstream>
@@ -127,8 +133,10 @@ struct Failure {
 
 /// Valid-by-construction campaign generator. All randomness flows from one
 /// per-campaign mt19937_64, so a campaign index + seed reproduces the draw.
+/// pin_algo (when set) replaces the algorithm draw *before* the fault plan
+/// is drawn, so algorithm-specific validity rules still apply.
 Campaign draw_campaign(std::uint64_t seed, int index, int threads_every,
-                       int pin_nranks) {
+                       int pin_nranks, const ws::Algo* pin_algo) {
   std::mt19937_64 g(seed + static_cast<std::uint64_t>(index) *
                                0x9E3779B97F4A7C15ull);
   auto pick = [&g](int lo, int hi) {  // inclusive
@@ -139,7 +147,11 @@ Campaign draw_campaign(std::uint64_t seed, int index, int threads_every,
 
   Campaign c;
   check::CheckSpec& s = c.spec;
-  s.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(pick(0, 5))];
+  // Draw from THE canonical list (config.hpp) so a newly appended variant
+  // joins the rotation without touching this file.
+  s.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(pick(
+      0, static_cast<int>(std::size(ws::kAllAlgosExtended)) - 1))];
+  if (pin_algo != nullptr) s.algo = *pin_algo;
   s.nranks = pin_nranks > 0 ? pin_nranks : pick(4, 8);
   s.chunk = pick(1, 4);
   s.net = chance(70) ? "dist" : (chance(50) ? "shared" : "smp2");
@@ -236,6 +248,9 @@ check::RunOutcome run_real(pgas::Engine& eng, const check::CheckSpec& s,
   const ws::UtsProblem prob(s.tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(s.algo, s.chunk);
   cfg.steal_timeout_ns = s.steal_timeout_ns;
+  cfg.sample_frac = s.sample_frac;
+  cfg.quantile = s.quantile;
+  cfg.lifeline_dim = s.lifeline_dim;
   cfg.obs = obs;  // pure observation: attaching it cannot change the outcome
   const ws::SearchResult res = ws::run_search(eng, rc, prob, cfg);
   out.completed = true;
@@ -315,6 +330,11 @@ int main(int argc, char** argv) {
   bool workers_set = false;
   int pin_nranks = 0;  // 0 = random per campaign
   bool nranks_set = false;
+  ws::Algo pin_algo{};  // valid only when algo_set
+  bool algo_set = false;
+  double sample_frac = -1.0;  // < 0 = keep the config default
+  double quantile = -1.0;
+  int lifeline_dim = -1;
   std::vector<pgas::CrashSpec> forced_crashes;
   std::vector<pgas::DrainSpec> forced_drains;
   std::vector<pgas::JoinSpec> forced_joins;
@@ -343,6 +363,20 @@ int main(int argc, char** argv) {
       pin_nranks = static_cast<int>(parse_u64(next(), "--nranks"));
       nranks_set = true;
     }
+    else if (a == "--algo") {
+      try {
+        pin_algo = check::algo_from_label(next());
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+      algo_set = true;
+    }
+    else if (a == "--sample-frac")
+      sample_frac = std::atof(next());
+    else if (a == "--quantile")
+      quantile = std::atof(next());
+    else if (a == "--lifeline-dim")
+      lifeline_dim = static_cast<int>(parse_u64(next(), "--lifeline-dim"));
     else if (a == "--crash") {
       const auto [r, at] = parse_rank_at(next(), "--crash");
       pgas::CrashSpec cs;
@@ -376,6 +410,10 @@ int main(int argc, char** argv) {
           "without the observed psim differential)");
   if (nranks_set && (pin_nranks < 2 || pin_nranks > 16))
     usage("--nranks wants 2..16 ranks");
+  if (sample_frac != -1.0 && (!(sample_frac > 0.0) || sample_frac > 1.0))
+    usage("--sample-frac wants a value in (0,1]");
+  if (quantile != -1.0 && (quantile < 0.0 || quantile > 1.0))
+    usage("--quantile wants a value in [0,1]");
   if (workers_set) {
     const unsigned hc = std::thread::hardware_concurrency();
     const int max_workers = hc > 0 ? static_cast<int>(hc) : 1;
@@ -416,9 +454,12 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
 
   for (int i = 0; i < campaigns; ++i) {
-    Campaign c = draw_campaign(seed, i, threads_every,
-                               pin_nranks);
+    Campaign c = draw_campaign(seed, i, threads_every, pin_nranks,
+                               algo_set ? &pin_algo : nullptr);
     check::CheckSpec& s = c.spec;
+    if (sample_frac >= 0.0) s.sample_frac = sample_frac;
+    if (quantile >= 0.0) s.quantile = quantile;
+    if (lifeline_dim >= 0) s.lifeline_dim = lifeline_dim;
     if (any_forced) {
       // Forced membership faults replace any drawn role on the same rank
       // (one role per rank), and keep the valid-by-construction rules:

@@ -32,15 +32,21 @@
 //   --crash-detect NS        failure-detection latency (default 5000)
 //   --seed-bug claim-cas     enable the deliberately weakened claim-CAS
 //                            (checker self-test; see docs/schedule_checking.md)
+//   --seed-bug drop-distress enable the lifeline hand-off bug (a woken thief
+//                            pulls without leaving the barrier first)
+//   --sample-frac F          sampling policy: fraction of ranks probed
+//   --quantile Q             sampling policy: load quantile stolen from
+//   --lifeline-dim D         lifeline policy: hypercube dimension cap
 //   --no-shrink     keep the first failing trail as found
 //   --emit-replay FILE   write the (shrunk) failing schedule as a replay file
 //   --trace FILE    Chrome-JSON trace of the failing (shrunk) schedule
 //   --replay FILE   re-execute a recorded schedule; exit 0 iff the outcome
 //                   matches the file's expectation
-//   --budget-smoke  fixed-budget CI self-test: a correct configuration must
-//                   check clean under all three strategies, and the seeded
-//                   claim-CAS bug must be found, shrunk, and reproduced from
-//                   its emitted replay. Exit 0 iff both hold.
+//   --budget-smoke  fixed-budget CI self-test: correct configurations
+//                   (including the lifeline and sampling variants) must check
+//                   clean, and the seeded claim-CAS and drop-distress bugs
+//                   must be found, shrunk, and reproduced from their emitted
+//                   replays. Exit 0 iff all hold.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -173,25 +179,61 @@ int budget_smoke() {
     }
   }
 
-  // 2. The seeded claim-CAS bug must be found within the smoke budget,
-  //    shrink, and reproduce from its replay file.
-  check::CheckSpec bug = clean;
-  bug.bug_weak_claim = true;
-  check::CheckConfig cc;
-  cc.strategy = check::Strategy::kRandom;
-  cc.budget = 40;
-  const check::CheckResult r = check::check(bug, cc);
-  if (!r.found) {
-    std::printf("smoke[seeded-bug]: NOT FOUND in %d schedules\n",
-                r.schedules_run);
-    ++failures;
-  } else {
-    std::printf("smoke[seeded-bug]: found %s on schedule %d, shrunk %zu -> "
-                "%zu decisions\n",
-                r.violation.oracle.c_str(), r.violation.schedule_index,
-                r.violation.original.size(), r.violation.trail.size());
+  // 2. The extension variants (lifeline parking, sampling selection) must
+  //    also check clean — same crash plan, random walk.
+  for (const ws::Algo a : {ws::Algo::kLifeline, ws::Algo::kSampling}) {
+    check::CheckSpec v = clean;
+    v.algo = a;
+    check::CheckConfig vc;
+    vc.strategy = check::Strategy::kRandom;
+    vc.budget = 10;
+    const check::CheckResult r = check::check(v, vc);
+    std::printf("smoke[clean/%s]: %d schedules, %s\n", ws::algo_label(a),
+                r.schedules_run, r.found ? "VIOLATION (unexpected!)" : "ok");
+    if (r.found) {
+      std::printf("  %s: %s\n", r.violation.oracle.c_str(),
+                  r.violation.message.c_str());
+      ++failures;
+    }
+  }
+
+  // 3. Each seeded bug must be found within the smoke budget, shrink, and
+  //    reproduce from its replay file. claim-cas breaks crash-recovery
+  //    arbitration on the base algorithm; drop-distress breaks the lifeline
+  //    wake/barrier hand-off (no crash plan needed — the window is in the
+  //    termination protocol itself).
+  struct SeededBug {
+    const char* name;
+    check::CheckSpec spec;
+    int budget;
+  };
+  check::CheckSpec claim = clean;
+  claim.bug_weak_claim = true;
+  check::CheckSpec distress;
+  distress.algo = ws::Algo::kLifeline;
+  distress.nranks = 4;
+  distress.chunk = 2;
+  distress.tree = uts::test_small(0);
+  distress.bug_drop_distress = true;
+  for (const SeededBug& b : {SeededBug{"claim-cas", claim, 40},
+                             SeededBug{"drop-distress", distress, 40}}) {
+    check::CheckConfig cc;
+    cc.strategy = check::Strategy::kRandom;
+    cc.budget = b.budget;
+    const check::CheckResult r = check::check(b.spec, cc);
+    if (!r.found) {
+      std::printf("smoke[seeded-bug/%s]: NOT FOUND in %d schedules\n", b.name,
+                  r.schedules_run);
+      ++failures;
+      continue;
+    }
+    std::printf("smoke[seeded-bug/%s]: found %s on schedule %d, shrunk %zu "
+                "-> %zu decisions\n",
+                b.name, r.violation.oracle.c_str(),
+                r.violation.schedule_index, r.violation.original.size(),
+                r.violation.trail.size());
     check::ReplayFile rf;
-    rf.spec = bug;
+    rf.spec = b.spec;
     rf.window_ns = cc.window_ns;
     rf.oracle = r.violation.oracle;
     rf.trail = r.violation.trail;
@@ -200,11 +242,13 @@ int budget_smoke() {
     const check::ReplayFile loaded = check::read_replay(round);
     const check::RunOutcome o = check::run_replay(loaded);
     if (!check::replay_matches(loaded, o)) {
-      std::printf("smoke[seeded-bug]: replay did NOT reproduce (%s)\n",
-                  o.violated ? o.oracle.c_str() : "clean run");
+      std::printf("smoke[seeded-bug/%s]: replay did NOT reproduce (%s)\n",
+                  b.name, o.violated ? o.oracle.c_str() : "clean run");
       ++failures;
     } else {
-      std::printf("smoke[seeded-bug]: replay reproduces deterministically\n");
+      std::printf("smoke[seeded-bug/%s]: replay reproduces "
+                  "deterministically\n",
+                  b.name);
     }
   }
 
@@ -268,9 +312,19 @@ int main(int argc, char** argv) {
       spec.crash_detect_ns = static_cast<std::uint64_t>(std::atoll(next()));
     else if (a == "--seed-bug") {
       const std::string b = next();
-      if (b != "claim-cas") usage("unknown --seed-bug " + b);
-      spec.bug_weak_claim = true;
-    } else if (a == "--no-shrink")
+      if (b == "claim-cas")
+        spec.bug_weak_claim = true;
+      else if (b == "drop-distress")
+        spec.bug_drop_distress = true;
+      else
+        usage("unknown --seed-bug " + b);
+    } else if (a == "--sample-frac")
+      spec.sample_frac = std::atof(next());
+    else if (a == "--quantile")
+      spec.quantile = std::atof(next());
+    else if (a == "--lifeline-dim")
+      spec.lifeline_dim = std::atoi(next());
+    else if (a == "--no-shrink")
       cc.shrink = false;
     else if (a == "--emit-replay")
       emit_replay = next();
@@ -331,7 +385,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cc.seed),
                 static_cast<unsigned long long>(cc.window_ns),
                 spec.crashes.size(),
-                spec.bug_weak_claim ? " seed-bug=claim-cas" : "");
+                spec.bug_weak_claim      ? " seed-bug=claim-cas"
+                : spec.bug_drop_distress ? " seed-bug=drop-distress"
+                                         : "");
 
     const check::CheckResult r = check::check(spec, cc);
     if (!r.found) {

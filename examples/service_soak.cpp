@@ -4,7 +4,8 @@
 // An open-loop Poisson stream of mixed jobs — UTS searches, knapsack and
 // max-clique branch-and-bound — arrives in virtual time at two services
 // (one per engine: deterministic sim and real threads), cycling through
-// all five paper variants plus work-push, under chaos:
+// every variant in the canonical list (the five paper variants plus
+// work-push, lifeline, and sampling), under chaos:
 //
 //   * ~30% of jobs carry fail-stop crashes or graceful drains (absorbed
 //     in-run by recovery; the hit pool slots go down for repair, so later
@@ -33,7 +34,9 @@
 //     latencies (virtual ns), so the numbers are reproducible run to run.
 //
 // Flags:
-//   --jobs N     total jobs across both services (default 240, min 12)
+//   --jobs N     total jobs across both services (default 240, min 16)
+//   --algo LABEL pin every job to one algorithm (default: rotate through
+//                the canonical kAllAlgosExtended list)
 //   --seed S     generator seed (default 1)
 //   --json FILE  write the upcws-service-report-v1 JSON report
 //   --report FILE    write the upcws-service-timeline-v1 latency autopsy
@@ -45,6 +48,7 @@
 //   -v           per-job terminal lines
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "check/checker.hpp"
 #include "check/job_oracle.hpp"
 #include "obs/autopsy.hpp"
 #include "pgas/sim_engine.hpp"
@@ -93,7 +98,8 @@ std::uint64_t pctl(const std::vector<std::uint64_t>& sorted, int p) {
 
 /// One job draw. All randomness flows from the caller's generator, so the
 /// whole soak reproduces from --seed.
-svc::JobSpec draw_job(std::mt19937_64& g, int index, bool sim_engine) {
+svc::JobSpec draw_job(std::mt19937_64& g, int index, bool sim_engine,
+                      const ws::Algo* pin_algo) {
   auto pick = [&g](int lo, int hi) {  // inclusive
     return lo +
            static_cast<int>(g() % static_cast<std::uint64_t>(hi - lo + 1));
@@ -114,7 +120,11 @@ svc::JobSpec draw_job(std::mt19937_64& g, int index, bool sim_engine) {
     s.bnb_size = pick(9, 13);
     s.bnb_seed = g() % 1000 + 1;
   }
-  s.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(index % 6)];
+  // Rotate through THE canonical list (config.hpp) so new variants join
+  // the soak automatically; a pinned --algo replaces the rotation.
+  s.algo = ws::kAllAlgosExtended[static_cast<std::size_t>(index) %
+                                 std::size(ws::kAllAlgosExtended)];
+  if (pin_algo != nullptr) s.algo = *pin_algo;
   s.chunk = pick(2, 5);
   s.run_seed = g() % 100'000 + 1;
   s.max_retries = 1;
@@ -183,6 +193,8 @@ void write_map(std::ostream& os, const std::map<std::string, int>& m) {
 int main(int argc, char** argv) {
   int total_jobs = 240;
   std::uint64_t seed = 1;
+  ws::Algo pin_algo{};  // valid only when algo_set
+  bool algo_set = false;
   std::string json_path, report_path, timeline_path;
   bool verbose = false;
 
@@ -194,6 +206,14 @@ int main(int argc, char** argv) {
     };
     if (a == "--jobs")
       total_jobs = static_cast<int>(parse_u64(next(), "--jobs"));
+    else if (a == "--algo") {
+      try {
+        pin_algo = check::algo_from_label(next());
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+      algo_set = true;
+    }
     else if (a == "--seed")
       seed = parse_u64(next(), "--seed");
     else if (a == "--json")
@@ -209,8 +229,8 @@ int main(int argc, char** argv) {
     else
       usage("unknown flag " + a);
   }
-  if (total_jobs < 12)
-    usage("--jobs wants at least 12 (all six algorithms on both engines)");
+  if (total_jobs < 16)
+    usage("--jobs wants at least 16 (all eight algorithms on both engines)");
   if (!timeline_path.empty() && report_path.empty())
     usage("--timeline requires --report (it is what turns job logging on)");
 
@@ -252,7 +272,8 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < total_jobs; ++i) {
     const bool threads = i % 6 == 5;  // every 6th job: real-thread service
-    const svc::JobSpec spec = draw_job(g, i, !threads);
+    const svc::JobSpec spec =
+        draw_job(g, i, !threads, algo_set ? &pin_algo : nullptr);
     ++by_workload[svc::workload_name(spec.workload)];
     ++by_algo[ws::algo_label(spec.algo)];
     if (threads) {

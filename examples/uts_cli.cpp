@@ -19,6 +19,12 @@
 //   -n N          ranks / simulated UPC threads (default 16)
 //   -c K          chunk size (default 10)
 //   -i I          poll interval in nodes (default 1)
+//   --sample-frac F  sampling variant: fraction of the other ranks a thief
+//                 probes per selection round, in (0,1] (default 0.5)
+//   --quantile Q  sampling variant: load quantile of the sampled victims
+//                 to steal from, in [0,1] (default 0.8)
+//   --lifeline-dim D  lifeline variant: cap on hypercube lifeline
+//                 dimensions (0 = all ceil(log2 n); default 0)
 //   -e ENGINE     sim|psim|threads (default sim). psim is the parallel
 //                 PDES engine: same virtual-time semantics and
 //                 byte-identical output as sim, executed on multiple OS
@@ -232,6 +238,9 @@ int main(int argc, char** argv) {
   int nranks = 16;
   int chunk = 10;
   int poll = 1;
+  double sample_frac = 0.5;
+  double quantile = 0.8;
+  int lifeline_dim = 0;
   bool verbose = false;
   bool csv = false;
   std::string engine_name = "sim";
@@ -279,6 +288,12 @@ int main(int argc, char** argv) {
       chunk = std::atoi(next());
     else if (a == "-i")
       poll = std::atoi(next());
+    else if (a == "--sample-frac")
+      sample_frac = std::atof(next());
+    else if (a == "--quantile")
+      quantile = std::atof(next());
+    else if (a == "--lifeline-dim")
+      lifeline_dim = std::atoi(next());
     else if (a == "-e")
       engine_name = next();
     else if (a == "--workers") {
@@ -392,6 +407,11 @@ int main(int argc, char** argv) {
                   std::to_string(max_workers) + "] (hardware concurrency)");
   }
   if (poll < 1) fault_error("-i wants a poll interval of at least 1");
+  if (!(sample_frac > 0.0) || sample_frac > 1.0)
+    fault_error("--sample-frac wants a value in (0,1]");
+  if (quantile < 0.0 || quantile > 1.0)
+    fault_error("--quantile wants a value in [0,1]");
+  if (lifeline_dim < 0) fault_error("--lifeline-dim must be >= 0");
   if (!timeline_path.empty() && report_path.empty())
     fault_error("--timeline requires --report (the span log it exports is "
                 "only assembled for reported runs)");
@@ -455,6 +475,9 @@ int main(int argc, char** argv) {
   const ws::UtsProblem prob(tree);
   ws::WsConfig cfg = ws::WsConfig::for_algo(algo, chunk);
   cfg.poll_interval = poll;
+  cfg.sample_frac = sample_frac;
+  cfg.quantile = quantile;
+  cfg.lifeline_dim = lifeline_dim;
   cfg.steal_timeout_ns = steal_timeout_ns;
   cfg.cancel_at_ns = deadline_ns;
   if (faults.any() && !steal_timeout_set) {

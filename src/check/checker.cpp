@@ -149,7 +149,11 @@ RunOutcome run_schedule(const CheckSpec& spec, sim::SchedulePolicy* policy,
   ws::WsConfig cfg = ws::WsConfig::for_algo(spec.algo, spec.chunk);
   cfg.steal_timeout_ns = spec.steal_timeout_ns;
   cfg.trace = tr;
+  cfg.sample_frac = spec.sample_frac;
+  cfg.quantile = spec.quantile;
+  cfg.lifeline_dim = spec.lifeline_dim;
   cfg.bug_weak_claim = spec.bug_weak_claim;
+  cfg.bug_drop_distress = spec.bug_drop_distress;
   cfg.check_attach = [&](ws::SharedState* g, ws::RecoveryBoard* b) {
     ip.attach(g, b, rc.liveness, spec.nranks);
   };

@@ -48,8 +48,16 @@ struct CheckSpec {
   std::vector<pgas::DrainSpec> drains;
   std::vector<pgas::JoinSpec> joins;
   std::vector<pgas::PartitionSpec> partitions;
+  /// Victim-selection knobs (lifeline/sampling variants; see config.hpp).
+  /// Recorded in replay files only when non-default.
+  double sample_frac = 0.5;
+  double quantile = 0.8;
+  int lifeline_dim = 0;
   /// Seeded-bug switch: weakened claim-CAS arbitration (see recovery.hpp).
   bool bug_weak_claim = false;
+  /// Seeded-bug switch: a woken lifeline thief pulls without leaving the
+  /// termination barrier first (see config.hpp bug_drop_distress).
+  bool bug_drop_distress = false;
 };
 
 enum class Strategy { kRandom, kPct, kDfs };

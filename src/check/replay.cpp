@@ -94,7 +94,11 @@ void write_replay(std::ostream& os, const ReplayFile& rf) {
   for (const pgas::PartitionSpec& p : s.partitions)
     os << "partition " << p.group_mask << " " << p.start_ns << " "
        << p.heal_ns << "\n";
+  if (s.sample_frac != 0.5) os << "sample-frac " << s.sample_frac << "\n";
+  if (s.quantile != 0.8) os << "quantile " << s.quantile << "\n";
+  if (s.lifeline_dim != 0) os << "lifeline-dim " << s.lifeline_dim << "\n";
   if (s.bug_weak_claim) os << "bug weak-claim\n";
+  if (s.bug_drop_distress) os << "bug drop-distress\n";
   os << "window-ns " << rf.window_ns << "\n";
   os << "oracle " << (rf.oracle.empty() ? "none" : rf.oracle) << "\n";
   os << "trail";
@@ -186,11 +190,21 @@ ReplayFile read_replay(std::istream& is) {
       if (!ls.fail() && p.heal_ns <= p.start_ns)
         bad("partition heal_ns must be > start_ns");
       rf.spec.partitions.push_back(p);
+    } else if (key == "sample-frac") {
+      ls >> rf.spec.sample_frac;
+    } else if (key == "quantile") {
+      ls >> rf.spec.quantile;
+    } else if (key == "lifeline-dim") {
+      ls >> rf.spec.lifeline_dim;
     } else if (key == "bug") {
       std::string v;
       ls >> v;
-      if (v != "weak-claim") bad("unknown bug " + v);
-      rf.spec.bug_weak_claim = true;
+      if (v == "weak-claim")
+        rf.spec.bug_weak_claim = true;
+      else if (v == "drop-distress")
+        rf.spec.bug_drop_distress = true;
+      else
+        bad("unknown bug " + v);
     } else if (key == "window-ns") {
       ls >> rf.window_ns;
     } else if (key == "oracle") {

@@ -5,9 +5,12 @@
 #include "ws/recovery.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
 #include <cstring>
 #include <numeric>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace upcws::ws {
@@ -65,6 +68,21 @@ class UpcWorker final : public NodeSink {
     int v = 0;
     for (int i = 0; i < n_; ++i)
       if (i != me_) perm_[v++] = i;
+    if (cfg.victim_policy == VictimPolicy::kLifeline && n_ > 1) {
+      // Hypercube lifelines: neighbors me ^ (1 << d) for each dimension d,
+      // skipping partners past the machine edge when n is not a power of
+      // two. cfg.lifeline_dim caps the dimensionality (0 = all).
+      int dims = 0;
+      while (dims < 30 && (1 << dims) < n_) ++dims;
+      if (cfg.lifeline_dim > 0) dims = std::min(dims, cfg.lifeline_dim);
+      for (int d = 0; d < dims; ++d)
+        if ((me_ ^ (1 << d)) < n_) lifeline_dims_.push_back(d);
+      if (obs_ != nullptr) {
+        obs::Registry& reg = obs_->registry(me_);
+        m_parks_ = &reg.counter("lifeline_parks");
+        m_wakes_ = &reg.counter("lifeline_wakes");
+      }
+    }
   }
 
   stats::ThreadStats run() {
@@ -181,6 +199,9 @@ class UpcWorker final : public NodeSink {
   bool probe_term() const {
     return cfg_.termination == Termination::kProbeBarrier;
   }
+  bool lifeline() const {
+    return cfg_.victim_policy == VictimPolicy::kLifeline;
+  }
 
   // ---- work_avail publication (owner-local stores) ----
 
@@ -230,6 +251,10 @@ class UpcWorker final : public NodeSink {
       if (lockless() && ++since_poll >= cfg_.poll_interval) {
         since_poll = 0;
         service_requests();
+        // Lifeline victims also close the missed-wake window here: a
+        // neighbor that parked just after our last release is woken on the
+        // next poll as long as we still hold surplus.
+        if (lifeline() && my_.shared_size() >= k_) maybe_wake_lifeline();
       }
     }
   }
@@ -272,6 +297,8 @@ class UpcWorker final : public NodeSink {
                           static_cast<std::int64_t>(k_));
     if (cfg_.termination == Termination::kCancelableBarrier)
       cancel_barrier_reset();
+    // Fresh stealable surplus: hand it to a distressed lifeline neighbor.
+    if (lifeline()) maybe_wake_lifeline();
   }
 
   bool reacquire_chunk() {
@@ -635,6 +662,78 @@ class UpcWorker final : public NodeSink {
     }
   }
 
+  // ---- lifeline victim policy (docs/protocols.md "Lifeline stealing") ----
+  //
+  // Distress/wake protocol: an idle thief sets its own park word to kParked,
+  // raises its distress bit at every live hypercube neighbor, and waits in
+  // the probe barrier polling only its *own* park word (a cheap local read —
+  // no spin-probing). A victim that gains surplus scans its own distress
+  // word at release/poll points and wakes ONE distressed neighbor by CASing
+  // that thief's park word kParked -> its own rank; the woken thief leaves
+  // the barrier FIRST and then pulls through the ordinary request/response
+  // steal, so transfers, lineage records, and steal conservation are exactly
+  // the upc-distmem machinery. A lost wake (victim died, bit raced) only
+  // costs latency: the thief stays parked in the barrier and termination
+  // stays exact, because parking requires an empty stack.
+
+  /// Thief side: mark ourselves parked and distress all live lifelines.
+  void park_lifelines() {
+    ctx_.charge(ctx_.net().local_ref_ns);
+    g_.slots[me_].park.store(kParked, std::memory_order_release);
+    for (int d : lifeline_dims_) {
+      const int v = me_ ^ (1 << d);
+      if (skip_victim(v) || (crash_mode_ && ctx_.rank_dead(v))) continue;
+      raise_distress(v, d);
+    }
+    if (m_parks_ != nullptr) ++*m_parks_;
+  }
+
+  void unpark() {
+    ctx_.charge(ctx_.net().local_ref_ns);
+    g_.slots[me_].park.store(kUnparked, std::memory_order_release);
+  }
+
+  /// Set bit `d` in the neighbor's distress word (remote CAS loop; the
+  /// owner is the only clearer, so the loop is one iteration in practice).
+  void raise_distress(int v, int d) {
+    const std::uint64_t bit = std::uint64_t{1} << d;
+    for (;;) {
+      const std::uint64_t cur = ctx_.get(g_.slots[v].distress, v);
+      if ((cur & bit) != 0) return;
+      std::uint64_t expect = cur;
+      if (ctx_.cas(g_.slots[v].distress, v, expect, cur | bit)) return;
+    }
+  }
+
+  /// Victim side: wake the lowest-dimension distressed lifeline neighbor
+  /// that is still parked. Stale bits (dead, drained, or already-woken
+  /// neighbors) are cleared along the way; a cleared thief re-raises its
+  /// bit if it re-parks.
+  void maybe_wake_lifeline() {
+    ctx_.charge_poll();  // local read of our own distress word
+    std::uint64_t d = g_.slots[me_].distress.load(std::memory_order_acquire);
+    while (d != 0) {
+      const int bit = std::countr_zero(d);
+      d &= d - 1;
+      const int t = me_ ^ (1 << bit);
+      bool woke = false;
+      if (t < n_ && !skip_victim(t) && !(crash_mode_ && ctx_.rank_dead(t))) {
+        int expect = kParked;
+        woke = ctx_.cas(g_.slots[t].park, t, expect, me_);
+      }
+      // Clear the bit either way: on a wake the hand-off is complete, on a
+      // failed CAS the thief is no longer parked (stale distress).
+      ctx_.charge(ctx_.net().local_ref_ns);
+      g_.slots[me_].distress.fetch_and(~(std::uint64_t{1} << bit),
+                                       std::memory_order_acq_rel);
+      if (woke) {
+        if (m_wakes_ != nullptr) ++*m_wakes_;
+        return;  // one wake per surplus event; the thief pulls half and
+                 // re-releases, propagating further wakes down the graph
+      }
+    }
+  }
+
   // ---- crash recovery (crash_mode_ only) ----
 
   /// Survivor-side recovery sweep, called from the search loops: salvage
@@ -807,9 +906,14 @@ class UpcWorker final : public NodeSink {
                  ? !single_rank_done_cb()
                  : !single_rank_done_probe();
     }
-    return cfg_.termination == Termination::kCancelableBarrier
-               ? find_work_cb()
-               : find_work_probe();
+    if (cfg_.termination == Termination::kCancelableBarrier)
+      return find_work_cb();
+    switch (cfg_.victim_policy) {
+      case VictimPolicy::kLifeline: return find_work_lifeline();
+      case VictimPolicy::kSampling: return find_work_sample();
+      case VictimPolicy::kRandom: break;
+    }
+    return find_work_probe();
   }
 
   bool single_rank_done_cb() {
@@ -977,6 +1081,115 @@ class UpcWorker final : public NodeSink {
     }
   }
 
+  /// Lifeline search loop (Algo::kLifeline): one sweep of the hypercube
+  /// lifeline neighbors only — no global random probing — then park and
+  /// wait in the probe barrier for a victim's wake. Parking early is safe:
+  /// the barrier count can only reach the membership target when every
+  /// rank is idle with an empty stack, so termination stays exact; a
+  /// missed wake costs latency, never correctness.
+  bool find_work_lifeline() {
+    set_state(State::kSearching);
+    for (;;) {
+      if (drain_check()) return false;
+      cancel_check();
+      if (maybe_recover()) {
+        publish_avail();
+        set_state(State::kWorking);
+        return true;
+      }
+      if (!cancelled_) {
+        for (int d : lifeline_dims_) {
+          const int v = me_ ^ (1 << d);
+          if (skip_victim(v)) continue;
+          if (check_term_flag()) return false;
+          if (probe(v) >= static_cast<std::int64_t>(k_)) {
+            set_state(State::kStealing);
+            if (attempt_steal(v)) {
+              set_state(State::kWorking);
+              return true;
+            }
+            set_state(State::kSearching);
+          }
+          if (lockless()) service_requests();
+          ctx_.yield();
+        }
+        park_lifelines();
+      }
+      const int r = barrier_probe();
+      if (r == 1) return false;
+      unpark();  // covers the recovery-leave path; wake path already unparked
+      set_state(State::kWorking);
+      return true;
+    }
+  }
+
+  /// Sampling search loop (Algo::kSampling): per cycle, probe a random
+  /// sample of sample_frac of the other ranks, then steal from the rank at
+  /// the `quantile` point of the sampled load distribution (falling back
+  /// down the sample on failed attempts). Barrier entry and in-barrier
+  /// probing are the base §3.3.1 protocol.
+  bool find_work_sample() {
+    set_state(State::kSearching);
+    const int m = std::max(
+        1, static_cast<int>(std::lround(cfg_.sample_frac * (n_ - 1))));
+    for (;;) {
+      if (drain_check()) return false;
+      cancel_check();
+      if (maybe_recover()) {
+        publish_avail();
+        set_state(State::kWorking);
+        return true;
+      }
+      bool any_working = false;
+      if (!cancelled_) {
+        // Draw m distinct victims (partial Fisher–Yates over perm_), probe
+        // each, and collect those with stealable surplus.
+        sampled_.clear();
+        for (int i = 0; i < m; ++i) {
+          std::uniform_int_distribution<int> pick(i, n_ - 2);
+          std::swap(perm_[i], perm_[pick(ctx_.rng())]);
+          const int v = perm_[i];
+          if (skip_victim(v)) continue;
+          if (check_term_flag()) return false;
+          const std::int64_t a = probe(v);
+          if (a >= static_cast<std::int64_t>(k_)) {
+            sampled_.emplace_back(a, v);
+          } else if (a != kNoWorkAtAll) {
+            any_working = true;
+          }
+          if (lockless()) service_requests();
+          ctx_.yield();
+        }
+        // Steal from the quantile of the sampled loads; on a failed attempt
+        // drop that victim and retry at the (re-evaluated) quantile.
+        while (!sampled_.empty()) {
+          std::sort(sampled_.begin(), sampled_.end());
+          const auto idx = std::min(
+              sampled_.size() - 1,
+              static_cast<std::size_t>(cfg_.quantile *
+                                       static_cast<double>(sampled_.size())));
+          const int v = sampled_[idx].second;
+          set_state(State::kStealing);
+          if (attempt_steal(v)) {
+            set_state(State::kWorking);
+            return true;
+          }
+          set_state(State::kSearching);
+          sampled_.erase(sampled_.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+          if (lockless()) service_requests();
+          ctx_.yield();
+        }
+      }
+      if (!any_working) {
+        const int r = barrier_probe();
+        if (r == 1) return false;
+        set_state(State::kWorking);
+        return true;
+      }
+    }
+  }
+
   /// §3.3.1 barrier with in-barrier probing of a single victim.
   /// Returns 1 on termination, 0 if work was stolen while waiting.
   /// Failure-aware: the entry target tracks live membership (plus ghost
@@ -1021,7 +1234,40 @@ class UpcWorker final : public NodeSink {
       }
       // A cancelled waiter never steals from inside the barrier — it only
       // waits for the count/flag (or leaves to recover a dead rank's work).
-      if (!cancelled_) {
+      if (!cancelled_ && lifeline()) {
+        // Parked lifeline thief: no in-barrier probing — poll only our own
+        // park word (a cheap local read) for a victim's wake.
+        ctx_.charge_poll();
+        const int w = g_.slots[me_].park.load(std::memory_order_acquire);
+        if (w >= 0) {
+          // Leave the barrier *before* pulling so that bar_count reaching
+          // the target really implies no thread holds or is acquiring
+          // work. bug_drop_distress (checker self-test) drops exactly this
+          // step: the woken thief's departure never reaches the barrier's
+          // books, so it resumes working while its +1 still stands — the
+          // next rank to go idle closes a false termination the
+          // barrier-work oracle flags.
+          const bool buggy = cfg_.bug_drop_distress;
+          if (!buggy) bar_leave();
+          unpark();
+          set_state(State::kStealing);
+          bool ok = false;
+          if (!(skip_victim(w) || (crash_mode_ && ctx_.rank_dead(w))))
+            ok = attempt_steal(w);
+          if (ok) return 0;
+          // Wake went stale (victim drained its surplus or died): re-park,
+          // re-raise distress, and re-enter the barrier.
+          set_state(State::kTermination);
+          park_lifelines();
+          if (!buggy) {
+            cnt = bar_enter();
+            if (term_satisfied(cnt)) {
+              announce_termination();
+              return 1;
+            }
+          }
+        }
+      } else if (!cancelled_) {
         const int v = perm_[pick(ctx_.rng())];
         const std::int64_t a = probe(v);
         if (a >= static_cast<std::int64_t>(k_)) {
@@ -1100,6 +1346,11 @@ class UpcWorker final : public NodeSink {
   std::vector<std::byte> xfer_;
   std::vector<int> perm_;
   std::vector<int> fwd_;  // scratch for forward_announcement
+  /// Hypercube dimensions this rank keeps lifelines across (kLifeline).
+  std::vector<int> lifeline_dims_;
+  /// Scratch for the sampling policy: (avail, rank) pairs of this cycle's
+  /// sampled victims with stealable surplus.
+  std::vector<std::pair<std::int64_t, int>> sampled_;
   std::size_t last_take_ = 0;  // nodes moved by the most recent steal
   /// Hardened only: current exponential-backoff delay after a steal timeout.
   std::uint64_t backoff_ns_ = 0;
@@ -1120,6 +1371,8 @@ class UpcWorker final : public NodeSink {
   std::uint64_t* m_probes_ = nullptr;
   std::uint64_t* m_releases_ = nullptr;
   std::uint64_t* m_services_ = nullptr;
+  std::uint64_t* m_parks_ = nullptr;
+  std::uint64_t* m_wakes_ = nullptr;
   /// Id of this thief's outstanding steal span (0 = none).
   std::uint64_t span_ = 0;
 };

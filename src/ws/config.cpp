@@ -10,7 +10,11 @@ const char* algo_label(Algo a) {
     case Algo::kUpcDistMem: return "upc-distmem";
     case Algo::kMpiWs: return "mpi-ws";
     case Algo::kWorkPush: return "work-push";
+    case Algo::kLifeline: return "lifeline";
+    case Algo::kSampling: return "sampling";
   }
+  // Unreachable for valid enum values: the switch above is exhaustive (no
+  // default, so -Wswitch flags any member added without a label here).
   return "?";
 }
 
@@ -46,6 +50,22 @@ WsConfig WsConfig::for_algo(Algo a, int chunk_size) {
       c.steal_amount = StealAmount::kOneChunk;
       c.termination = Termination::kToken;
       c.push_based = true;
+      break;
+    // The two extension policies layer victim selection on the upc-distmem
+    // base (lock-less request/response, steal-half, probe barrier), so
+    // transfers, termination, crash recovery, and psim mediation are
+    // inherited unchanged.
+    case Algo::kLifeline:
+      c.protocol = StackProtocol::kRequestResponse;
+      c.steal_amount = StealAmount::kHalf;
+      c.termination = Termination::kProbeBarrier;
+      c.victim_policy = VictimPolicy::kLifeline;
+      break;
+    case Algo::kSampling:
+      c.protocol = StackProtocol::kRequestResponse;
+      c.steal_amount = StealAmount::kHalf;
+      c.termination = Termination::kProbeBarrier;
+      c.victim_policy = VictimPolicy::kSampling;
       break;
   }
   return c;

@@ -11,6 +11,9 @@
 //   upc-distmem      request/response   half chunks    probe-then-barrier
 //   mpi-ws           message passing    one chunk      Dijkstra-style token
 //
+// Extensions beyond Figure 3 (work-push, lifeline, sampling) reuse the same
+// axes plus a victim-selection policy; see the Algo enum.
+//
 // WsConfig exposes the choices independently so ablation benches can also
 // evaluate off-diagonal combinations.
 #pragma once
@@ -44,7 +47,20 @@ enum class Algo {
   /// surplus chunks to random targets; idle threads wait. A baseline that
   /// shows why the paper bets on stealing for unbalanced trees.
   kWorkPush,
+  /// Extension: lifeline-graph load balancing (APGAS/GLB line). Idle ranks
+  /// park on a hypercube lifeline graph instead of spin-probing random
+  /// victims; a victim that gains surplus wakes one distressed lifeline
+  /// neighbor, which then pulls through the normal request/response steal.
+  kLifeline,
+  /// Extension: sampling/quantile victim selection. A thief probes a random
+  /// sample of `sample_frac` of the other ranks and steals from the rank at
+  /// the `quantile` point of the sampled load distribution.
+  kSampling,
 };
+
+/// Number of Algo enum members. Keep in sync with the enum above;
+/// static_asserts below pin the canonical list to it.
+inline constexpr int kAlgoCount = 8;
 
 /// Figure-3 label for an algorithm ("work-push" for the extension).
 const char* algo_label(Algo a);
@@ -54,10 +70,20 @@ inline constexpr Algo kAllAlgos[] = {
     Algo::kUpcSharedMem, Algo::kUpcTerm, Algo::kUpcTermRapdif,
     Algo::kUpcDistMem, Algo::kMpiWs};
 
-/// All implemented algorithms, including extensions.
+/// All implemented algorithms, including extensions — THE canonical list.
+/// Every loop over "all variants" (soaks, benches, label parsing, oracles)
+/// must iterate this array (or kAllAlgos for paper-figure-only sweeps), so
+/// a new variant lands everywhere by being appended here.
 inline constexpr Algo kAllAlgosExtended[] = {
-    Algo::kUpcSharedMem, Algo::kUpcTerm, Algo::kUpcTermRapdif,
-    Algo::kUpcDistMem, Algo::kMpiWs, Algo::kWorkPush};
+    Algo::kUpcSharedMem, Algo::kUpcTerm,  Algo::kUpcTermRapdif,
+    Algo::kUpcDistMem,   Algo::kMpiWs,    Algo::kWorkPush,
+    Algo::kLifeline,     Algo::kSampling};
+
+static_assert(sizeof(kAllAlgosExtended) / sizeof(kAllAlgosExtended[0]) ==
+                  kAlgoCount,
+              "kAllAlgosExtended must list every Algo enum member");
+static_assert(static_cast<int>(Algo::kSampling) + 1 == kAlgoCount,
+              "kAlgoCount out of sync with the Algo enum");
 
 enum class StealAmount {
   kOneChunk,  ///< steal exactly one chunk (§3.1)
@@ -73,6 +99,14 @@ enum class Termination {
   kCancelableBarrier,  ///< §3.1: barrier that releases cancel on new work
   kProbeBarrier,       ///< §3.3.1: enter barrier only when all appear idle
   kToken,              ///< §3.2: Dijkstra-style token ring (mpi-ws only)
+};
+
+/// How an idle rank picks its next victim (UPC family only; the token-ring
+/// algorithms keep their own message-driven selection).
+enum class VictimPolicy {
+  kRandom,    ///< the paper's uniform random permutation sweep
+  kLifeline,  ///< park on hypercube lifelines; wait for a victim's wake
+  kSampling,  ///< probe a random sample, steal from the load quantile
 };
 
 struct WsConfig {
@@ -91,6 +125,24 @@ struct WsConfig {
   StealAmount steal_amount = StealAmount::kOneChunk;
   StackProtocol protocol = StackProtocol::kLocked;
   Termination termination = Termination::kCancelableBarrier;
+  VictimPolicy victim_policy = VictimPolicy::kRandom;
+
+  // --- victim-selection knobs (lifeline / sampling policies) -------------
+
+  /// kSampling: fraction of the other live ranks a thief probes per
+  /// selection round (at least one victim is always sampled). Defaults per
+  /// the sampling load-balancer exemplar.
+  double sample_frac = 0.5;
+
+  /// kSampling: load quantile of the sampled victims to steal from
+  /// (0 = lightest sampled, 1 = heaviest sampled).
+  double quantile = 0.8;
+
+  /// kLifeline: cap on the number of hypercube dimensions each rank keeps
+  /// lifelines across. 0 = all ceil(log2(nranks)) dimensions. A smaller cap
+  /// trims wake fan-out (and may disconnect the lifeline graph, which costs
+  /// only steal latency — termination stays exact).
+  int lifeline_dim = 0;
 
   /// §6.2 future-work extension: probe victims on the same SMP node before
   /// probing off-node (the bupc_thread_distance() idea). Only meaningful
@@ -176,6 +228,14 @@ struct WsConfig {
   /// schedule-dependent exactly-once violation (see recovery.hpp).
   bool bug_weak_claim = false;
 
+  /// Test-only protocol sabotage for validating the schedule checker: when
+  /// true, a lifeline thief woken by a victim's push starts its pull steal
+  /// WITHOUT leaving the termination barrier first — its distress hand-off
+  /// is effectively dropped from the barrier's books, so the count can
+  /// reach the target while the thief holds freshly stolen work (a
+  /// schedule-dependent false termination the barrier-work oracle flags).
+  bool bug_drop_distress = false;
+
   /// Derive the paper's configuration for a Figure-3 label.
   static WsConfig for_algo(Algo a, int chunk_size = 20);
 
@@ -190,6 +250,11 @@ struct WsConfig {
       throw std::invalid_argument("steal_backoff_ns == 0 with timeout set");
     if (steal_backoff_max_ns < steal_backoff_ns)
       throw std::invalid_argument("steal_backoff_max_ns < steal_backoff_ns");
+    if (!(sample_frac > 0.0) || sample_frac > 1.0)
+      throw std::invalid_argument("sample_frac outside (0, 1]");
+    if (quantile < 0.0 || quantile > 1.0)
+      throw std::invalid_argument("quantile outside [0, 1]");
+    if (lifeline_dim < 0) throw std::invalid_argument("lifeline_dim < 0");
   }
 };
 

@@ -204,7 +204,10 @@ SearchResult run_search(pgas::Engine& engine, const pgas::RunConfig& rcfg,
              << " resp_amount="
              << g.slots[r].resp_amount.load(std::memory_order_relaxed)
              << " term_flag="
-             << g.slots[r].term_flag.load(std::memory_order_relaxed) << "\n";
+             << g.slots[r].term_flag.load(std::memory_order_relaxed)
+             << " park=" << g.slots[r].park.load(std::memory_order_relaxed)
+             << " distress="
+             << g.slots[r].distress.load(std::memory_order_relaxed) << "\n";
         }
         os << "  cb_lock_holder=" << g.cb_lock.holder()
            << " cb_lock_epoch=" << g.cb_lock.epoch()

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -39,6 +40,13 @@ inline constexpr int kServicing = -2;
 /// count granted (0 = denied).
 inline constexpr std::int64_t kRespPending = -1;
 
+/// Lifeline park word: kUnparked while the rank is running or sweeping;
+/// kParked while it waits on its lifelines inside the termination barrier.
+/// A victim wakes a parked thief by CASing kParked -> its own rank id; the
+/// thief polls its own word (a cheap local read) and pulls from that victim.
+inline constexpr int kUnparked = -1;
+inline constexpr int kParked = -2;
+
 /// Per-rank protocol slots for the lock-less request/response steal (§3.3.3)
 /// and the tree-based termination announcement (§3.3.1).
 struct alignas(64) RankSlots {
@@ -51,6 +59,18 @@ struct alignas(64) RankSlots {
 
   /// Termination-announcement flag; each rank spins on its own.
   std::atomic<int> term_flag{0};
+
+  // --- lifeline victim policy (Algo::kLifeline) only ---------------------
+
+  /// Lifeline park word (see kUnparked/kParked above); lives at the thief
+  /// so its park-poll is a local read, like resp_amount.
+  std::atomic<int> park{kUnparked};
+
+  /// Distress bitmask: bit d set means this rank's hypercube neighbor
+  /// across dimension d (rank ^ (1 << d)) is parked and asking to be woken
+  /// when surplus appears. Thieves set bits remotely (CAS loop); the owner
+  /// polls and clears locally.
+  std::atomic<std::uint64_t> distress{0};
 
   /// Outboxes: outbox[thief] is filled by this rank (as victim) and then
   /// read by `thief` with a one-sided get. A thief never issues a new

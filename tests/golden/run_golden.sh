@@ -39,6 +39,8 @@ work=$5
 
 tree_a="-t 1 -b 64 -q 0.45 -m 2 -r 1 -n 8 -c 4 -A upc-distmem"
 tree_b="-t 0 -b 4 -g 8 -r 2 -n 8 -c 4 -A mpi-ws"
+tree_l="-t 1 -b 64 -q 0.45 -m 2 -r 1 -n 8 -c 4 -A lifeline"
+tree_s="-t 1 -b 64 -q 0.45 -m 2 -r 1 -n 8 -c 4 -A sampling"
 fault="--stall 2000:20000"
 crash_a="--crash 1@30000 --crash-detect 2000"
 crash_b="--crash 2@100000 --crash-detect 2000"
@@ -70,6 +72,18 @@ case "$name" in
   geoB_psim_w4_plain)  engine=psim; workers=4; base=geoB_sim_plain; flags="$tree_b" ;;
   geoB_psim_w4_fault)  engine=psim; workers=4; base=geoB_sim_fault; flags="$tree_b $fault" ;;
   geoB_psim_w4_crash)  engine=psim; workers=4; base=geoB_sim_crash; flags="$tree_b $crash_b" ;;
+  life_sim_plain)      engine=sim;     flags="$tree_l" ;;
+  life_sim_fault)      engine=sim;     flags="$tree_l $fault" ;;
+  life_sim_crash)      engine=sim;     flags="$tree_l $crash_a" ;;
+  life_threads_plain)  engine=threads; flags="$tree_l" ;;
+  life_threads_fault)  engine=threads; flags="$tree_l $fault" ;;
+  life_threads_crash)  engine=threads; flags="$tree_l $crash_a" ;;
+  samp_sim_plain)      engine=sim;     flags="$tree_s" ;;
+  samp_sim_fault)      engine=sim;     flags="$tree_s $fault" ;;
+  samp_sim_crash)      engine=sim;     flags="$tree_s $crash_a" ;;
+  samp_threads_plain)  engine=threads; flags="$tree_s" ;;
+  samp_threads_fault)  engine=threads; flags="$tree_s $fault" ;;
+  samp_threads_crash)  engine=threads; flags="$tree_s $crash_a" ;;
   *) echo "run_golden.sh: unknown case '$name'" >&2; exit 2 ;;
 esac
 

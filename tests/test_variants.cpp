@@ -1,0 +1,194 @@
+// Differential variant-equivalence battery for the extension variants
+// (lifeline-graph and sampling-quantile victim selection, PR 10):
+//
+//   * every variant in the canonical kAllAlgosExtended list visits the
+//     exact sequential-reference node count, for {bin, geo} workloads on
+//     both the sequential simulator and the parallel-PDES engine (w=1/4);
+//   * each new variant is deterministic against itself: byte-identical
+//     aggregate and per-rank stats across back-to-back runs and across
+//     psim worker counts;
+//   * algo_label covers every enum member with a unique non-"?" label
+//     (kAllAlgosExtended completeness is a static_assert in config.hpp —
+//     here we pin the runtime label table to the same canon).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pgas/sim_engine.hpp"
+#include "psim/engine.hpp"
+#include "uts/sequential.hpp"
+#include "ws/driver.hpp"
+#include "ws/uts_problem.hpp"
+
+namespace {
+
+using namespace upcws;
+
+ws::SearchResult run_variant(pgas::Engine& eng, ws::Algo algo,
+                             const uts::Params& tree, int nranks, int chunk,
+                             std::uint64_t seed = 11) {
+  pgas::RunConfig rcfg;
+  rcfg.nranks = nranks;
+  rcfg.net = pgas::NetModel::distributed();
+  rcfg.seed = seed;
+  const ws::UtsProblem prob(tree);
+  const ws::WsConfig cfg = ws::WsConfig::for_algo(algo, chunk);
+  return ws::run_search(eng, rcfg, prob, cfg);
+}
+
+/// Two runs of the same variant must agree field-for-field — the virtual
+/// clock makes every metric an exact integer, so EQ is the right check.
+void expect_identical(const ws::SearchResult& a, const ws::SearchResult& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.agg.total_nodes, b.agg.total_nodes) << what;
+  EXPECT_EQ(a.agg.total_leaves, b.agg.total_leaves) << what;
+  EXPECT_EQ(a.agg.total_steals, b.agg.total_steals) << what;
+  EXPECT_EQ(a.agg.total_probes, b.agg.total_probes) << what;
+  EXPECT_EQ(a.agg.total_releases, b.agg.total_releases) << what;
+  EXPECT_EQ(a.agg.total_failed_steals, b.agg.total_failed_steals) << what;
+  EXPECT_EQ(a.run.elapsed_s, b.run.elapsed_s) << what;
+  EXPECT_EQ(a.run.switches, b.run.switches) << what;
+  ASSERT_EQ(a.per_thread.size(), b.per_thread.size()) << what;
+  for (std::size_t r = 0; r < a.per_thread.size(); ++r) {
+    EXPECT_EQ(a.per_thread[r].c.nodes, b.per_thread[r].c.nodes)
+        << what << " rank " << r;
+    EXPECT_EQ(a.per_thread[r].c.steals, b.per_thread[r].c.steals)
+        << what << " rank " << r;
+    EXPECT_EQ(a.per_thread[r].c.probes, b.per_thread[r].c.probes)
+        << what << " rank " << r;
+  }
+}
+
+struct Workload {
+  const char* name;
+  uts::Params tree;
+};
+
+std::vector<Workload> workloads() {
+  return {{"bin", uts::test_small(3)}, {"geo", uts::geo_test(2)}};
+}
+
+// ---- cross-variant node-count equality ------------------------------------
+
+TEST(Variants, AllVariantsMatchSequentialReferenceOnSim) {
+  for (const Workload& w : workloads()) {
+    const auto expect = uts::search_sequential(w.tree);
+    ASSERT_TRUE(expect.has_value()) << w.name;
+    for (const ws::Algo a : ws::kAllAlgosExtended) {
+      pgas::SimEngine eng;
+      const ws::SearchResult res = run_variant(eng, a, w.tree, 8, 4);
+      EXPECT_EQ(res.agg.total_nodes, expect->nodes)
+          << w.name << "/" << ws::algo_label(a);
+      EXPECT_EQ(res.agg.total_leaves, expect->leaves)
+          << w.name << "/" << ws::algo_label(a);
+    }
+  }
+}
+
+TEST(Variants, AllVariantsMatchSequentialReferenceOnPsim) {
+  for (const Workload& w : workloads()) {
+    const auto expect = uts::search_sequential(w.tree);
+    ASSERT_TRUE(expect.has_value()) << w.name;
+    for (const ws::Algo a : ws::kAllAlgosExtended) {
+      for (const int workers : {1, 4}) {
+        psim::PsimEngine eng(workers);
+        const ws::SearchResult res = run_variant(eng, a, w.tree, 8, 4);
+        EXPECT_EQ(res.agg.total_nodes, expect->nodes)
+            << w.name << "/" << ws::algo_label(a) << " w=" << workers;
+      }
+    }
+  }
+}
+
+// ---- new-variant determinism ----------------------------------------------
+
+TEST(Variants, LifelineByteIdenticalAcrossRunsAndWorkerCounts) {
+  for (const Workload& w : workloads()) {
+    pgas::SimEngine s1, s2;
+    const ws::SearchResult a = run_variant(s1, ws::Algo::kLifeline, w.tree,
+                                           8, 4);
+    const ws::SearchResult b = run_variant(s2, ws::Algo::kLifeline, w.tree,
+                                           8, 4);
+    expect_identical(a, b, std::string(w.name) + "/lifeline back-to-back");
+    for (const int workers : {1, 4}) {
+      psim::PsimEngine par(workers);
+      const ws::SearchResult p = run_variant(par, ws::Algo::kLifeline,
+                                             w.tree, 8, 4);
+      expect_identical(a, p, std::string(w.name) + "/lifeline psim w=" +
+                                 std::to_string(workers));
+    }
+  }
+}
+
+TEST(Variants, SamplingByteIdenticalAcrossRunsAndWorkerCounts) {
+  for (const Workload& w : workloads()) {
+    pgas::SimEngine s1, s2;
+    const ws::SearchResult a = run_variant(s1, ws::Algo::kSampling, w.tree,
+                                           8, 4);
+    const ws::SearchResult b = run_variant(s2, ws::Algo::kSampling, w.tree,
+                                           8, 4);
+    expect_identical(a, b, std::string(w.name) + "/sampling back-to-back");
+    for (const int workers : {1, 4}) {
+      psim::PsimEngine par(workers);
+      const ws::SearchResult p = run_variant(par, ws::Algo::kSampling,
+                                             w.tree, 8, 4);
+      expect_identical(a, p, std::string(w.name) + "/sampling psim w=" +
+                                 std::to_string(workers));
+    }
+  }
+}
+
+// ---- the new variants actually exercise their machinery --------------------
+
+TEST(Variants, LifelineRanksParkInsteadOfSpinProbing) {
+  // On the same workload, the lifeline policy must issue far fewer probes
+  // than the random-sweep base — parked ranks read their own park word
+  // instead of hammering remote work_avail words.
+  const uts::Params tree = uts::test_small(3);
+  pgas::SimEngine e1, e2;
+  const ws::SearchResult base =
+      run_variant(e1, ws::Algo::kUpcDistMem, tree, 8, 4);
+  const ws::SearchResult life =
+      run_variant(e2, ws::Algo::kLifeline, tree, 8, 4);
+  EXPECT_EQ(base.agg.total_nodes, life.agg.total_nodes);
+  EXPECT_LT(life.agg.total_probes, base.agg.total_probes);
+}
+
+TEST(Variants, SamplingKnobsChangeScheduleNotResults) {
+  const uts::Params tree = uts::test_small(3);
+  const auto expect = uts::search_sequential(tree);
+  ASSERT_TRUE(expect.has_value());
+  for (const double frac : {0.25, 1.0}) {
+    pgas::RunConfig rcfg;
+    rcfg.nranks = 8;
+    rcfg.net = pgas::NetModel::distributed();
+    rcfg.seed = 11;
+    const ws::UtsProblem prob(tree);
+    ws::WsConfig cfg = ws::WsConfig::for_algo(ws::Algo::kSampling, 4);
+    cfg.sample_frac = frac;
+    cfg.quantile = 0.5;
+    pgas::SimEngine eng;
+    const ws::SearchResult res = ws::run_search(eng, rcfg, prob, cfg);
+    EXPECT_EQ(res.agg.total_nodes, expect->nodes) << "sample_frac=" << frac;
+  }
+}
+
+// ---- label canon -----------------------------------------------------------
+
+TEST(Variants, AlgoLabelCoversEveryEnumMemberUniquely) {
+  std::set<std::string> seen;
+  for (const ws::Algo a : ws::kAllAlgosExtended) {
+    const std::string label = ws::algo_label(a);
+    EXPECT_NE(label, "?") << "unlabeled enum member "
+                          << static_cast<int>(a);
+    EXPECT_TRUE(seen.insert(label).second) << "duplicate label " << label;
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(ws::kAlgoCount));
+  EXPECT_EQ(seen.count("lifeline"), 1u);
+  EXPECT_EQ(seen.count("sampling"), 1u);
+}
+
+}  // namespace

@@ -51,6 +51,28 @@ TEST(ForAlgo, MpiUsesTokenTermination) {
   EXPECT_EQ(c.steal_amount, StealAmount::kOneChunk);
 }
 
+TEST(ForAlgo, LifelineLayersParkingOnDistMemBase) {
+  const WsConfig c = WsConfig::for_algo(Algo::kLifeline);
+  EXPECT_EQ(c.protocol, StackProtocol::kRequestResponse);
+  EXPECT_EQ(c.steal_amount, StealAmount::kHalf);
+  EXPECT_EQ(c.termination, Termination::kProbeBarrier);
+  EXPECT_EQ(c.victim_policy, VictimPolicy::kLifeline);
+}
+
+TEST(ForAlgo, SamplingLayersQuantileSelectionOnDistMemBase) {
+  const WsConfig c = WsConfig::for_algo(Algo::kSampling);
+  EXPECT_EQ(c.protocol, StackProtocol::kRequestResponse);
+  EXPECT_EQ(c.steal_amount, StealAmount::kHalf);
+  EXPECT_EQ(c.termination, Termination::kProbeBarrier);
+  EXPECT_EQ(c.victim_policy, VictimPolicy::kSampling);
+}
+
+TEST(ForAlgo, PaperVariantsKeepRandomVictimPolicy) {
+  for (Algo a : kAllAlgos)
+    EXPECT_EQ(WsConfig::for_algo(a).victim_policy, VictimPolicy::kRandom)
+        << algo_label(a);
+}
+
 TEST(Validate, RejectsBadValues) {
   WsConfig c;
   c.chunk_size = 0;
@@ -65,6 +87,29 @@ TEST(Validate, RejectsBadValues) {
   EXPECT_NO_THROW(c.validate());
 }
 
+TEST(Validate, RejectsBadVictimPolicyKnobs) {
+  WsConfig c;
+  c.sample_frac = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = WsConfig{};
+  c.sample_frac = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = WsConfig{};
+  c.quantile = -0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = WsConfig{};
+  c.quantile = 1.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = WsConfig{};
+  c.lifeline_dim = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = WsConfig{};
+  c.sample_frac = 1.0;
+  c.quantile = 0.0;
+  c.lifeline_dim = 3;
+  EXPECT_NO_THROW(c.validate());
+}
+
 TEST(AlgoList, CoversAllFive) {
   int n = 0;
   for (Algo a : kAllAlgos) {
@@ -72,6 +117,20 @@ TEST(AlgoList, CoversAllFive) {
     ++n;
   }
   EXPECT_EQ(n, 5);
+}
+
+TEST(AlgoList, ExtendedListIsTheCanon) {
+  // kAllAlgosExtended must enumerate every enum member exactly once (the
+  // count is also a static_assert in config.hpp) and start with the paper
+  // five in ladder order.
+  int n = 0;
+  for (Algo a : kAllAlgosExtended) {
+    (void)a;
+    ++n;
+  }
+  EXPECT_EQ(n, kAlgoCount);
+  for (std::size_t i = 0; i < std::size(kAllAlgos); ++i)
+    EXPECT_EQ(kAllAlgosExtended[i], kAllAlgos[i]) << i;
 }
 
 }  // namespace
